@@ -1,0 +1,22 @@
+"""Shared fixtures for the pytest-benchmark harnesses.
+
+These benchmarks time the *host-side* pipeline (instrumentation and
+simulated execution).  The paper-facing numbers — slow-down factors as
+executed-instruction ratios — are printed by the ``repro.bench`` modules
+and asserted on here; pytest-benchmark provides wall-clock tracking so
+regressions in the tooling itself are visible too.
+"""
+
+import pytest
+
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(scope="session")
+def mcf_program():
+    return get_benchmark("mcf").compile()
+
+
+@pytest.fixture(scope="session")
+def gobmk_program():
+    return get_benchmark("gobmk").compile()

@@ -1,0 +1,39 @@
+"""Benchmark harness for §7.1 "False positives" (E3).
+
+Asserts the per-benchmark false-positive site counts the paper reports
+for full (no allow-list) checking, and that the profile workflow brings
+every one of them to zero.
+"""
+
+import pytest
+
+from repro.bench.falsepos import count_false_positives
+from repro.workloads import get_benchmark
+
+#: (benchmark, paper FP count) — the full list is in the paper §7.1;
+#: the heavyweight rows run via `python -m repro.bench.falsepos`.
+PAPER_COUNTS = [
+    ("perlbench", 1),
+    ("gobmk", 1),
+    ("povray", 1),
+    ("gromacs", 3),
+    ("calculix", 2),
+    ("mcf", 0),
+    ("lbm", 0),
+]
+
+
+class TestFalsePositiveCounts:
+    @pytest.mark.parametrize("name,expected", PAPER_COUNTS,
+                             ids=[n for n, _ in PAPER_COUNTS])
+    def test_count_matches_paper(self, name, expected):
+        assert count_false_positives(get_benchmark(name)) == expected
+
+
+class TestFalsePositiveThroughput:
+    def test_gcc_fourteen_sites(self, benchmark):
+        measured = benchmark.pedantic(
+            count_false_positives, args=(get_benchmark("gcc"),),
+            iterations=1, rounds=1,
+        )
+        assert measured == 14

@@ -1,0 +1,68 @@
+"""Benchmark harness for Figure 8 (Chrome scalability + Kraken).
+
+Times the instrumentation of the large browser stand-in and a subset of
+the Kraken workloads, asserting the paper's claims: the big binary is
+instrumentable, runs correctly afterwards, and write-only overhead stays
+near the paper's 1.28x geometric mean.
+"""
+
+import pytest
+
+from repro.bench.figure8 import CHROME_OPTIONS, run
+from repro.core import RedFat
+from repro.workloads.chrome import KRAKEN_BENCHMARKS, build_chrome, kraken_args
+
+
+@pytest.fixture(scope="module")
+def chrome_program():
+    return build_chrome(120)
+
+
+@pytest.fixture(scope="module")
+def chrome_hardened(chrome_program):
+    return RedFat(CHROME_OPTIONS).instrument(chrome_program.binary.strip())
+
+
+class TestScalability:
+    def test_instrument_large_binary(self, benchmark, chrome_program):
+        stripped = chrome_program.binary.strip()
+        tool = RedFat(CHROME_OPTIONS)
+        result = benchmark.pedantic(tool.instrument, args=(stripped,),
+                                    iterations=1, rounds=3)
+        assert len(result.rewrite.patched) > 100
+        # Nothing silently dropped beyond the explicit skip accounting.
+        assert result.binary.total_size() > stripped.total_size()
+
+    def test_all_kraken_kernels_still_run(self, chrome_program, chrome_hardened):
+        for name in KRAKEN_BENCHMARKS:
+            args = kraken_args(name)
+            baseline = chrome_program.run(args=args)
+            hardened = chrome_program.run(
+                args=args, binary=chrome_hardened.binary,
+                runtime=chrome_hardened.create_runtime(mode="log"),
+            )
+            assert hardened.status == baseline.status, name
+
+
+class TestKrakenOverhead:
+    @pytest.mark.parametrize(
+        "name", ["audio-fft", "imaging-gaussian-blur", "crypto-aes"]
+    )
+    def test_kernel_hardened_run(self, benchmark, name, chrome_program,
+                                 chrome_hardened):
+        args = kraken_args(name)
+
+        def run_hardened():
+            return chrome_program.run(
+                args=args, binary=chrome_hardened.binary,
+                runtime=chrome_hardened.create_runtime(mode="log"),
+            )
+
+        result = benchmark(run_hardened)
+        assert result.status == chrome_program.run(args=args).status
+
+    def test_geomean_near_paper(self):
+        result = run(filler_functions=120)
+        # Paper: 1.28x; allow a generous band for the simulated substrate.
+        assert 1.0 < result.geomean < 2.0
+        assert result.sites_patched > 100

@@ -1,0 +1,49 @@
+"""Benchmark harness for Table 2 (non-incremental overflows).
+
+Asserts the paper's headline: RedFat detects 100% of the CVE/Juliet
+cases, the Memcheck baseline 0%.
+"""
+
+import pytest
+
+from repro.bench.table2 import memcheck_detects, redfat_detects, run
+from repro.workloads.cves import CVE_CASES
+from repro.workloads.juliet import generate_cases
+
+
+class TestCVEDetection:
+    @pytest.mark.parametrize("case", CVE_CASES, ids=lambda c: c.cve)
+    def test_redfat_detects_memcheck_misses(self, case):
+        program = case.compile()
+        assert redfat_detects(program, case.malicious_args)
+        assert not memcheck_detects(program, case.malicious_args)
+
+    @pytest.mark.parametrize("case", CVE_CASES, ids=lambda c: c.cve)
+    def test_benign_inputs_clean(self, case):
+        program = case.compile()
+        assert not redfat_detects(program, case.benign_args)
+        assert not memcheck_detects(program, case.benign_args)
+
+
+class TestJulietSubset:
+    def test_every_shape_and_size(self):
+        cases = generate_cases(480)
+        # One variant from each of the 24 distinct source programs.
+        seen = {}
+        for case in cases:
+            seen.setdefault((case.shape, case.victim_size), case)
+        assert len(seen) == 24
+        for case in seen.values():
+            program = case.compile()
+            assert redfat_detects(program, case.malicious_args), case.case_id
+            assert not memcheck_detects(program, case.malicious_args), case.case_id
+
+
+class TestTable2Throughput:
+    def test_table2_run(self, benchmark):
+        result = benchmark.pedantic(run, kwargs={"juliet_count": 24},
+                                    iterations=1, rounds=1)
+        for row in result.rows:
+            assert row.redfat_detected == row.total
+            assert row.memcheck_detected == 0
+        assert result.benign_clean

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Bug-finding mode: log-and-continue over an input sweep.
+
+RedFat's ``error()`` has two personalities (paper §4.2): *abort* for
+hardening production binaries and *log* for testing/bug-finding.  This
+example uses log mode as a miniature fuzzing harness: it sweeps inputs
+over an instrumented binary, keeps running past every detected error,
+and aggregates the de-duplicated reports per site — the workflow of
+tools like RetroWrite's binary ASAN, but with the stronger
+(Redzone)+(LowFat) oracle.
+
+Run:  python examples/bug_finding.py
+"""
+
+from collections import Counter
+
+from repro.cc import compile_source
+from repro.core import RedFat, RedFatOptions
+
+#: A record parser with several input-dependent bugs.
+SOURCE = """
+struct record { int kind; int count; char body[24]; };
+
+int parse(struct record *rec, char *table, int kind, int count) {
+    rec->kind = kind;
+    rec->count = count;
+    for (int i = 0; i < count; i++)          // BUG 1: count unchecked
+        rec->body[i] = 'a' + i % 26;
+    return table[kind * 4];                   // BUG 2: kind unchecked
+}
+
+int main() {
+    struct record *rec = malloc(40);
+    char *table = malloc(64);
+    memset(table, 1, 64);
+    int kind = arg(0);
+    int count = arg(1);
+    int checksum = parse(rec, table, kind, count);
+    if (count > 0 && rec->body[0] != 'a') checksum = -1;
+    print(checksum);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    hardened = RedFat(RedFatOptions()).instrument(program.binary.strip())
+
+    print("sweeping 64 inputs over the instrumented binary (log mode)...")
+    site_hits = Counter()
+    kinds = Counter()
+    crashes = 0
+    for kind in range(0, 40, 5):
+        for count in (0, 8, 24, 25, 64, 200, 500, 100000):
+            runtime = hardened.create_runtime(mode="log")
+            try:
+                program.run(args=[kind, count], binary=hardened.binary,
+                            runtime=runtime)
+            except Exception:
+                crashes += 1
+                continue
+            for report in runtime.errors:
+                site_hits[report.site] += 1
+                kinds[report.kind.value] += 1
+
+    print(f"\ndistinct buggy sites found: {len(site_hits)}")
+    for site, hits in sorted(site_hits.items()):
+        print(f"  site {site:#x}: flagged on {hits} inputs")
+    print("\nerror kinds observed:")
+    for kind, hits in kinds.most_common():
+        print(f"  {kind}: {hits}")
+    if crashes:
+        print(f"\n({crashes} inputs faulted outside instrumented code)")
+    assert len(site_hits) >= 2, "expected both planted bugs"
+    print("\nboth planted bugs were localised to their exact instructions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""The two-phase profile workflow of Fig. 5: eliminating false positives.
+
+Fortran-style code (and hand-written C anti-idioms) index arrays through
+*shifted base pointers* — always out of bounds, never actually wrong.
+Naive pointer-arithmetic checking flags them.  This example walks the
+paper's mitigation end-to-end:
+
+1. full (Redzone)+(LowFat) checking on every access -> false positive;
+2. profiling phase: run a test suite, record which sites always pass
+   the (LowFat) check -> allow-list (``allow.lst``);
+3. production phase: allow-listed sites keep the full check, the
+   anti-idiom site falls back to (Redzone)-only -> no false positive,
+   while a real injected bug is still caught.
+
+Run:  python examples/profile_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.cc import compile_source
+from repro.core import AllowList, Profiler, RedFat, RedFatOptions
+from repro.core.redfat_tool import PROT_LOWFAT, PROT_REDZONE
+from repro.errors import GuestMemoryError
+
+SOURCE = """
+// A Fortran-90-flavoured kernel: the array is indexed 1-based through
+// a base pointer shifted below the allocation (what gfortran emits for
+// DIMENSION(1:n) arrays).
+int one_based_sum(int *a, int n) {
+    int *fa = a - 8;                  // intentional out-of-bounds base
+    int s = 0;
+    for (int i = 8; i < n + 8; i = i + 1) s = s + fa[i];
+    return s;
+}
+
+int main() {
+    int n = 64;
+    int *data = malloc(8 * n);
+    for (int i = 0; i < n; i = i + 1) data[i] = i;
+    int s = one_based_sum(data, n);
+    if (arg(0) == 1)
+        data[n + 40] = 7;             // a REAL bug, triggered on demand
+    print(s);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    stripped = program.binary.strip()
+
+    print("== phase 0: full checking, no allow-list ==")
+    naive = RedFat(RedFatOptions()).instrument(stripped)
+    try:
+        program.run(args=[0], binary=naive.binary,
+                    runtime=naive.create_runtime(mode="abort"))
+        print("ran clean (unexpected)")
+    except GuestMemoryError as error:
+        print(f"FALSE POSITIVE on legitimate code -> {error}")
+
+    print("\n== phase 1: profile against the test suite ==")
+    profiler = Profiler(RedFatOptions())
+    report = profiler.profile(
+        stripped,
+        executions=[lambda binary, runtime: program.run(
+            args=[0], binary=binary, runtime=runtime)],
+    )
+    allowlist = report.allowlist
+    fp_sites = report.observed_false_positive_sites()
+    print(f"eligible sites: {len(report.eligible_sites)}; "
+          f"allow-listed: {len(allowlist)}; "
+          f"always-failing (anti-idiom) sites: {len(fp_sites)}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        allow_path = Path(tmp) / "allow.lst"
+        allowlist.save(allow_path)
+        print(f"wrote {allow_path.name}:")
+        print("\n".join(f"    {line}"
+                        for line in allow_path.read_text().splitlines()[:5]))
+        allowlist = AllowList.load(allow_path)
+
+    print("\n== phase 2: production hardening with the allow-list ==")
+    production = profiler.harden(stripped, report)
+    lowfat = production.protected_sites(PROT_LOWFAT)
+    redzone = production.protected_sites(PROT_REDZONE)
+    print(f"sites with full (Redzone)+(LowFat): {len(lowfat)}; "
+          f"(Redzone)-only fallback: {len(redzone)}")
+
+    clean = program.run(args=[0], binary=production.binary,
+                        runtime=production.create_runtime(mode="abort"))
+    print(f"legitimate run: exit={clean.status} output={clean.output} "
+          "-> no false positive")
+
+    try:
+        program.run(args=[1], binary=production.binary,
+                    runtime=production.create_runtime(mode="abort"))
+        print("real bug: NOT detected (unexpected)")
+    except GuestMemoryError as error:
+        print(f"real bug:  still detected -> {error}")
+
+
+if __name__ == "__main__":
+    main()

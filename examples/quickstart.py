@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a program, harden its binary, catch an exploit.
+
+Walks the library's core loop end-to-end:
+
+1. compile a vulnerable C-like program to a guest binary;
+2. strip it (RedFat needs no symbols);
+3. harden the binary with the combined (Redzone)+(LowFat) checks;
+4. run it with a benign input — behaviour is preserved;
+5. run it with an attacker input whose offset *skips the redzone* into
+   an adjacent heap object — silent corruption without hardening, a
+   clean trap with it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cc import compile_source
+from repro.core import RedFat, RedFatOptions
+from repro.errors import GuestMemoryError
+
+SOURCE = """
+// A web-server-ish request handler with an unvalidated length field.
+struct request { int kind; int length; char payload[48]; };
+
+int handle(struct request *req, char *session_key) {
+    // BUG: length is attacker-controlled and never validated.
+    for (int i = 0; i < req->length; i = i + 1)
+        req->payload[i] = 'A' + i % 26;
+    return session_key[0];          // the attacker's real target
+}
+
+int main() {
+    struct request *req = malloc(64);
+    char *session_key = malloc(32);
+    memset(session_key, 'S', 32);
+    req->kind = 1;
+    req->length = arg(0);           // "network input"
+    int key_byte = handle(req, session_key);
+    print(key_byte);                // 83 ('S') unless corrupted
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    print("== compile ==")
+    program = compile_source(SOURCE)
+    text = program.binary.segment(".text")
+    print(f"binary: {len(text.data)} bytes of code at {text.vaddr:#x}")
+
+    print("\n== harden the stripped binary ==")
+    stripped = program.binary.strip()
+    tool = RedFat(RedFatOptions())  # all optimizations, full checks
+    hardened = tool.instrument(stripped)
+    print(f"patched {len(hardened.rewrite.patched)} instrumentation sites, "
+          f"skipped {len(hardened.rewrite.skipped)}; "
+          f"+{hardened.rewrite.trampoline_bytes} trampoline bytes")
+
+    print("\n== benign input (length=48) ==")
+    baseline = program.run(args=[48])
+    guarded = program.run(
+        args=[48], binary=hardened.binary,
+        runtime=hardened.create_runtime(mode="abort"),
+    )
+    print(f"unhardened: exit={baseline.status} output={baseline.output}")
+    print(f"hardened:   exit={guarded.status} output={guarded.output} "
+          f"({guarded.instructions / baseline.instructions:.2f}x instructions)")
+    assert guarded.output == baseline.output
+
+    print("\n== attack input (length=120: skips the redzone) ==")
+    attacked = program.run(args=[120])
+    print(f"unhardened: exit={attacked.status} output={attacked.output}"
+          "   <- session key silently overwritten!")
+    try:
+        program.run(
+            args=[120], binary=hardened.binary,
+            runtime=hardened.create_runtime(mode="abort"),
+        )
+        print("hardened:   NOT DETECTED (unexpected)")
+    except GuestMemoryError as error:
+        print(f"hardened:   blocked -> {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Baseline/comparator tools the paper evaluates against."""
+
+from repro.baselines.memcheck import (
+    DBI_EXPANSION_FACTOR,
+    MemcheckResult,
+    MemcheckVM,
+    run_memcheck,
+)
+
+__all__ = [
+    "MemcheckVM",
+    "MemcheckResult",
+    "run_memcheck",
+    "DBI_EXPANSION_FACTOR",
+]

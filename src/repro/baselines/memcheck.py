@@ -1,0 +1,130 @@
+"""A Valgrind-Memcheck-style baseline: heavyweight DBI + redzone checking.
+
+Semantics are real: every guest data access is validated against a
+shadow map maintained by a redzone-padding allocator
+(:class:`~repro.runtime.shadow.ShadowRuntime`), so detection results
+(Table 2) come from genuine (Redzone)-only checking with all its blind
+spots.  Like Memcheck (invoked with ``--leak-check=no
+--undef-value-errors=no``), it is a *logging* tool: errors are recorded
+and execution continues.
+
+**Cost model.**  Memcheck executes nothing natively: every guest
+instruction is disassembled into VEX IR, instrumented and JIT-compiled,
+which multiplies the dynamic instruction count several-fold, and each
+memory access additionally runs an A-bit lookup.  We model the reported
+slowdown as::
+
+    effective = guest_instructions * DBI_EXPANSION_FACTOR
+              + memory_accesses   * ACCESS_CHECK_COST
+              + heap_events       * ALLOCATOR_INTERCEPT_COST
+
+and report ``effective / baseline_instructions`` — i.e. the detection
+machinery is executed for real (the shadow map *is* consulted per
+access), while the JIT expansion that pure Python cannot reproduce is
+the documented constant below.  The constants were chosen so that the
+model lands near Memcheck's published SPEC overhead (~12x geometric
+mean) for workloads with a typical 25-35% memory-access density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.binfmt.binary import Binary
+from repro.runtime.reporting import MemoryErrorReport
+from repro.runtime.shadow import ShadowRuntime
+from repro.vm.loader import load_binary
+
+#: VEX translation + JIT dispatch expansion per guest instruction.
+DBI_EXPANSION_FACTOR = 4.0
+
+#: Extra instructions per memory access for the A-bit (addressability)
+#: lookup in Memcheck's two-level shadow table.
+ACCESS_CHECK_COST = 24.0
+
+#: malloc/free intercept + redzone bookkeeping cost per heap event.
+ALLOCATOR_INTERCEPT_COST = 150.0
+
+
+@dataclass
+class MemcheckResult:
+    """Outcome of one Memcheck-style run."""
+
+    status: int
+    guest_instructions: int
+    memory_accesses: int
+    heap_events: int
+    reports: List[MemoryErrorReport] = field(default_factory=list)
+    runtime: Optional[ShadowRuntime] = None
+
+    @property
+    def effective_instructions(self) -> float:
+        """Modelled dynamic cost (see module docstring)."""
+        return (
+            self.guest_instructions * DBI_EXPANSION_FACTOR
+            + self.memory_accesses * ACCESS_CHECK_COST
+            + self.heap_events * ALLOCATOR_INTERCEPT_COST
+        )
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.reports)
+
+
+class MemcheckVM:
+    """Runs a binary under DBI-style shadow checking."""
+
+    def __init__(self, redzone: int = 16) -> None:
+        self.redzone = redzone
+
+    def run(
+        self,
+        binary: Binary,
+        max_instructions: int = 2_000_000_000,
+        setup=None,
+    ) -> MemcheckResult:
+        """Run *binary*; *setup(cpu)* (if given) pokes inputs post-load."""
+        runtime = _CountingShadowRuntime(redzone=self.redzone)
+        cpu = load_binary(binary, runtime)
+        if setup is not None:
+            setup(cpu)
+        accesses = [0]
+
+        def hook(address, size, is_read, is_write, instruction):
+            accesses[0] += 1
+            runtime.check_access(address, size, is_write, site=instruction.address)
+
+        cpu.access_hook = hook
+        status = cpu.run(max_instructions)
+        return MemcheckResult(
+            status=status,
+            guest_instructions=cpu.instructions_executed,
+            memory_accesses=accesses[0],
+            heap_events=runtime.heap_events,
+            reports=list(runtime.errors),
+            runtime=runtime,
+        )
+
+
+class _CountingShadowRuntime(ShadowRuntime):
+    """Shadow runtime that counts heap events for the cost model."""
+
+    def __init__(self, redzone: int = 16) -> None:
+        super().__init__(mode="log", redzone=redzone)
+        self.heap_events = 0
+
+    def malloc(self, size: int) -> int:
+        self.heap_events += 1
+        return super().malloc(size)
+
+    def free(self, address: int) -> None:
+        self.heap_events += 1
+        super().free(address)
+
+
+def run_memcheck(
+    binary: Binary, max_instructions: int = 2_000_000_000
+) -> MemcheckResult:
+    """Convenience wrapper: run *binary* under the Memcheck baseline."""
+    return MemcheckVM().run(binary, max_instructions)

@@ -1,0 +1,26 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+========  ==========================  ===============================
+paper     experiment                  module / command
+========  ==========================  ===============================
+Table 1   SPEC overhead + coverage    ``python -m repro.bench.table1``
+§7.1      false positives (no list)   ``python -m repro.bench.falsepos``
+§7.1      detected real errors        part of table1 output
+Table 2   non-incremental overflows   ``python -m repro.bench.table2``
+Fig. 8    Chrome/Kraken scalability   ``python -m repro.bench.figure8``
+========  ==========================  ===============================
+"""
+
+from repro.bench.harness import (
+    SpecMeasurement,
+    geometric_mean,
+    measure_memcheck,
+    measure_spec,
+)
+
+__all__ = [
+    "SpecMeasurement",
+    "measure_spec",
+    "measure_memcheck",
+    "geometric_mean",
+]

@@ -1,0 +1,96 @@
+"""Experiment E3 — §7.1 "False positives": full checking without the
+profile-generated allow-list.
+
+Reruns each SPEC benchmark with (Redzone)+(LowFat) on *all* memory
+operations.  Sites reported in this configuration but not by the
+profile-hardened production binary are false positives — in the paper:
+perlbench 1, gcc 14, gobmk 1, povray 1, bwaves 5, gromacs 3,
+GemsFDTD 32, wrf 26, calculix 2, caused by Fortran-style ``(array - K)``
+base pointers.
+
+Run: ``python -m repro.bench.falsepos [--bench NAME ...]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.reporting import format_table
+from repro.core import Profiler, RedFat, RedFatOptions
+from repro.workloads import SPEC_BENCHMARKS, get_benchmark
+from repro.workloads.registry import SpecBenchmark
+
+
+@dataclass
+class FalsePositiveResult:
+    counts: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def render(self) -> str:
+        rows = []
+        for name, (measured, paper) in self.counts.items():
+            verdict = "match" if measured == paper else "differs"
+            rows.append([name, measured, paper, verdict])
+        table = format_table(
+            ["Binary", "measured FP sites", "paper FP sites", ""],
+            rows,
+            title="§7.1 False positives under full (no allow-list) checking",
+        )
+        return f"{table}\n(completed in {self.elapsed_seconds:.1f}s)"
+
+
+def count_false_positives(benchmark: SpecBenchmark) -> int:
+    """FP sites = reported(full checking) − reported(production)."""
+    program = benchmark.compile()
+    stripped = program.binary.strip()
+
+    profiler = Profiler(RedFatOptions())
+    report = profiler.profile(
+        stripped,
+        executions=[
+            lambda binary, runtime: program.run(
+                args=benchmark.train_args, binary=binary, runtime=runtime
+            )
+        ],
+    )
+    production = profiler.harden(stripped, report)
+    production_runtime = production.create_runtime(mode="log")
+    program.run(
+        args=benchmark.ref_args, binary=production.binary,
+        runtime=production_runtime,
+    )
+    genuine = {error.site for error in production_runtime.errors}
+
+    full = RedFat(RedFatOptions()).instrument(stripped)
+    full_runtime = full.create_runtime(mode="log")
+    program.run(args=benchmark.ref_args, binary=full.binary, runtime=full_runtime)
+    reported = {error.site for error in full_runtime.errors}
+    return len(reported - genuine)
+
+
+def run(names: Optional[List[str]] = None) -> FalsePositiveResult:
+    result = FalsePositiveResult()
+    start = time.time()
+    benchmarks = (
+        [get_benchmark(name) for name in names] if names else SPEC_BENCHMARKS
+    )
+    for benchmark in benchmarks:
+        measured = count_false_positives(benchmark)
+        result.counts[benchmark.name] = (measured, benchmark.paper_fp_sites)
+    result.elapsed_seconds = time.time() - start
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", nargs="*", default=None)
+    arguments = parser.parse_args(argv)
+    print(run(names=arguments.bench).render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

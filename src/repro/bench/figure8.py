@@ -1,0 +1,111 @@
+"""Experiment E6 — Figure 8: Chrome scalability + Kraken overhead.
+
+Instruments the large generated browser stand-in with write-only
+(Redzone)+(LowFat) checks (the configuration the paper deploys on
+Chrome), reports the static rewriting statistics that constitute the
+scalability claim, and measures the per-Kraken-benchmark overhead plus
+its geometric mean (paper: 1.28x).
+
+Run: ``python -m repro.bench.figure8 [--fillers N]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench.harness import geometric_mean
+from repro.bench.reporting import bar_chart, format_table
+from repro.core import RedFat, RedFatOptions
+from repro.workloads.chrome import (
+    KRAKEN_BENCHMARKS,
+    PAPER_KRAKEN_GEOMEAN,
+    build_chrome,
+    kraken_args,
+)
+
+#: The Chrome deployment configuration: write-only checks.
+CHROME_OPTIONS = RedFatOptions(check_reads=False, size_hardening=False)
+
+
+@dataclass
+class Figure8Result:
+    overheads: Dict[str, float] = field(default_factory=dict)
+    text_bytes: int = 0
+    hardened_bytes: int = 0
+    sites_patched: int = 0
+    sites_skipped: int = 0
+    instrument_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def geomean(self) -> float:
+        return geometric_mean(list(self.overheads.values()))
+
+    def render(self) -> str:
+        labels = list(self.overheads) + ["Geometric Mean"]
+        values = [100.0 * value for value in self.overheads.values()]
+        values.append(100.0 * self.geomean)
+        chart = bar_chart(labels, values, unit="%")
+        scale = format_table(
+            ["metric", "value"],
+            [
+                ["input text bytes", self.text_bytes],
+                ["hardened image bytes", self.hardened_bytes],
+                ["sites patched", self.sites_patched],
+                ["sites skipped", self.sites_skipped],
+                ["instrumentation time (s)", f"{self.instrument_seconds:.2f}"],
+            ],
+            title="Scalability (the Chrome stand-in binary)",
+        )
+        return (
+            "Figure 8 — Kraken overhead under write-only hardening\n"
+            f"(paper geometric mean: {PAPER_KRAKEN_GEOMEAN:.2f}x; "
+            f"measured: {self.geomean:.2f}x)\n\n"
+            f"{chart}\n\n{scale}\n"
+            f"(completed in {self.elapsed_seconds:.1f}s)"
+        )
+
+
+def run(filler_functions: int = 300) -> Figure8Result:
+    result = Figure8Result()
+    start = time.time()
+    program = build_chrome(filler_functions)
+    result.text_bytes = program.binary.segment(".text").data.__len__()
+
+    instrument_start = time.time()
+    harden = RedFat(CHROME_OPTIONS).instrument(program.binary.strip())
+    result.instrument_seconds = time.time() - instrument_start
+    result.hardened_bytes = harden.binary.total_size()
+    result.sites_patched = len(harden.rewrite.patched)
+    result.sites_skipped = len(harden.rewrite.skipped)
+
+    for name in KRAKEN_BENCHMARKS:
+        args = kraken_args(name)
+        baseline = program.run(args=args)
+        hardened = program.run(
+            args=args, binary=harden.binary,
+            runtime=harden.create_runtime(mode="log"),
+        )
+        if hardened.status != baseline.status:
+            raise AssertionError(
+                f"{name}: hardened status {hardened.status} != {baseline.status}"
+            )
+        result.overheads[name] = hardened.instructions / baseline.instructions
+    result.elapsed_seconds = time.time() - start
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fillers", type=int, default=300,
+                        help="number of generated browser-code functions")
+    arguments = parser.parse_args(argv)
+    print(run(filler_functions=arguments.fillers).render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

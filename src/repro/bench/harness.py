@@ -1,0 +1,192 @@
+"""Shared measurement machinery for the experiment harnesses.
+
+Overheads are executed-instruction ratios against the uninstrumented
+binary under the default allocator (see DESIGN.md, "Overhead metric").
+Each SPEC benchmark measurement follows the paper's methodology:
+
+1. profile the stripped binary on the **train** workload -> allow-list;
+2. run the baseline and every instrumentation configuration on **ref**;
+3. verify output equivalence (self-check);
+4. additionally run the no-allow-list configuration to observe false
+   positives, and a Memcheck run for the comparator column.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.memcheck import MemcheckVM
+from repro.cc import CompiledProgram
+from repro.core import Profiler, RedFat, RedFatOptions
+from repro.core.redfat_tool import PROT_LOWFAT, PROT_NONE
+from repro.runtime.redfat import RedFatRuntime
+from repro.workloads.registry import SpecBenchmark
+
+#: Table 1 column order: (label, options factory given an allow-list).
+CONFIG_COLUMNS: List[Tuple[str, object]] = [
+    ("unoptimized", lambda allow: RedFatOptions.unoptimized(allowlist=allow)),
+    ("+elim", lambda allow: RedFatOptions.unoptimized(elim=True, allowlist=allow)),
+    ("+batch", lambda allow: RedFatOptions.unoptimized(elim=True, batch=True,
+                                                       allowlist=allow)),
+    ("+merge", lambda allow: RedFatOptions(allowlist=allow)),
+    ("-size", lambda allow: RedFatOptions(allowlist=allow, size_hardening=False)),
+    ("-reads", lambda allow: RedFatOptions(allowlist=allow, size_hardening=False,
+                                           check_reads=False)),
+]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    cleaned = [value for value in values if value and value > 0]
+    if not cleaned:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in cleaned) / len(cleaned))
+
+
+@dataclass
+class SpecMeasurement:
+    """All measured quantities for one benchmark."""
+
+    name: str
+    baseline_instructions: int = 0
+    slowdowns: Dict[str, float] = field(default_factory=dict)
+    memcheck_slowdown: Optional[float] = None
+    coverage: float = 0.0
+    false_positive_sites: int = 0
+    real_errors_detected: int = 0
+    outputs_match: bool = True
+    allowlist_size: int = 0
+    eligible_sites: int = 0
+
+
+def _run_config(
+    program: CompiledProgram,
+    harden_result,
+    args: Sequence[int],
+    mode: str = "log",
+) -> Tuple[int, List[str], RedFatRuntime]:
+    runtime = harden_result.create_runtime(mode=mode)
+    result = program.run(args=args, binary=harden_result.binary, runtime=runtime)
+    return result.instructions, result.output, runtime
+
+
+def measure_memcheck(program: CompiledProgram, args: Sequence[int]):
+    """One Memcheck run with workload inputs poked."""
+    vm = MemcheckVM()
+    return vm.run(
+        program.binary, setup=lambda cpu: program.poke_args(cpu, args)
+    )
+
+
+def measure_coverage(
+    program: CompiledProgram,
+    production,
+    ref_args: Sequence[int],
+    base_options: RedFatOptions,
+) -> float:
+    """Fraction of dynamically reached sites carrying the full check.
+
+    Reuses the profile instrumentation to observe which candidate sites
+    the ref workload actually executes, then classifies each against the
+    production binary's protection map (paper Table 1, coverage column).
+    """
+    profile_tool = RedFat(base_options.with_(profile_mode=True, allowlist=None))
+    profile = profile_tool.instrument(program.binary.strip())
+    executed: set = set()
+
+    def callback(cpu, instruction) -> None:
+        head = profile.rewrite.tag_map.get(instruction.address)
+        for site in profile.site_table.get(head, ()):
+            executed.add(site.address)
+
+    runtime = RedFatRuntime(mode="log")
+    runtime.profile_callback = callback
+    program.run(args=ref_args, binary=profile.binary, runtime=runtime)
+
+    instrumented = [
+        site for site in executed
+        if production.protection.get(site, PROT_NONE) != PROT_NONE
+    ]
+    if not instrumented:
+        return 0.0
+    covered = sum(
+        1 for site in instrumented if production.protection[site] == PROT_LOWFAT
+    )
+    return 100.0 * covered / len(instrumented)
+
+
+def measure_spec(
+    benchmark: SpecBenchmark,
+    quick: bool = False,
+    max_instructions: int = 50_000_000,
+) -> SpecMeasurement:
+    """Measure one Table 1 row."""
+    program = benchmark.compile()
+    stripped = program.binary.strip()
+    train_args = benchmark.train_args
+    ref_args = benchmark.train_args if quick else benchmark.ref_args
+    measurement = SpecMeasurement(name=benchmark.name)
+
+    # Phase 1: allow-list from the train workload (paper §7.1 methodology).
+    profiler = Profiler(RedFatOptions())
+    report = profiler.profile(
+        stripped,
+        executions=[
+            lambda binary, runtime: program.run(
+                args=train_args, binary=binary, runtime=runtime,
+                max_instructions=max_instructions,
+            )
+        ],
+    )
+    allowlist = report.allowlist
+    measurement.allowlist_size = len(allowlist)
+    measurement.eligible_sites = len(report.eligible_sites)
+
+    # Baseline (uninstrumented, default allocator).
+    baseline = program.run(args=ref_args, max_instructions=max_instructions)
+    measurement.baseline_instructions = baseline.instructions
+
+    # Reference output: the uninstrumented binary under the redfat
+    # allocator (pure LD_PRELOAD) — benchmarks with real bugs read heap
+    # metadata, so output depends on the allocator, not on instrumentation.
+    reference = program.run(
+        args=ref_args, runtime=RedFatRuntime(mode="log"),
+        max_instructions=max_instructions,
+    )
+
+    production = None
+    production_reported: set = set()
+    for label, make_options in CONFIG_COLUMNS:
+        options = make_options(allowlist)
+        harden = RedFat(options).instrument(stripped)
+        instructions, output, runtime = _run_config(program, harden, ref_args)
+        measurement.slowdowns[label] = instructions / baseline.instructions
+        if output != reference.output:
+            measurement.outputs_match = False
+        if label == "+merge":
+            production = harden
+            measurement.real_errors_detected = len(runtime.errors)
+            production_reported = {report_.site for report_ in runtime.errors}
+
+    # False positives: full checking on all ops, no allow-list (§7.1
+    # "False positives").  A site is a false positive if it is reported
+    # under full checking but not by the profile-hardened production
+    # binary (whose reports are the genuine errors).
+    full = RedFat(RedFatOptions()).instrument(stripped)
+    _, _, full_runtime = _run_config(program, full, ref_args)
+    full_reported = {report_.site for report_ in full_runtime.errors}
+    measurement.false_positive_sites = len(full_reported - production_reported)
+
+    # Memcheck comparator.
+    if not benchmark.memcheck_nr:
+        memcheck = measure_memcheck(program, ref_args)
+        measurement.memcheck_slowdown = (
+            memcheck.effective_instructions / baseline.instructions
+        )
+
+    # Coverage column.
+    measurement.coverage = measure_coverage(
+        program, production, ref_args, RedFatOptions()
+    )
+    return measurement

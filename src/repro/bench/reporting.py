@@ -1,0 +1,72 @@
+"""Plain-text table/chart rendering for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(c.rjust(w) if _numericish(c) else c.ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "NR"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _numericish(cell: str) -> bool:
+    stripped = cell.rstrip("x%")
+    try:
+        float(stripped)
+        return True
+    except ValueError:
+        return cell == "NR"
+
+
+def factor(value: Optional[float]) -> str:
+    return "NR" if value is None else f"{value:.2f}x"
+
+
+def percent(value: float) -> str:
+    return f"{value:.1f}%"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    unit: str = "%",
+    width: int = 40,
+    baseline: float = 100.0,
+) -> str:
+    """An ASCII bar chart in the style of the paper's Fig. 8."""
+    peak = max(max(values), baseline) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        filled = int(round(width * value / peak))
+        lines.append(
+            f"{label.rjust(label_width)}  {'#' * filled}{' ' * (width - filled)}"
+            f" {value:.0f}{unit}"
+        )
+    return "\n".join(lines)

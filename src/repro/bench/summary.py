@@ -1,0 +1,59 @@
+"""Run every experiment and emit one combined report.
+
+``python -m repro.bench.summary [--quick] [-o report.txt]``
+
+Regenerates, in order: Table 1 (E1/E2/E4), the §7.1 false-positive
+counts (E3), Table 2 (E5) and Figure 8 (E6).  With ``--quick`` the SPEC
+rows use train-sized inputs and Juliet is subsampled — useful as a
+pre-commit smoke of the whole evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.bench import falsepos, figure8, table1, table2
+
+_QUICK_SPEC = ["perlbench", "gcc", "mcf", "omnetpp", "calculix", "wrf"]
+
+
+def run(quick: bool = False) -> str:
+    start = time.time()
+    sections: List[str] = []
+
+    names = _QUICK_SPEC if quick else None
+    sections.append(table1.run(names=names, quick=quick, verbose=True).render())
+    sections.append(falsepos.run(names=names).render())
+    sections.append(table2.run(juliet_count=48 if quick else 480).render())
+    sections.append(figure8.run(filler_functions=80 if quick else 300).render())
+
+    banner = (
+        "RedFat reproduction — full experimental report\n"
+        f"mode: {'quick' if quick else 'full'}; "
+        f"total time: {time.time() - start:.1f}s\n"
+        + "=" * 78
+    )
+    divider = "\n\n" + "=" * 78 + "\n\n"
+    return banner + "\n\n" + divider.join(sections) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("-o", "--output", default=None,
+                        help="also write the report to a file")
+    arguments = parser.parse_args(argv)
+    report = run(quick=arguments.quick)
+    print(report)
+    if arguments.output:
+        with open(arguments.output, "w") as handle:
+            handle.write(report)
+        print(f"(report written to {arguments.output})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

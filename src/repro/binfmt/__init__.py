@@ -1,0 +1,25 @@
+"""An ELF-like container format for guest binaries.
+
+Binaries are serialized byte images ("on disk"), which is what makes the
+rewriter *static*: it transforms one saved image into another without
+executing anything.  The format records segments (code/data/bss), an entry
+point, a position-independence flag and an optional symbol table that
+:meth:`~repro.binfmt.binary.Binary.strip` removes — hardening must work on
+stripped binaries, as in the paper.
+"""
+
+from repro.binfmt.sections import SEG_EXEC, SEG_READ, SEG_WRITE, Segment
+from repro.binfmt.symbols import SymbolTable
+from repro.binfmt.binary import Binary, BinaryType
+from repro.binfmt.builder import BinaryBuilder
+
+__all__ = [
+    "Segment",
+    "SEG_READ",
+    "SEG_WRITE",
+    "SEG_EXEC",
+    "SymbolTable",
+    "Binary",
+    "BinaryType",
+    "BinaryBuilder",
+]

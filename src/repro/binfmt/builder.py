@@ -1,0 +1,159 @@
+"""Builder assembling functions and globals into a :class:`Binary`.
+
+The builder fixes the classic layout: code at ``layout.CODE_BASE``
+(0x400000) and data at :data:`DATA_BASE` (0x600000).  Global addresses are
+assigned eagerly, so code generators can embed them as absolute operands
+(position-dependent binaries) or compute rip-relative displacements
+(position-independent binaries) while emitting code.  Cross-function calls
+use labels; all functions share one label namespace and are resolved in a
+single two-pass assembly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import BinaryFormatError
+from repro.binfmt.binary import Binary, BinaryType
+from repro.binfmt.sections import SEG_EXEC, SEG_READ, SEG_WRITE, Segment
+from repro.binfmt.symbols import SymbolTable
+from repro.isa.assembler import Item, assemble
+from repro.isa.operands import Label
+from repro.layout import CODE_BASE
+
+#: Base virtual address of the read-write data segment.
+DATA_BASE = 0x600000
+
+#: Base virtual address of the zero-initialised bss segment.
+BSS_BASE = 0x700000
+
+#: Segment names used across the toolchain.
+TEXT_SEGMENT = ".text"
+DATA_SEGMENT = ".data"
+BSS_SEGMENT = ".bss"
+TRAMPOLINE_SEGMENT = ".tramp"
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+class BinaryBuilder:
+    """Accumulates functions and globals, then produces a binary image."""
+
+    def __init__(
+        self,
+        binary_type: BinaryType = BinaryType.EXEC,
+        code_base: int = CODE_BASE,
+        data_base: int = DATA_BASE,
+        bss_base: int = BSS_BASE,
+    ) -> None:
+        self.binary_type = binary_type
+        self.code_base = code_base
+        self._functions: List[tuple] = []  # (name, items)
+        self._function_names: set = set()
+        self._data = bytearray()
+        self._data_base = data_base
+        self._bss_cursor = bss_base
+        self._bss_base = bss_base
+        self._globals: Dict[str, int] = {}
+
+    # -- globals ------------------------------------------------------------
+
+    def add_global(
+        self,
+        name: str,
+        size: int,
+        init: Optional[bytes] = None,
+        align: int = 8,
+    ) -> int:
+        """Reserve *size* bytes for a global; returns its virtual address.
+
+        Initialised globals go to .data; zero globals to .bss.
+        """
+        if name in self._globals:
+            raise BinaryFormatError(f"duplicate global {name!r}")
+        if init is not None:
+            if len(init) > size:
+                raise BinaryFormatError(f"initializer for {name!r} exceeds its size")
+            padded = _align(len(self._data), align)
+            self._data += b"\0" * (padded - len(self._data))
+            address = self._data_base + len(self._data)
+            self._data += init.ljust(size, b"\0")
+        else:
+            address = _align(self._bss_cursor, align)
+            self._bss_cursor = address + size
+        self._globals[name] = address
+        return address
+
+    def global_address(self, name: str) -> int:
+        return self._globals[name]
+
+    def add_data_words(self, name: str, words: Iterable[int]) -> int:
+        """Define a global array of 64-bit little-endian words."""
+        blob = b"".join(
+            (word & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little") for word in words
+        )
+        return self.add_global(name, len(blob), init=blob)
+
+    # -- functions ------------------------------------------------------------
+
+    def add_function(self, name: str, items: Iterable[Item]) -> None:
+        """Append a function; its *name* becomes a global code label."""
+        if name in self._function_names:
+            raise BinaryFormatError(f"duplicate function {name!r}")
+        self._function_names.add(name)
+        self._functions.append((name, list(items)))
+
+    # -- finish -------------------------------------------------------------------
+
+    def build(self, entry: str) -> Binary:
+        """Assemble everything; *entry* names the start function."""
+        if entry not in self._function_names:
+            raise BinaryFormatError(f"entry function {entry!r} was never added")
+        combined: List[Item] = []
+        for name, items in self._functions:
+            combined.append(Label(name))
+            combined.extend(items)
+        code = assemble(combined, self.code_base)
+        if self.code_base + len(code) > self._data_base:
+            raise BinaryFormatError(
+                f"text segment ({len(code)} bytes) collides with data segment"
+            )
+        symbols = SymbolTable()
+        # Labels carry no address of their own: a function's address is the
+        # address of the first instruction that follows its label.
+        pending: List[str] = []
+        for item in combined:
+            if isinstance(item, Label):
+                pending.append(item.name)
+            else:
+                for name in pending:
+                    if name in self._function_names:
+                        symbols.define(name, item.address)
+                pending.clear()
+        for name in pending:  # labels at end of text
+            if name in self._function_names:
+                symbols.define(name, self.code_base + len(code))
+        for name, global_address in self._globals.items():
+            symbols.define(name, global_address)
+
+        segments = [
+            Segment(TEXT_SEGMENT, self.code_base, code, SEG_READ | SEG_EXEC)
+        ]
+        if self._data:
+            segments.append(
+                Segment(DATA_SEGMENT, self._data_base, bytes(self._data), SEG_READ | SEG_WRITE)
+            )
+        if self._bss_cursor > self._bss_base:
+            segments.append(
+                Segment(
+                    BSS_SEGMENT,
+                    self._bss_base,
+                    b"",
+                    SEG_READ | SEG_WRITE,
+                    mem_size=self._bss_cursor - self._bss_base,
+                )
+            )
+        entry_address = symbols[entry]
+        return Binary(segments, entry_address, self.binary_type, symbols)

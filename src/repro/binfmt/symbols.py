@@ -1,0 +1,49 @@
+"""Symbol tables (function/global name -> virtual address).
+
+Symbols exist so examples and tests can be written readably; the hardening
+pipeline never consults them.  ``Binary.strip()`` drops the table, and the
+test suite verifies that instrumentation of a stripped binary produces
+byte-identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class SymbolTable:
+    """A name -> address mapping with reverse lookup."""
+
+    def __init__(self, symbols: Optional[Dict[str, int]] = None) -> None:
+        self._by_name: Dict[str, int] = dict(symbols or {})
+
+    def define(self, name: str, address: int) -> None:
+        self._by_name[name] = address
+
+    def lookup(self, name: str) -> Optional[int]:
+        return self._by_name.get(name)
+
+    def resolve(self, address: int) -> Optional[str]:
+        """Best-effort reverse lookup (exact address match)."""
+        for name, symbol_address in self._by_name.items():
+            if symbol_address == address:
+                return name
+        return None
+
+    def rebased(self, delta: int) -> "SymbolTable":
+        return SymbolTable({name: addr + delta for name, addr in self._by_name.items()})
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> int:
+        return self._by_name[name]
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._by_name.items()))
+
+    def __repr__(self) -> str:
+        return f"<SymbolTable {len(self._by_name)} symbols>"

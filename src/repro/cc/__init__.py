@@ -1,0 +1,35 @@
+"""MiniC: a small C-like language compiled to the guest ISA.
+
+The compiler exists so that workloads (SPEC-like kernels, CVE
+reproductions, Juliet cases, the Chrome stand-in) are *compiled binaries*
+— with compiler-induced idioms, register allocation artifacts, stack
+frames and memory-operand shapes — rather than hand-written assembly.
+RedFat never sees MiniC; it hardens the stripped output image.
+
+Language summary::
+
+    int g;                     // 64-bit globals
+    char buf[256];             // byte arrays (global or heap)
+    struct node { int v; struct node *next; };
+
+    int sum(int *a, int n) {
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) s = s + a[i];
+        return s;
+    }
+
+    int main() {
+        int *a = malloc(10 * 8);
+        a[0] = 1;
+        print(sum(a, 1));
+        free(a);
+        return 0;
+    }
+
+Builtins: ``malloc``, ``free``, ``print`` (an int), ``printc`` (a char),
+``arg(i)`` (harness-supplied input word *i*).  ``char`` is unsigned.
+"""
+
+from repro.cc.compiler import CompiledProgram, compile_source
+
+__all__ = ["compile_source", "CompiledProgram"]

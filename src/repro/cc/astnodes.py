@@ -1,0 +1,236 @@
+"""MiniC abstract syntax tree and type model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Types.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Type:
+    """A MiniC type: int, char, void, pointer, array or struct."""
+
+    kind: str  # 'int' | 'char' | 'void' | 'ptr' | 'array' | 'struct'
+    elem: Optional["Type"] = None  # ptr/array element
+    count: int = 0  # array length
+    struct_name: str = ""
+
+    @property
+    def size(self) -> int:
+        if self.kind == "int":
+            return 8
+        if self.kind == "char":
+            return 1
+        if self.kind == "ptr":
+            return 8
+        if self.kind == "array":
+            return self.elem.size * self.count
+        if self.kind == "void":
+            return 0
+        raise ValueError(f"size of {self.kind} requires struct layout")
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.kind in ("int", "char", "ptr")
+
+    def __str__(self) -> str:
+        if self.kind == "ptr":
+            return f"{self.elem}*"
+        if self.kind == "array":
+            return f"{self.elem}[{self.count}]"
+        if self.kind == "struct":
+            return f"struct {self.struct_name}"
+        return self.kind
+
+
+INT = Type("int")
+CHAR = Type("char")
+VOID = Type("void")
+
+
+def pointer_to(elem: Type) -> Type:
+    return Type("ptr", elem=elem)
+
+
+def array_of(elem: Type, count: int) -> Type:
+    return Type("array", elem=elem, count=count)
+
+
+@dataclass
+class StructLayout:
+    """Resolved field offsets and total size of a struct."""
+
+    name: str
+    fields: List[Tuple[str, Type, int]] = field(default_factory=list)  # (name, type, offset)
+    size: int = 0
+
+    def field_of(self, name: str) -> Optional[Tuple[str, Type, int]]:
+        for entry in self.fields:
+            if entry[0] == name:
+                return entry
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Expressions.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class NumberExpr(Expr):
+    value: int = 0
+
+
+@dataclass
+class VarExpr(Expr):
+    name: str = ""
+
+
+@dataclass
+class UnaryExpr(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class BinaryExpr(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class AssignExpr(Expr):
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class MemberExpr(Expr):
+    base: Expr = None
+    member: str = ""
+    arrow: bool = False  # True for '->', False for '.'
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class DerefExpr(Expr):
+    operand: Expr = None
+
+
+@dataclass
+class AddrOfExpr(Expr):
+    operand: Expr = None
+
+
+# ---------------------------------------------------------------------------
+# Statements.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    name: str = ""
+    type: Type = None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr = None
+    then_body: List[Stmt] = field(default_factory=list)
+    else_body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclass
+class BlockStmt(Stmt):
+    body: List[Stmt] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Top level.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    type: Type
+    init_words: Optional[List[int]] = None
+    line: int = 0
+
+
+@dataclass
+class FunctionDecl:
+    name: str
+    return_type: Type
+    params: List[Tuple[str, Type]]
+    body: List[Stmt]
+    line: int = 0
+
+
+@dataclass
+class Program:
+    structs: Dict[str, StructLayout] = field(default_factory=dict)
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FunctionDecl] = field(default_factory=list)

@@ -1,0 +1,903 @@
+"""MiniC code generation.
+
+A simple one-pass accumulator scheme: every expression leaves its value
+in ``rax``; intermediates are pushed on the stack.  Array accesses compile
+to scaled-index memory operands (``(%rax,%rcx,8)``) and struct fields to
+``disp(%reg)`` operands — exactly the operand shapes RedFat's (LowFat)
+component protects — while locals use rsp-relative operands (frames are
+frame-pointer-omitted, as gcc -O2 emits them) and globals absolute or
+rip-relative operands, all of which check elimination later removes.
+Position-independent output replaces absolute global addresses with
+rip-relative ``lea``.  A peephole pass (:mod:`repro.cc.peephole`)
+eliminates redundant local reloads so consecutive field stores share a
+base register.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.binfmt.binary import BinaryType
+from repro.binfmt.builder import BinaryBuilder
+from repro.isa.assembler import Item
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import (
+    ARG_REGS,
+    RAX,
+    RCX,
+    RDI,
+    RDX,
+    RSI,
+    RSP,
+    Register,
+)
+from repro.vm.runtime_iface import Service
+from repro.cc.astnodes import (
+    AddrOfExpr,
+    AssignExpr,
+    BinaryExpr,
+    BlockStmt,
+    BreakStmt,
+    CallExpr,
+    ContinueStmt,
+    DeclStmt,
+    DerefExpr,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FunctionDecl,
+    IfStmt,
+    IndexExpr,
+    INT,
+    MemberExpr,
+    NumberExpr,
+    Program,
+    ReturnStmt,
+    Stmt,
+    StructLayout,
+    Type,
+    UnaryExpr,
+    VarExpr,
+    WhileStmt,
+    pointer_to,
+)
+
+#: Number of 8-byte input words the harness may poke into ``__args``.
+ARGS_SLOTS = 64
+
+_BUILTIN_SERVICES = {
+    "malloc": Service.MALLOC,
+    "free": Service.FREE,
+    "calloc": Service.CALLOC,
+    "realloc": Service.REALLOC,
+    "print": Service.PRINT_INT,
+    "printc": Service.PRINT_CHAR,
+}
+
+_CMP_OPCODES = {
+    "<": Opcode.SETL,
+    "<=": Opcode.SETLE,
+    ">": Opcode.SETG,
+    ">=": Opcode.SETGE,
+    "==": Opcode.SETE,
+    "!=": Opcode.SETNE,
+}
+
+_ALU_OPCODES = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.IMUL,
+    "/": Opcode.IDIV,
+    "%": Opcode.IMOD,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SAR,
+}
+
+
+def _is_call_free(expr: Expr) -> bool:
+    """True when evaluating *expr* cannot clobber rsi (no calls/assigns)."""
+    if isinstance(expr, (CallExpr, AssignExpr)):
+        return False
+    if isinstance(expr, BinaryExpr):
+        return _is_call_free(expr.left) and _is_call_free(expr.right)
+    if isinstance(expr, UnaryExpr):
+        return _is_call_free(expr.operand)
+    if isinstance(expr, (DerefExpr, AddrOfExpr)):
+        return _is_call_free(expr.operand)
+    if isinstance(expr, IndexExpr):
+        return _is_call_free(expr.base) and _is_call_free(expr.index)
+    if isinstance(expr, MemberExpr):
+        return _is_call_free(expr.base)
+    return True
+
+
+class _Scope:
+    """Lexical scope mapping names to (frame slot offset, type)."""
+
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.entries: Dict[str, Tuple[int, Type]] = {}
+
+    def define(self, name: str, offset: int, declared: Type, line: int) -> None:
+        if name in self.entries:
+            raise CompileError(f"duplicate local {name!r}", line)
+        self.entries[name] = (offset, declared)
+
+    def lookup(self, name: str) -> Optional[Tuple[int, Type]]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.entries:
+                return scope.entries[name]
+            scope = scope.parent
+        return None
+
+
+class CodeGenerator:
+    """Compiles a parsed :class:`Program` into a guest binary."""
+
+    def __init__(
+        self, program: Program, pic: bool = False, optimize: bool = True
+    ) -> None:
+        self.program = program
+        self.pic = pic
+        self.optimize = optimize
+        self.builder = BinaryBuilder(
+            binary_type=BinaryType.PIC if pic else BinaryType.EXEC
+        )
+        self.functions: Dict[str, FunctionDecl] = {
+            function.name: function for function in program.functions
+        }
+        self.global_types: Dict[str, Type] = {}
+        self.global_addresses: Dict[str, int] = {}
+        self._label_counter = 0
+        self.args_address = 0
+
+    # -- label helper -------------------------------------------------------
+
+    def _label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f".L{stem}{self._label_counter}"
+
+    # -- type helpers -----------------------------------------------------------
+
+    def struct_layout(self, declared: Type, line: int) -> StructLayout:
+        layout = self.program.structs.get(declared.struct_name)
+        if layout is None:
+            raise CompileError(f"unknown struct {declared.struct_name!r}", line)
+        return layout
+
+    def type_size(self, declared: Type, line: int) -> int:
+        if declared.kind == "struct":
+            return self.struct_layout(declared, line).size
+        if declared.kind == "array":
+            return self.type_size(declared.elem, line) * declared.count
+        return declared.size
+
+    def _access_width(self, declared: Type) -> int:
+        return 1 if declared.kind == "char" else 8
+
+    # -- globals --------------------------------------------------------------
+
+    def _layout_globals(self) -> None:
+        self.args_address = self.builder.add_global("__args", ARGS_SLOTS * 8)
+        self.global_types["__args"] = Type("array", elem=INT, count=ARGS_SLOTS)
+        self.global_addresses["__args"] = self.args_address
+        for decl in self.program.globals:
+            size = self.type_size(decl.type, decl.line)
+            init = None
+            if decl.init_words is not None:
+                width = self._access_width(
+                    decl.type.elem if decl.type.kind == "array" else decl.type
+                )
+                init = b"".join(
+                    (word & ((1 << (8 * width)) - 1)).to_bytes(width, "little")
+                    for word in decl.init_words
+                )
+            address = self.builder.add_global(decl.name, size, init=init)
+            self.global_types[decl.name] = decl.type
+            self.global_addresses[decl.name] = address
+
+    # -- compilation entry point ---------------------------------------------------
+
+    def compile(self):
+        self._layout_globals()
+        self._emit_start_stub()
+        self._emit_builtin_stubs()
+        if "main" not in self.functions:
+            raise CompileError("program has no main()")
+        for function in self.program.functions:
+            self.builder.add_function(
+                function.name, _FunctionCompiler(self, function).compile()
+            )
+        return self.builder.build("_start")
+
+    def _emit_start_stub(self) -> None:
+        items: List[Item] = [
+            Instruction(Opcode.CALL, (Label("main"),)),
+            Instruction(Opcode.MOV, (Reg(RDI), Reg(RAX))),
+            Instruction(Opcode.RTCALL, (Imm(int(Service.EXIT)),)),
+        ]
+        self.builder.add_function("_start", items)
+
+    def _emit_builtin_stubs(self) -> None:
+        for name, service in _BUILTIN_SERVICES.items():
+            if name in self.functions:
+                continue  # user-defined override
+            self.builder.add_function(
+                name,
+                [
+                    Instruction(Opcode.RTCALL, (Imm(int(service)),)),
+                    Instruction(Opcode.RET),
+                ],
+            )
+        # arg(i): read the i-th harness-supplied input word.
+        items: List[Item] = []
+        if self.pic:
+            items.append(
+                Instruction(
+                    Opcode.LEA, (Reg(RAX), Mem(0, Register.RIP)),
+                    abs_target=self.args_address,
+                )
+            )
+            items.append(
+                Instruction(Opcode.MOV, (Reg(RAX), Mem(0, RAX, RDI, 8)))
+            )
+        else:
+            items.append(
+                Instruction(
+                    Opcode.MOV, (Reg(RAX), Mem(self.args_address, None, RDI, 8))
+                )
+            )
+        items.append(Instruction(Opcode.RET))
+        self.builder.add_function("arg", items)
+
+
+class _FunctionCompiler:
+    """Compiles one function body to assembler items.
+
+    Stack frames are rsp-relative with the frame pointer omitted, as gcc
+    -O2 emits them (and as the paper's check-elimination rule expects:
+    rsp-based operands provably cannot reach the heap).  Because
+    expression evaluation pushes intermediates, the compiler tracks the
+    push depth at every emission point and back-patches each local's
+    displacement with ``frame - slot + 8*depth`` once the final frame
+    size is known.
+    """
+
+    def __init__(self, generator: CodeGenerator, function: FunctionDecl) -> None:
+        self.gen = generator
+        self.function = function
+        self.items: List[Item] = []
+        self.scope = _Scope()
+        self.frame_size = 0
+        self.push_depth = 0
+        self.epilogue_label = generator._label(f"ret_{function.name}_")
+        self.loop_stack: List[Tuple[str, str]] = []  # (break, continue)
+        # (instruction, slot_offset, push_depth) needing disp back-patching.
+        self._local_fixups: List[Tuple[Instruction, int, int]] = []
+
+    # -- emit helpers ---------------------------------------------------------
+
+    def emit(self, opcode: Opcode, *operands, size: int = 8, **kw) -> None:
+        self.items.append(Instruction(opcode, tuple(operands), size=size, **kw))
+        if opcode in (Opcode.PUSH, Opcode.PUSHF):
+            self.push_depth += 1
+        elif opcode in (Opcode.POP, Opcode.POPF):
+            self.push_depth -= 1
+
+    def emit_label(self, name: str) -> None:
+        self.items.append(Label(name))
+
+    def _emit_local_access(
+        self, opcode: Opcode, slot_offset: int, other, size: int = 8,
+        mem_first: bool = True,
+    ) -> None:
+        mem = Mem(0, RSP)
+        operands = (mem, other) if mem_first else (other, mem)
+        instruction = Instruction(opcode, operands, size=size)
+        self.items.append(instruction)
+        self._local_fixups.append((instruction, slot_offset, self.push_depth))
+
+    # -- frame allocation -------------------------------------------------------
+
+    def _alloc_slot(self, size: int) -> int:
+        aligned = (size + 7) & ~7
+        self.frame_size += aligned
+        return self.frame_size  # distance from the frame's high end
+
+    # -- compile ------------------------------------------------------------------
+
+    def compile(self) -> List[Item]:
+        function = self.function
+        if len(function.params) > len(ARG_REGS):
+            raise CompileError(
+                f"{function.name}: too many parameters", function.line
+            )
+        frame_patch = Instruction(Opcode.SUB, (Reg(RSP), Imm(0)))
+        self.items.append(frame_patch)
+        for index, (name, declared) in enumerate(function.params):
+            offset = self._alloc_slot(8)
+            self.scope.define(name, offset, declared, function.line)
+            self._emit_local_access(
+                Opcode.MOV, offset, Reg(ARG_REGS[index]), mem_first=True
+            )
+        for statement in function.body:
+            self.statement(statement)
+        # Implicit return 0.
+        self.emit(Opcode.MOV, Reg(RAX), Imm(0))
+        self.emit_label(self.epilogue_label)
+        epilogue_patch = Instruction(Opcode.ADD, (Reg(RSP), Imm(0)))
+        self.items.append(epilogue_patch)
+        self.emit(Opcode.RET)
+        # Redundant-load elimination (must precede displacement fixup:
+        # the pass identifies locals through the fixup records).
+        if self.gen.optimize:
+            from repro.cc.peephole import eliminate_redundant_local_ops
+
+            self.items, self._local_fixups = eliminate_redundant_local_ops(
+                self.items, self._local_fixups
+            )
+        # Back-patch the frame size (16-byte aligned) and local operands.
+        frame = (self.frame_size + 15) & ~15
+        frame_patch.operands = (Reg(RSP), Imm(frame))
+        epilogue_patch.operands = (Reg(RSP), Imm(frame))
+        for instruction, slot_offset, depth in self._local_fixups:
+            disp = frame - slot_offset + 8 * depth
+            fixed = tuple(
+                operand.with_disp(disp)
+                if isinstance(operand, Mem) and operand.base is RSP
+                else operand
+                for operand in instruction.operands
+            )
+            instruction.operands = fixed
+        return self.items
+
+    # -- statements ------------------------------------------------------------------
+
+    def statement(self, statement: Stmt) -> None:
+        if isinstance(statement, DeclStmt):
+            self._decl(statement)
+        elif isinstance(statement, ExprStmt):
+            self.expression(statement.expr)
+        elif isinstance(statement, IfStmt):
+            self._if(statement)
+        elif isinstance(statement, WhileStmt):
+            self._while(statement)
+        elif isinstance(statement, ForStmt):
+            self._for(statement)
+        elif isinstance(statement, ReturnStmt):
+            if statement.value is not None:
+                self.expression(statement.value)
+            else:
+                self.emit(Opcode.MOV, Reg(RAX), Imm(0))
+            self.emit(Opcode.JMP, Label(self.epilogue_label))
+        elif isinstance(statement, BreakStmt):
+            if not self.loop_stack:
+                raise CompileError("break outside loop", statement.line)
+            self.emit(Opcode.JMP, Label(self.loop_stack[-1][0]))
+        elif isinstance(statement, ContinueStmt):
+            if not self.loop_stack:
+                raise CompileError("continue outside loop", statement.line)
+            self.emit(Opcode.JMP, Label(self.loop_stack[-1][1]))
+        elif isinstance(statement, BlockStmt):
+            self.scope = _Scope(self.scope)
+            for inner in statement.body:
+                self.statement(inner)
+            self.scope = self.scope.parent
+        else:
+            raise CompileError(f"unsupported statement {statement!r}", statement.line)
+
+    def _decl(self, statement: DeclStmt) -> None:
+        size = self.gen.type_size(statement.type, statement.line)
+        offset = self._alloc_slot(size)
+        self.scope.define(statement.name, offset, statement.type, statement.line)
+        if statement.init is not None:
+            if not statement.type.is_scalar:
+                raise CompileError(
+                    "only scalar locals may have initializers", statement.line
+                )
+            self.expression(statement.init)
+            self._emit_local_access(
+                Opcode.MOV, offset, Reg(RAX),
+                size=self.gen._access_width(statement.type),
+            )
+
+    def _if(self, statement: IfStmt) -> None:
+        else_label = self.gen._label("else")
+        end_label = self.gen._label("endif")
+        self.expression(statement.cond)
+        self.emit(Opcode.TEST, Reg(RAX), Reg(RAX))
+        self.emit(Opcode.JE, Label(else_label))
+        self.scope = _Scope(self.scope)
+        for inner in statement.then_body:
+            self.statement(inner)
+        self.scope = self.scope.parent
+        if statement.else_body:
+            self.emit(Opcode.JMP, Label(end_label))
+            self.emit_label(else_label)
+            self.scope = _Scope(self.scope)
+            for inner in statement.else_body:
+                self.statement(inner)
+            self.scope = self.scope.parent
+            self.emit_label(end_label)
+        else:
+            self.emit_label(else_label)
+
+    def _while(self, statement: WhileStmt) -> None:
+        head = self.gen._label("while")
+        end = self.gen._label("wend")
+        self.loop_stack.append((end, head))
+        self.emit_label(head)
+        self.expression(statement.cond)
+        self.emit(Opcode.TEST, Reg(RAX), Reg(RAX))
+        self.emit(Opcode.JE, Label(end))
+        self.scope = _Scope(self.scope)
+        for inner in statement.body:
+            self.statement(inner)
+        self.scope = self.scope.parent
+        self.emit(Opcode.JMP, Label(head))
+        self.emit_label(end)
+        self.loop_stack.pop()
+
+    def _for(self, statement: ForStmt) -> None:
+        head = self.gen._label("for")
+        step_label = self.gen._label("fstep")
+        end = self.gen._label("fend")
+        self.scope = _Scope(self.scope)
+        if statement.init is not None:
+            self.statement(statement.init)
+        self.loop_stack.append((end, step_label))
+        self.emit_label(head)
+        if statement.cond is not None:
+            self.expression(statement.cond)
+            self.emit(Opcode.TEST, Reg(RAX), Reg(RAX))
+            self.emit(Opcode.JE, Label(end))
+        for inner in statement.body:
+            self.statement(inner)
+        self.emit_label(step_label)
+        if statement.step is not None:
+            self.expression(statement.step)
+        self.emit(Opcode.JMP, Label(head))
+        self.emit_label(end)
+        self.loop_stack.pop()
+        self.scope = self.scope.parent
+
+    # -- lvalues ------------------------------------------------------------------
+
+    def lvalue_address(self, expr: Expr) -> Type:
+        """Leave the address of *expr* in rax; return the value type."""
+        if isinstance(expr, VarExpr):
+            local = self.scope.lookup(expr.name)
+            if local is not None:
+                offset, declared = local
+                self._emit_local_access(Opcode.LEA, offset, Reg(RAX), mem_first=False)
+                return declared
+            if expr.name in self.gen.global_addresses:
+                self._global_address(expr.name)
+                return self.gen.global_types[expr.name]
+            raise CompileError(f"undefined variable {expr.name!r}", expr.line)
+        if isinstance(expr, DerefExpr):
+            pointee = self.expression(expr.operand)
+            if pointee.kind != "ptr":
+                raise CompileError("cannot dereference a non-pointer", expr.line)
+            return pointee.elem
+        if isinstance(expr, IndexExpr):
+            return self._index_address(expr)
+        if isinstance(expr, MemberExpr):
+            return self._member_address(expr)
+        raise CompileError("expression is not an lvalue", expr.line)
+
+    def _global_address(self, name: str) -> None:
+        address = self.gen.global_addresses[name]
+        if self.gen.pic:
+            self.emit(Opcode.LEA, Reg(RAX), Mem(0, Register.RIP), abs_target=address)
+        else:
+            self.emit(Opcode.MOV, Reg(RAX), Imm(address))
+
+    def _index_address(self, expr: IndexExpr) -> Type:
+        """rax = &base[index]; returns the element type."""
+        self.expression(expr.index)
+        self.emit(Opcode.PUSH, Reg(RAX))
+        base_type = self.expression(expr.base)
+        if base_type.kind == "ptr":
+            elem = base_type.elem
+        elif base_type.kind == "array":
+            elem = base_type.elem
+        else:
+            raise CompileError("cannot index a non-array", expr.line)
+        self.emit(Opcode.POP, Reg(RCX))
+        elem_size = self.gen.type_size(elem, expr.line)
+        if elem_size in (1, 2, 4, 8):
+            self.emit(Opcode.LEA, Reg(RAX), Mem(0, RAX, RCX, elem_size))
+        else:
+            self.emit(Opcode.IMUL, Reg(RCX), Imm(elem_size))
+            self.emit(Opcode.LEA, Reg(RAX), Mem(0, RAX, RCX, 1))
+        return elem
+
+    def _member_base_disp(self, expr: MemberExpr) -> Tuple[Type, int]:
+        """Leave the *struct base* address in rax; return (type, disp).
+
+        Keeping the field offset as an operand displacement (instead of
+        folding it into the register) produces the ``disp(%reg)`` access
+        runs that make check batching/merging effective, exactly like a
+        register-allocating compiler would.
+        """
+        if expr.arrow:
+            base_type = self.expression(expr.base)
+            if base_type.kind != "ptr" or base_type.elem.kind != "struct":
+                raise CompileError("-> requires a struct pointer", expr.line)
+            struct_type = base_type.elem
+            disp = 0
+        elif isinstance(expr.base, MemberExpr):
+            struct_type, disp = self._member_base_disp(expr.base)
+            if struct_type.kind != "struct":
+                raise CompileError(". requires a struct value", expr.line)
+        else:
+            struct_type = self.lvalue_address(expr.base)
+            if struct_type.kind != "struct":
+                raise CompileError(". requires a struct value", expr.line)
+            disp = 0
+        layout = self.gen.struct_layout(struct_type, expr.line)
+        entry = layout.field_of(expr.member)
+        if entry is None:
+            raise CompileError(
+                f"struct {layout.name} has no member {expr.member!r}", expr.line
+            )
+        _, member_type, offset = entry
+        return member_type, disp + offset
+
+    def _member_address(self, expr: MemberExpr) -> Type:
+        member_type, disp = self._member_base_disp(expr)
+        if disp:
+            self.emit(Opcode.LEA, Reg(RAX), Mem(disp, RAX))
+        return member_type
+
+    # -- expressions ---------------------------------------------------------------
+
+    def expression(self, expr: Expr) -> Type:
+        """Evaluate *expr* into rax; return its type."""
+        if isinstance(expr, NumberExpr):
+            self.emit(Opcode.MOV, Reg(RAX), Imm(expr.value))
+            return INT
+        if isinstance(expr, VarExpr):
+            return self._var_value(expr)
+        if isinstance(expr, AssignExpr):
+            return self._assign(expr)
+        if isinstance(expr, BinaryExpr):
+            return self._binary(expr)
+        if isinstance(expr, UnaryExpr):
+            return self._unary(expr)
+        if isinstance(expr, DerefExpr):
+            pointee = self.expression(expr.operand)
+            if pointee.kind != "ptr":
+                raise CompileError("cannot dereference a non-pointer", expr.line)
+            elem = pointee.elem
+            self.emit(
+                Opcode.MOV, Reg(RAX), Mem(0, RAX),
+                size=self.gen._access_width(elem),
+            )
+            return elem
+        if isinstance(expr, AddrOfExpr):
+            inner = self.lvalue_address(expr.operand)
+            return pointer_to(inner)
+        if isinstance(expr, IndexExpr):
+            return self._index_value(expr)
+        if isinstance(expr, MemberExpr):
+            member_type, disp = self._member_base_disp(expr)
+            if member_type.is_scalar:
+                self.emit(
+                    Opcode.MOV, Reg(RAX), Mem(disp, RAX),
+                    size=self.gen._access_width(member_type),
+                )
+                return member_type
+            if disp:
+                self.emit(Opcode.LEA, Reg(RAX), Mem(disp, RAX))
+            if member_type.kind == "array":
+                return pointer_to(member_type.elem)
+            return member_type
+        if isinstance(expr, CallExpr):
+            return self._call(expr)
+        raise CompileError(f"unsupported expression {expr!r}", expr.line)
+
+    def _load_through_rax(self, value_type: Type) -> Type:
+        """rax holds an address; load the value unless it is an aggregate."""
+        if value_type.is_scalar:
+            self.emit(
+                Opcode.MOV, Reg(RAX), Mem(0, RAX),
+                size=self.gen._access_width(value_type),
+            )
+            return value_type
+        if value_type.kind == "array":
+            return pointer_to(value_type.elem)  # decay: address already in rax
+        return value_type  # struct value: its address
+
+    def _var_value(self, expr: VarExpr) -> Type:
+        local = self.scope.lookup(expr.name)
+        if local is not None:
+            offset, declared = local
+            if declared.is_scalar:
+                self._emit_local_access(
+                    Opcode.MOV, offset, Reg(RAX), mem_first=False,
+                    size=self.gen._access_width(declared),
+                )
+                return declared
+            self._emit_local_access(Opcode.LEA, offset, Reg(RAX), mem_first=False)
+            if declared.kind == "array":
+                return pointer_to(declared.elem)
+            return declared
+        if expr.name in self.gen.global_addresses:
+            declared = self.gen.global_types[expr.name]
+            if declared.is_scalar:
+                if self.gen.pic:
+                    self._global_address(expr.name)
+                    return self._load_through_rax(declared)
+                self.emit(
+                    Opcode.MOV, Reg(RAX),
+                    Mem(self.gen.global_addresses[expr.name]),
+                    size=self.gen._access_width(declared),
+                )
+                return declared
+            self._global_address(expr.name)
+            if declared.kind == "array":
+                return pointer_to(declared.elem)
+            return declared
+        raise CompileError(f"undefined variable {expr.name!r}", expr.line)
+
+    def _index_value(self, expr: IndexExpr) -> Type:
+        """Load base[index] using a scaled-index operand when possible."""
+        self.expression(expr.index)
+        self.emit(Opcode.PUSH, Reg(RAX))
+        base_type = self.expression(expr.base)
+        if base_type.kind not in ("ptr", "array"):
+            raise CompileError("cannot index a non-array", expr.line)
+        elem = base_type.elem
+        self.emit(Opcode.POP, Reg(RCX))
+        elem_size = self.gen.type_size(elem, expr.line)
+        if elem.is_scalar and elem_size in (1, 2, 4, 8):
+            self.emit(
+                Opcode.MOV, Reg(RAX), Mem(0, RAX, RCX, elem_size),
+                size=self.gen._access_width(elem),
+            )
+            return elem
+        if elem_size in (1, 2, 4, 8):
+            self.emit(Opcode.LEA, Reg(RAX), Mem(0, RAX, RCX, elem_size))
+        else:
+            self.emit(Opcode.IMUL, Reg(RCX), Imm(elem_size))
+            self.emit(Opcode.LEA, Reg(RAX), Mem(0, RAX, RCX, 1))
+        return self._load_through_rax(elem)
+
+    def _assign(self, expr: AssignExpr) -> Type:
+        target = expr.target
+        # Fast paths keep idiomatic operand shapes for stores.
+        if isinstance(target, VarExpr):
+            local = self.scope.lookup(target.name)
+            if local is not None:
+                offset, declared = local
+                if not declared.is_scalar:
+                    raise CompileError("cannot assign to an aggregate", expr.line)
+                value_type = self.expression(expr.value)
+                self._emit_local_access(
+                    Opcode.MOV, offset, Reg(RAX),
+                    size=self.gen._access_width(declared),
+                )
+                return declared
+            if target.name in self.gen.global_addresses:
+                declared = self.gen.global_types[target.name]
+                if not declared.is_scalar:
+                    raise CompileError("cannot assign to an aggregate", expr.line)
+                self.expression(expr.value)
+                if self.gen.pic:
+                    self.emit(Opcode.MOV, Reg(RDX), Reg(RAX))
+                    self._global_address(target.name)
+                    self.emit(Opcode.MOV, Reg(RCX), Reg(RAX))
+                    self.emit(
+                        Opcode.MOV, Mem(0, RCX), Reg(RDX),
+                        size=self.gen._access_width(declared),
+                    )
+                    self.emit(Opcode.MOV, Reg(RAX), Reg(RDX))
+                else:
+                    self.emit(
+                        Opcode.MOV,
+                        Mem(self.gen.global_addresses[target.name]),
+                        Reg(RAX),
+                        size=self.gen._access_width(declared),
+                    )
+                return declared
+            raise CompileError(f"undefined variable {target.name!r}", target.line)
+        if isinstance(target, IndexExpr):
+            return self._indexed_store(target, expr.value, expr.line)
+        if isinstance(target, MemberExpr) and _is_call_free(expr.value):
+            # Fast path: hold the struct base in rsi across the (call-free)
+            # value computation, storing with a disp(%rsi) operand.  Runs
+            # of field assignments then share one base register — the
+            # shape check batching/merging exploits.
+            member_type, disp = self._member_base_disp(target)
+            if not member_type.is_scalar:
+                raise CompileError("cannot assign to an aggregate", expr.line)
+            self.emit(Opcode.MOV, Reg(RSI), Reg(RAX))
+            self.expression(expr.value)
+            self.emit(
+                Opcode.MOV, Mem(disp, RSI), Reg(RAX),
+                size=self.gen._access_width(member_type),
+            )
+            return member_type
+        # General path: value, then address, then store through it.
+        value_type = self.expression(expr.value)
+        self.emit(Opcode.PUSH, Reg(RAX))
+        target_type = self.lvalue_address(target)
+        if not target_type.is_scalar:
+            raise CompileError("cannot assign to an aggregate", expr.line)
+        self.emit(Opcode.POP, Reg(RDX))
+        self.emit(
+            Opcode.MOV, Mem(0, RAX), Reg(RDX),
+            size=self.gen._access_width(target_type),
+        )
+        self.emit(Opcode.MOV, Reg(RAX), Reg(RDX))
+        return target_type
+
+    def _indexed_store(self, target: IndexExpr, value: Expr, line: int) -> Type:
+        """base[index] = value with a scaled-index store operand."""
+        self.expression(value)
+        self.emit(Opcode.PUSH, Reg(RAX))
+        self.expression(target.index)
+        self.emit(Opcode.PUSH, Reg(RAX))
+        base_type = self.expression(target.base)
+        if base_type.kind not in ("ptr", "array"):
+            raise CompileError("cannot index a non-array", line)
+        elem = base_type.elem
+        if not elem.is_scalar:
+            raise CompileError("cannot assign to an aggregate element", line)
+        self.emit(Opcode.POP, Reg(RCX))
+        self.emit(Opcode.POP, Reg(RDX))
+        elem_size = self.gen.type_size(elem, line)
+        width = self.gen._access_width(elem)
+        if elem_size in (1, 2, 4, 8):
+            self.emit(
+                Opcode.MOV, Mem(0, RAX, RCX, elem_size), Reg(RDX), size=width
+            )
+        else:  # pragma: no cover - scalar sizes are 1 or 8
+            self.emit(Opcode.IMUL, Reg(RCX), Imm(elem_size))
+            self.emit(Opcode.MOV, Mem(0, RAX, RCX, 1), Reg(RDX), size=width)
+        self.emit(Opcode.MOV, Reg(RAX), Reg(RDX))
+        return elem
+
+    def _binary(self, expr: BinaryExpr) -> Type:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._short_circuit(expr)
+        self.expression(expr.left)
+        self.emit(Opcode.PUSH, Reg(RAX))
+        right_type = self.expression(expr.right)
+        self.emit(Opcode.MOV, Reg(RCX), Reg(RAX))
+        self.emit(Opcode.POP, Reg(RAX))
+        # Re-derive the left type (no emission) for pointer arithmetic.
+        left_type = self._static_type(expr.left)
+        if op in _CMP_OPCODES:
+            self.emit(Opcode.CMP, Reg(RAX), Reg(RCX))
+            self.emit(_CMP_OPCODES[op], Reg(RAX))
+            return INT
+        if op in ("+", "-") and left_type is not None and left_type.kind == "ptr":
+            elem_size = self.gen.type_size(left_type.elem, expr.line)
+            if elem_size != 1:
+                self.emit(Opcode.IMUL, Reg(RCX), Imm(elem_size))
+            self.emit(_ALU_OPCODES[op], Reg(RAX), Reg(RCX))
+            return left_type
+        if op not in _ALU_OPCODES:
+            raise CompileError(f"unsupported operator {op!r}", expr.line)
+        self.emit(_ALU_OPCODES[op], Reg(RAX), Reg(RCX))
+        return left_type if left_type is not None and left_type.kind == "ptr" else INT
+
+    def _short_circuit(self, expr: BinaryExpr) -> Type:
+        end = self.gen._label("sc")
+        self.expression(expr.left)
+        self.emit(Opcode.TEST, Reg(RAX), Reg(RAX))
+        if expr.op == "&&":
+            self.emit(Opcode.MOV, Reg(RAX), Imm(0))
+            self.emit(Opcode.JE, Label(end))
+        else:
+            self.emit(Opcode.MOV, Reg(RAX), Imm(1))
+            self.emit(Opcode.JNE, Label(end))
+        self.expression(expr.right)
+        self.emit(Opcode.TEST, Reg(RAX), Reg(RAX))
+        self.emit(Opcode.SETNE, Reg(RAX))
+        self.emit_label(end)
+        return INT
+
+    def _unary(self, expr: UnaryExpr) -> Type:
+        operand_type = self.expression(expr.operand)
+        if expr.op == "-":
+            self.emit(Opcode.NEG, Reg(RAX))
+        elif expr.op == "~":
+            self.emit(Opcode.NOT, Reg(RAX))
+        elif expr.op == "!":
+            self.emit(Opcode.TEST, Reg(RAX), Reg(RAX))
+            self.emit(Opcode.SETE, Reg(RAX))
+            return INT
+        else:
+            raise CompileError(f"unsupported unary {expr.op!r}", expr.line)
+        return operand_type
+
+    def _call(self, expr: CallExpr) -> Type:
+        if len(expr.args) > len(ARG_REGS):
+            raise CompileError("too many call arguments", expr.line)
+        known = expr.name in self.gen.functions or expr.name in _BUILTIN_SERVICES
+        if not known and expr.name != "arg":
+            raise CompileError(f"undefined function {expr.name!r}", expr.line)
+        for argument in expr.args:
+            self.expression(argument)
+            self.emit(Opcode.PUSH, Reg(RAX))
+        for register in reversed(ARG_REGS[: len(expr.args)]):
+            self.emit(Opcode.POP, Reg(register))
+        self.emit(Opcode.CALL, Label(expr.name))
+        declared = self.gen.functions.get(expr.name)
+        if declared is not None:
+            return declared.return_type
+        if expr.name == "malloc" or expr.name == "calloc" or expr.name == "realloc":
+            return pointer_to(INT)
+        return INT
+
+    # -- static (emission-free) typing for pointer arithmetic ----------------------
+
+    def _static_type(self, expr: Expr) -> Optional[Type]:
+        if isinstance(expr, VarExpr):
+            local = self.scope.lookup(expr.name)
+            if local is not None:
+                declared = local[1]
+            elif expr.name in self.gen.global_types:
+                declared = self.gen.global_types[expr.name]
+            else:
+                return None
+            if declared.kind == "array":
+                return pointer_to(declared.elem)
+            return declared
+        if isinstance(expr, BinaryExpr) and expr.op in ("+", "-"):
+            return self._static_type(expr.left)
+        if isinstance(expr, CallExpr):
+            if expr.name in ("malloc", "calloc", "realloc"):
+                return pointer_to(INT)
+            declared = self.gen.functions.get(expr.name)
+            return declared.return_type if declared else INT
+        if isinstance(expr, IndexExpr):
+            base = self._static_type(expr.base)
+            if base is not None and base.kind in ("ptr", "array"):
+                elem = base.elem
+                if elem.kind == "array":
+                    return pointer_to(elem.elem)
+                return elem
+            return None
+        if isinstance(expr, MemberExpr):
+            base = self._static_type(expr.base)
+            struct_type = None
+            if expr.arrow and base is not None and base.kind == "ptr":
+                struct_type = base.elem
+            elif not expr.arrow and base is not None:
+                struct_type = base
+            if struct_type is None or struct_type.kind != "struct":
+                return None
+            layout = self.gen.program.structs.get(struct_type.struct_name)
+            if layout is None:
+                return None
+            entry = layout.field_of(expr.member)
+            if entry is None:
+                return None
+            member_type = entry[1]
+            if member_type.kind == "array":
+                return pointer_to(member_type.elem)
+            return member_type
+        if isinstance(expr, AddrOfExpr):
+            inner = self._static_type(expr.operand)
+            return pointer_to(inner) if inner is not None else None
+        if isinstance(expr, DerefExpr):
+            inner = self._static_type(expr.operand)
+            if inner is not None and inner.kind == "ptr":
+                return inner.elem
+            return None
+        if isinstance(expr, NumberExpr):
+            return INT
+        return None

@@ -1,0 +1,111 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "int",
+    "char",
+    "void",
+    "struct",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+}
+
+#: Multi-character operators, longest first.
+OPERATORS = [
+    "<<=", ">>=",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num', 'ident', 'keyword', 'op', 'eof'
+    text: str
+    line: int
+
+    @property
+    def value(self) -> int:
+        return int(self.text, 0)
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line = 1
+    index = 0
+    length = len(source)
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            continue
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            index = length if end < 0 else end
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index)
+            if end < 0:
+                raise CompileError("unterminated comment", line)
+            line += source.count("\n", index, end)
+            index = end + 2
+            continue
+        if char.isdigit():
+            start = index
+            if source.startswith("0x", index) or source.startswith("0X", index):
+                index += 2
+                while index < length and source[index] in "0123456789abcdefABCDEF":
+                    index += 1
+            else:
+                while index < length and source[index].isdigit():
+                    index += 1
+            tokens.append(Token("num", source[start:index], line))
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+        if char == "'":
+            if index + 2 < length and source[index + 2] == "'":
+                tokens.append(Token("num", str(ord(source[index + 1])), line))
+                index += 3
+                continue
+            if source.startswith("'\\n'", index):
+                tokens.append(Token("num", str(ord("\n")), line))
+                index += 4
+                continue
+            if source.startswith("'\\0'", index):
+                tokens.append(Token("num", "0", line))
+                index += 4
+                continue
+            raise CompileError("malformed character literal", line)
+        for operator in OPERATORS:
+            if source.startswith(operator, index):
+                tokens.append(Token("op", operator, line))
+                index += len(operator)
+                break
+        else:
+            raise CompileError(f"unexpected character {char!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,428 @@
+"""MiniC recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.cc.astnodes import (
+    AddrOfExpr,
+    AssignExpr,
+    BinaryExpr,
+    BlockStmt,
+    BreakStmt,
+    CallExpr,
+    CHAR,
+    ContinueStmt,
+    DeclStmt,
+    DerefExpr,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FunctionDecl,
+    GlobalDecl,
+    IfStmt,
+    IndexExpr,
+    INT,
+    MemberExpr,
+    NumberExpr,
+    Program,
+    ReturnStmt,
+    Stmt,
+    StructLayout,
+    Type,
+    UnaryExpr,
+    VarExpr,
+    VOID,
+    WhileStmt,
+    array_of,
+    pointer_to,
+)
+from repro.cc.lexer import Token, tokenize
+
+_BINARY_LEVELS = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.position = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.position += 1
+        return token
+
+    def check(self, text: str) -> bool:
+        return self.current.text == text and self.current.kind in ("op", "keyword")
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.check(text):
+            raise CompileError(
+                f"expected {text!r}, found {self.current.text!r}", self.current.line
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind != "ident":
+            raise CompileError(
+                f"expected identifier, found {self.current.text!r}", self.current.line
+            )
+        return self.advance()
+
+    # -- types ----------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        return self.current.text in ("int", "char", "void", "struct")
+
+    def parse_base_type(self) -> Type:
+        token = self.advance()
+        if token.text == "int":
+            base = INT
+        elif token.text == "char":
+            base = CHAR
+        elif token.text == "void":
+            base = VOID
+        elif token.text == "struct":
+            name = self.expect_ident().text
+            base = Type("struct", struct_name=name)
+        else:
+            raise CompileError(f"expected type, found {token.text!r}", token.line)
+        while self.accept("*"):
+            base = pointer_to(base)
+        return base
+
+    # -- top level --------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.current.kind != "eof":
+            if self.check("struct") and self.tokens[self.position + 2].text == "{":
+                self._parse_struct(program)
+                continue
+            base = self.parse_base_type()
+            name = self.expect_ident().text
+            if self.check("("):
+                program.functions.append(self._parse_function(base, name))
+            else:
+                program.globals.append(self._parse_global(base, name))
+        return program
+
+    def _parse_struct(self, program: Program) -> None:
+        line = self.current.line
+        self.expect("struct")
+        name = self.expect_ident().text
+        self.expect("{")
+        layout = StructLayout(name)
+        offset = 0
+        while not self.accept("}"):
+            field_type = self.parse_base_type()
+            field_name = self.expect_ident().text
+            if self.accept("["):
+                count = self._constant()
+                self.expect("]")
+                field_type = array_of(field_type, count)
+            self.expect(";")
+            size = self._type_size(field_type, program)
+            align = 1 if self._element_kind(field_type) == "char" else 8
+            offset = (offset + align - 1) & ~(align - 1)
+            layout.fields.append((field_name, field_type, offset))
+            offset += size
+        layout.size = (offset + 7) & ~7
+        self.expect(";")
+        if name in program.structs:
+            raise CompileError(f"duplicate struct {name!r}", line)
+        program.structs[name] = layout
+
+    def _element_kind(self, field_type: Type) -> str:
+        if field_type.kind == "array":
+            return field_type.elem.kind
+        return field_type.kind
+
+    def _type_size(self, field_type: Type, program: Program) -> int:
+        if field_type.kind == "struct":
+            layout = program.structs.get(field_type.struct_name)
+            if layout is None:
+                raise CompileError(
+                    f"unknown struct {field_type.struct_name!r}", self.current.line
+                )
+            return layout.size
+        if field_type.kind == "array" and field_type.elem.kind == "struct":
+            layout = program.structs.get(field_type.elem.struct_name)
+            if layout is None:
+                raise CompileError(
+                    f"unknown struct {field_type.elem.struct_name!r}", self.current.line
+                )
+            return layout.size * field_type.count
+        return field_type.size
+
+    def _parse_global(self, base: Type, name: str) -> GlobalDecl:
+        line = self.current.line
+        declared = base
+        if self.accept("["):
+            count = self._constant()
+            self.expect("]")
+            declared = array_of(base, count)
+        init_words: Optional[List[int]] = None
+        if self.accept("="):
+            if self.accept("{"):
+                init_words = []
+                while not self.accept("}"):
+                    init_words.append(self._signed_constant())
+                    if not self.check("}"):
+                        self.expect(",")
+            else:
+                init_words = [self._signed_constant()]
+        self.expect(";")
+        return GlobalDecl(name, declared, init_words, line)
+
+    def _parse_function(self, return_type: Type, name: str) -> FunctionDecl:
+        line = self.current.line
+        self.expect("(")
+        params: List[Tuple[str, Type]] = []
+        if not self.check(")"):
+            while True:
+                if self.check("void") and self.tokens[self.position + 1].text == ")":
+                    self.advance()
+                    break
+                param_type = self.parse_base_type()
+                param_name = self.expect_ident().text
+                params.append((param_name, param_type))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self._parse_block()
+        return FunctionDecl(name, return_type, params, body, line)
+
+    # -- statements ------------------------------------------------------------
+
+    def _parse_block(self) -> List[Stmt]:
+        self.expect("{")
+        body: List[Stmt] = []
+        while not self.accept("}"):
+            body.append(self.parse_statement())
+        return body
+
+    def parse_statement(self) -> Stmt:
+        line = self.current.line
+        if self.check("{"):
+            return BlockStmt(line, self._parse_block())
+        if self.at_type():
+            return self._parse_decl()
+        if self.accept("if"):
+            self.expect("(")
+            cond = self.parse_expression()
+            self.expect(")")
+            then_body = self._body_or_single()
+            else_body: List[Stmt] = []
+            if self.accept("else"):
+                else_body = self._body_or_single()
+            return IfStmt(line, cond, then_body, else_body)
+        if self.accept("while"):
+            self.expect("(")
+            cond = self.parse_expression()
+            self.expect(")")
+            return WhileStmt(line, cond, self._body_or_single())
+        if self.accept("for"):
+            self.expect("(")
+            init: Optional[Stmt] = None
+            if not self.check(";"):
+                init = self._parse_decl() if self.at_type() else self._expr_stmt_noterm()
+                if isinstance(init, ExprStmt):
+                    self.expect(";")
+            else:
+                self.expect(";")
+            cond = None if self.check(";") else self.parse_expression()
+            self.expect(";")
+            step = None if self.check(")") else self.parse_expression()
+            self.expect(")")
+            return ForStmt(line, init, cond, step, self._body_or_single())
+        if self.accept("return"):
+            value = None if self.check(";") else self.parse_expression()
+            self.expect(";")
+            return ReturnStmt(line, value)
+        if self.accept("break"):
+            self.expect(";")
+            return BreakStmt(line)
+        if self.accept("continue"):
+            self.expect(";")
+            return ContinueStmt(line)
+        statement = self._expr_stmt_noterm()
+        self.expect(";")
+        return statement
+
+    def _expr_stmt_noterm(self) -> ExprStmt:
+        line = self.current.line
+        return ExprStmt(line, self.parse_expression())
+
+    def _body_or_single(self) -> List[Stmt]:
+        if self.check("{"):
+            return self._parse_block()
+        return [self.parse_statement()]
+
+    def _parse_decl(self) -> DeclStmt:
+        line = self.current.line
+        base = self.parse_base_type()
+        name = self.expect_ident().text
+        declared = base
+        if self.accept("["):
+            count = self._constant()
+            self.expect("]")
+            declared = array_of(base, count)
+        init: Optional[Expr] = None
+        if self.accept("="):
+            init = self.parse_expression()
+        # 'for' init declarations consume their own ';' here.
+        self.expect(";")
+        return DeclStmt(line, name, declared, init)
+
+    # -- expressions ----------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        return self._parse_assignment()
+
+    _COMPOUND_OPS = {
+        "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+        "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+    }
+
+    def _parse_assignment(self) -> Expr:
+        left = self._parse_binary(0)
+        if self.check("="):
+            line = self.current.line
+            self.advance()
+            value = self._parse_assignment()
+            return AssignExpr(line, left, value)
+        if self.current.kind == "op" and self.current.text in self._COMPOUND_OPS:
+            # Desugar: `x op= v` -> `x = x op v`.  The target expression
+            # is evaluated twice; like C, keep lvalues side-effect free.
+            token = self.advance()
+            value = self._parse_assignment()
+            core = self._COMPOUND_OPS[token.text]
+            return AssignExpr(
+                token.line, left, BinaryExpr(token.line, core, left, value)
+            )
+        return left
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        while self.current.kind == "op" and self.current.text in _BINARY_LEVELS[level]:
+            op = self.advance()
+            right = self._parse_binary(level + 1)
+            left = BinaryExpr(op.line, op.text, left, right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        token = self.current
+        if token.kind == "op" and token.text in ("++", "--"):
+            # Prefix increment/decrement: `++x` -> `x = x + 1`.
+            self.advance()
+            operand = self._parse_unary()
+            op = "+" if token.text == "++" else "-"
+            return AssignExpr(
+                token.line, operand,
+                BinaryExpr(token.line, op, operand, NumberExpr(token.line, 1)),
+            )
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self.advance()
+            return UnaryExpr(token.line, token.text, self._parse_unary())
+        if token.kind == "op" and token.text == "*":
+            self.advance()
+            return DerefExpr(token.line, self._parse_unary())
+        if token.kind == "op" and token.text == "&":
+            self.advance()
+            return AddrOfExpr(token.line, self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            if self.current.kind == "op" and self.current.text in ("++", "--"):
+                # Postfix increment/decrement, desugared with *pre*
+                # semantics (the expression value is the new value);
+                # use it in statement position, as all workloads do.
+                token = self.advance()
+                op = "+" if token.text == "++" else "-"
+                expr = AssignExpr(
+                    token.line, expr,
+                    BinaryExpr(token.line, op, expr, NumberExpr(token.line, 1)),
+                )
+                continue
+            if self.accept("["):
+                index = self.parse_expression()
+                self.expect("]")
+                expr = IndexExpr(self.current.line, expr, index)
+            elif self.accept("."):
+                member = self.expect_ident().text
+                expr = MemberExpr(self.current.line, expr, member, arrow=False)
+            elif self.accept("->"):
+                member = self.expect_ident().text
+                expr = MemberExpr(self.current.line, expr, member, arrow=True)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == "num":
+            self.advance()
+            return NumberExpr(token.line, token.value)
+        if token.kind == "ident":
+            self.advance()
+            if self.check("("):
+                self.advance()
+                args: List[Expr] = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return CallExpr(token.line, token.text, args)
+            return VarExpr(token.line, token.text)
+        if self.accept("("):
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        raise CompileError(f"unexpected token {token.text!r}", token.line)
+
+    # -- constants --------------------------------------------------------------
+
+    def _constant(self) -> int:
+        token = self.advance()
+        if token.kind != "num":
+            raise CompileError(f"expected constant, found {token.text!r}", token.line)
+        return token.value
+
+    def _signed_constant(self) -> int:
+        negative = self.accept("-")
+        value = self._constant()
+        return -value if negative else value
+
+
+def parse_source(source: str) -> Program:
+    return Parser(source).parse_program()

@@ -1,0 +1,124 @@
+"""Peephole optimization: redundant local-load/move elimination.
+
+A minimal -O1-style pass over straight-line code.  Registers are tagged
+with the frame slot whose value they hold; a reload of a slot already in
+the register, or a reg-reg move whose destination already holds the same
+value, is deleted.  This is what lets consecutive field stores share one
+base register — producing exactly the ``disp(%reg)`` access runs that
+make the paper's check batching and merging effective (Fig. 6/7).
+
+Soundness rules:
+
+- tracking resets at labels, control transfers and calls;
+- a register is invalidated whenever anything writes it;
+- a frame slot is invalidated when a new value is stored to it (and the
+  storing register picks up the slot's tag);
+- slots whose address is taken (``lea`` of a local) are never tracked —
+  stores through pointers could alias them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.isa.assembler import Item
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Label, Reg
+from repro.isa.registers import Register
+
+#: Tag: ('local', slot_offset) — the register holds that slot's value.
+Tag = Tuple[str, int]
+
+
+def eliminate_redundant_local_ops(
+    items: List[Item],
+    fixups: List[Tuple[Instruction, int, int]],
+) -> Tuple[List[Item], List[Tuple[Instruction, int, int]]]:
+    """Run the pass; returns filtered (items, fixups)."""
+    slot_of: Dict[int, Tuple[int, Opcode]] = {
+        id(instruction): (slot, instruction.opcode)
+        for instruction, slot, _depth in fixups
+    }
+    # Slots whose address escapes are untrackable.
+    escaped = {
+        slot for instruction, slot, _depth in fixups
+        if instruction.opcode is Opcode.LEA
+    }
+
+    tags: Dict[Register, Tag] = {}
+    dead: set = set()
+
+    def reset() -> None:
+        tags.clear()
+
+    def invalidate_register(register: Register) -> None:
+        tags.pop(register, None)
+
+    def invalidate_slot(slot: int) -> None:
+        for register in [r for r, tag in tags.items() if tag == ("local", slot)]:
+            del tags[register]
+
+    for item in items:
+        if isinstance(item, Label):
+            reset()
+            continue
+        instruction = item
+        opcode = instruction.opcode
+        if instruction.is_terminator or opcode is Opcode.RTCALL:
+            reset()
+            continue
+        local = slot_of.get(id(instruction))
+        if local is not None:
+            slot, _op = local
+            if opcode is Opcode.MOV and isinstance(instruction.operands[0], Reg):
+                # Local load: reg <- [slot].
+                register = instruction.operands[0].reg
+                if (
+                    slot not in escaped
+                    and instruction.size == 8
+                    and tags.get(register) == ("local", slot)
+                ):
+                    dead.add(id(instruction))
+                    continue
+                for written in instruction.regs_written():
+                    invalidate_register(written)
+                if slot not in escaped and instruction.size == 8:
+                    tags[register] = ("local", slot)
+                continue
+            if opcode is Opcode.MOV and isinstance(instruction.operands[1], Reg):
+                # Local store: [slot] <- reg.
+                register = instruction.operands[1].reg
+                invalidate_slot(slot)
+                if slot not in escaped and instruction.size == 8:
+                    tags[register] = ("local", slot)
+                continue
+            # LEA of a local or odd shapes: fall through to generic handling.
+        if (
+            opcode is Opcode.MOV
+            and len(instruction.operands) == 2
+            and isinstance(instruction.operands[0], Reg)
+            and isinstance(instruction.operands[1], Reg)
+            and instruction.size == 8
+        ):
+            destination = instruction.operands[0].reg
+            source = instruction.operands[1].reg
+            source_tag = tags.get(source)
+            if source_tag is not None and tags.get(destination) == source_tag:
+                dead.add(id(instruction))
+                continue
+            invalidate_register(destination)
+            if source_tag is not None:
+                tags[destination] = source_tag
+            continue
+        for written in instruction.regs_written():
+            invalidate_register(written)
+
+    new_items = [
+        item for item in items
+        if isinstance(item, Label) or id(item) not in dead
+    ]
+    new_fixups = [
+        entry for entry in fixups if id(entry[0]) not in dead
+    ]
+    return new_items, new_fixups

@@ -1,0 +1,196 @@
+"""``redfat`` — the command-line front end (mirrors the real tool's UX).
+
+Subcommands::
+
+    redfat compile  prog.c -o prog.melf [--pic]      MiniC -> binary image
+    redfat strip    prog.melf -o prog.stripped
+    redfat harden   prog.melf -o prog.hard [--allowlist allow.lst]
+                    [--no-lowfat|--no-elim|--no-batch|--no-merge]
+                    [--no-size] [--no-reads]
+    redfat profile  prog.melf -o allow.lst [--args N ...]
+    redfat run      prog.melf [--args N ...] [--runtime glibc|redfat]
+                    [--mode abort|log]
+    redfat disasm   prog.melf
+
+Binaries are the library's on-disk images; ``harden`` consumes and
+produces files, exactly like the paper's Fig. 5 pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import GuestMemoryError, ReproError
+from repro.binfmt.binary import Binary
+from repro.cc import compile_source
+from repro.core import AllowList, Profiler, RedFat, RedFatOptions
+from repro.isa.disassembler import disassemble
+from repro.runtime.glibc import GlibcRuntime
+from repro.runtime.redfat import RedFatRuntime
+from repro.vm.loader import load_binary
+
+
+def _cmd_compile(arguments) -> int:
+    source = Path(arguments.source).read_text()
+    program = compile_source(source, pic=arguments.pic)
+    program.binary.save(arguments.output)
+    text = program.binary.segment(".text")
+    print(f"wrote {arguments.output} ({len(text.data)} code bytes, "
+          f"{'pic' if arguments.pic else 'exec'})")
+    return 0
+
+
+def _cmd_strip(arguments) -> int:
+    binary = Binary.load(arguments.binary)
+    binary.strip().save(arguments.output)
+    print(f"wrote {arguments.output} (stripped)")
+    return 0
+
+
+def _cmd_harden(arguments) -> int:
+    binary = Binary.load(arguments.binary)
+    allowlist = None
+    if arguments.allowlist:
+        allowlist = AllowList.load(arguments.allowlist)
+    options = RedFatOptions(
+        lowfat=not arguments.no_lowfat,
+        elim=not arguments.no_elim,
+        batch=not arguments.no_batch,
+        merge=not arguments.no_merge,
+        size_hardening=not arguments.no_size,
+        check_reads=not arguments.no_reads,
+        allowlist=allowlist,
+    )
+    result = RedFat(options).instrument(binary)
+    result.binary.save(arguments.output)
+    lowfat_sites = len(result.protected_sites("lowfat+redzone"))
+    redzone_sites = len(result.protected_sites("redzone"))
+    print(f"wrote {arguments.output}: {len(result.rewrite.patched)} patches "
+          f"({lowfat_sites} lowfat+redzone, {redzone_sites} redzone-only, "
+          f"{len(result.rewrite.skipped)} skipped), "
+          f"+{result.rewrite.trampoline_bytes} trampoline bytes")
+    return 0
+
+
+def _poke_args(cpu, values: List[int]) -> None:
+    # The __args block is a compiler convention; poke it if present.
+    if not values:
+        return
+    from repro.cc.codegen import ARGS_SLOTS
+    from repro.binfmt.builder import BSS_BASE
+
+    for index, value in enumerate(values[:ARGS_SLOTS]):
+        cpu.memory.write_int(BSS_BASE + index * 8, value & ((1 << 64) - 1), 8)
+
+
+def _cmd_profile(arguments) -> int:
+    binary = Binary.load(arguments.binary)
+    profiler = Profiler(RedFatOptions())
+
+    def execute(hardened, runtime) -> None:
+        cpu = load_binary(hardened, runtime)
+        _poke_args(cpu, arguments.args)
+        cpu.run()
+
+    report = profiler.profile(binary, executions=[execute])
+    report.allowlist.save(arguments.output)
+    print(f"wrote {arguments.output}: {len(report.allowlist)} allow-listed "
+          f"sites of {len(report.eligible_sites)} eligible; "
+          f"{len(report.observed_false_positive_sites())} always-failing")
+    return 0
+
+
+def _cmd_run(arguments) -> int:
+    binary = Binary.load(arguments.binary)
+    if arguments.runtime == "redfat":
+        runtime = RedFatRuntime(mode=arguments.mode)
+    else:
+        runtime = GlibcRuntime()
+    cpu = load_binary(binary, runtime)
+    _poke_args(cpu, arguments.args)
+    try:
+        status = cpu.run()
+    except GuestMemoryError as error:
+        print(f"MEMORY ERROR: {error}", file=sys.stderr)
+        return 139
+    for line in runtime.output:
+        print(line)
+    if arguments.runtime == "redfat" and runtime.errors:
+        for report in runtime.errors:
+            print(f"detected: {report}", file=sys.stderr)
+    print(f"(exit status {status}, "
+          f"{cpu.instructions_executed} instructions)", file=sys.stderr)
+    return status
+
+
+def _cmd_disasm(arguments) -> int:
+    binary = Binary.load(arguments.binary)
+    for segment in binary.text_segments():
+        print(f"; segment {segment.name} at {segment.vaddr:#x}")
+        for line in disassemble(segment.data, segment.vaddr):
+            print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="redfat", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_cmd = commands.add_parser("compile", help="compile MiniC source")
+    compile_cmd.add_argument("source")
+    compile_cmd.add_argument("-o", "--output", required=True)
+    compile_cmd.add_argument("--pic", action="store_true")
+    compile_cmd.set_defaults(handler=_cmd_compile)
+
+    strip_cmd = commands.add_parser("strip", help="remove the symbol table")
+    strip_cmd.add_argument("binary")
+    strip_cmd.add_argument("-o", "--output", required=True)
+    strip_cmd.set_defaults(handler=_cmd_strip)
+
+    harden_cmd = commands.add_parser("harden", help="instrument a binary")
+    harden_cmd.add_argument("binary")
+    harden_cmd.add_argument("-o", "--output", required=True)
+    harden_cmd.add_argument("--allowlist")
+    for flag in ("lowfat", "elim", "batch", "merge", "size", "reads"):
+        harden_cmd.add_argument(f"--no-{flag}", action="store_true")
+    harden_cmd.set_defaults(handler=_cmd_harden)
+
+    profile_cmd = commands.add_parser("profile",
+                                      help="generate an allow-list (Fig. 5)")
+    profile_cmd.add_argument("binary")
+    profile_cmd.add_argument("-o", "--output", required=True)
+    profile_cmd.add_argument("--args", nargs="*", type=int, default=[])
+    profile_cmd.set_defaults(handler=_cmd_profile)
+
+    run_cmd = commands.add_parser("run", help="execute a binary image")
+    run_cmd.add_argument("binary")
+    run_cmd.add_argument("--args", nargs="*", type=int, default=[])
+    run_cmd.add_argument("--runtime", choices=("glibc", "redfat"),
+                         default="glibc")
+    run_cmd.add_argument("--mode", choices=("abort", "log"), default="abort")
+    run_cmd.set_defaults(handler=_cmd_run)
+
+    disasm_cmd = commands.add_parser("disasm", help="disassemble text segments")
+    disasm_cmd.add_argument("binary")
+    disasm_cmd.set_defaults(handler=_cmd_disasm)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        print(f"redfat: error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"redfat: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

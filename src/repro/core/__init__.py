@@ -1,0 +1,37 @@
+"""RedFat core: the paper's primary contribution.
+
+Pipeline (mirrors §3-§6 of the paper)::
+
+    binary --(analysis: candidates + check elimination)-->
+           --(batching: one trampoline per group)-->
+           --(merging: one bounds check per operand shape)-->
+           --(checkgen: Fig. 4 as real ISA code)-->
+           --(rewriter: trampolines)-->  hardened binary
+
+plus the two-phase profile workflow of §5 (``profiler``/``allowlist``)
+that decides which sites receive the full (Redzone)+(LowFat) check.
+"""
+
+from repro.core.options import RedFatOptions
+from repro.core.allowlist import AllowList
+from repro.core.analysis import CheckSite, find_candidate_sites, AnalysisStats
+from repro.core.batching import CheckGroup, build_groups
+from repro.core.merging import AccessRange, merge_group
+from repro.core.redfat_tool import HardenResult, RedFat
+from repro.core.profiler import ProfileReport, Profiler
+
+__all__ = [
+    "RedFatOptions",
+    "AllowList",
+    "CheckSite",
+    "AnalysisStats",
+    "find_candidate_sites",
+    "CheckGroup",
+    "build_groups",
+    "AccessRange",
+    "merge_group",
+    "RedFat",
+    "HardenResult",
+    "Profiler",
+    "ProfileReport",
+]

@@ -1,0 +1,62 @@
+"""The allow-list (``allow.lst``) produced by the profiling phase.
+
+Sites on the list were observed to always pass the (LowFat) check over
+the test suite and receive the full (Redzone)+(LowFat) instrumentation;
+everything else falls back to (Redzone)-only (paper §5, Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Set
+
+
+class AllowList:
+    """A set of instruction addresses deemed safe for low-fat checking."""
+
+    def __init__(self, sites: Iterable[int] = ()) -> None:
+        self._sites: Set[int] = set(sites)
+
+    def add(self, site: int) -> None:
+        self._sites.add(site)
+
+    def __contains__(self, site: int) -> bool:
+        return site in self._sites
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._sites))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AllowList):
+            return NotImplemented
+        return self._sites == other._sites
+
+    # -- serialization (one hex address per line, '#' comments) ------------
+
+    def dumps(self) -> str:
+        lines = ["# RedFat allow-list: sites safe for (LowFat) checking"]
+        lines += [f"{site:#x}" for site in sorted(self._sites)]
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "AllowList":
+        sites = []
+        for raw_line in text.splitlines():
+            line = raw_line.split("#", 1)[0].strip()
+            if line:
+                sites.append(int(line, 0))
+        return cls(sites)
+
+    def save(self, path) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.dumps())
+
+    @classmethod
+    def load(cls, path) -> "AllowList":
+        with open(path) as handle:
+            return cls.loads(handle.read())
+
+    def __repr__(self) -> str:
+        return f"<AllowList {len(self._sites)} sites>"

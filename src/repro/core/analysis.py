@@ -1,0 +1,100 @@
+"""Candidate discovery and check elimination (paper §6).
+
+A *candidate site* is an instruction with an explicit memory operand that
+the policy wants checked.  Check elimination then removes operands that
+provably cannot reach the low-fat heap:
+
+1. operands with no index register, **and**
+2. no base register (an absolute, ±2 GB displacement stays inside region
+   0), or a base register that is the stack or instruction pointer (the
+   stack and code live more than 2 GB away from any low-fat region under
+   this layout).
+
+Operands with an index register always survive elimination: the index is
+unbounded and could carry an access anywhere (exactly the attacker-
+controlled non-incremental case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Mem
+from repro.isa.registers import RSP, Register
+from repro.rewriter.cfg import ControlFlowInfo
+from repro.core.options import RedFatOptions
+
+
+@dataclass
+class CheckSite:
+    """One instrumentable memory access."""
+
+    instruction: Instruction
+    mem: Mem
+    is_read: bool
+    is_write: bool
+    width: int
+
+    @property
+    def address(self) -> int:
+        return self.instruction.address
+
+    @property
+    def lowfat_eligible(self) -> bool:
+        """The (LowFat) component needs unambiguous pointer arithmetic:
+        ``ptr = base`` and ``i = disp + index*scale`` (paper §3).  An
+        operand with no base register has no pointer to check."""
+        return self.mem.base is not None and self.mem.base is not Register.RIP
+
+    def operand_registers(self) -> frozenset:
+        registers = set()
+        if self.mem.base is not None and self.mem.base is not Register.RIP:
+            registers.add(self.mem.base)
+        if self.mem.index is not None:
+            registers.add(self.mem.index)
+        return frozenset(registers)
+
+
+@dataclass
+class AnalysisStats:
+    """Bookkeeping reported by the tool (and shown by the benches)."""
+
+    memory_operands: int = 0
+    skipped_reads: int = 0
+    eliminated: int = 0
+    candidates: int = 0
+
+
+def can_eliminate(mem: Mem) -> bool:
+    """Check elimination rule: the operand can never reach heap memory."""
+    if mem.index is not None:
+        return False
+    if mem.base is None:
+        return True  # absolute disp32: always inside non-fat region 0
+    return mem.base in (RSP, Register.RIP)
+
+
+def find_candidate_sites(
+    control_flow: ControlFlowInfo,
+    options: RedFatOptions,
+) -> "tuple[List[CheckSite], AnalysisStats]":
+    """Scan decoded text for instrumentable accesses under *options*."""
+    sites: List[CheckSite] = []
+    stats = AnalysisStats()
+    for instruction in control_flow.instructions:
+        access = instruction.memory_access()
+        if access is None:
+            continue
+        mem, is_read, is_write, width = access
+        stats.memory_operands += 1
+        if not options.check_reads and not is_write:
+            stats.skipped_reads += 1
+            continue
+        if options.elim and can_eliminate(mem):
+            stats.eliminated += 1
+            continue
+        sites.append(CheckSite(instruction, mem, is_read, is_write, width))
+    stats.candidates = len(sites)
+    return sites, stats

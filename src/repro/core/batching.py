@@ -1,0 +1,90 @@
+"""Check batching (paper §6, Fig. 6).
+
+Consecutive checked accesses inside one basic block are grouped so that a
+single trampoline — invoked once, at the group head — checks all of them.
+A site may join a group only if its address computation can be *reordered*
+to the group head: none of the instructions between the head and the site
+write any register its memory operand reads.  Because the conservative CFG
+splits blocks at every possible jump target and at calls/runtime calls,
+group members always execute together and the heap cannot change state
+between the hoisted check and the access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.isa.registers import Register
+from repro.rewriter.cfg import ControlFlowInfo
+from repro.core.analysis import CheckSite
+from repro.core.options import RedFatOptions
+
+#: The check generator needs this many scratch registers...
+SCRATCH_COUNT = 4
+#: ...so a group's operands may use at most 16 - 1 (rsp) - SCRATCH_COUNT.
+MAX_GROUP_OPERAND_REGS = 16 - 1 - SCRATCH_COUNT
+
+
+@dataclass
+class CheckGroup:
+    """Sites whose checks share one trampoline at ``head``."""
+
+    sites: List[CheckSite] = field(default_factory=list)
+
+    @property
+    def head(self) -> CheckSite:
+        return self.sites[0]
+
+    @property
+    def head_address(self) -> int:
+        return self.sites[0].address
+
+    def operand_registers(self) -> frozenset:
+        registers: Set[Register] = set()
+        for site in self.sites:
+            registers |= site.operand_registers()
+        return frozenset(registers)
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+
+def build_groups(
+    control_flow: ControlFlowInfo,
+    sites: List[CheckSite],
+    options: RedFatOptions,
+) -> List[CheckGroup]:
+    """Partition *sites* into trampoline groups.
+
+    With batching disabled every site is its own group (Fig. 6(b)); with
+    batching enabled, maximal reorderable runs within each basic block
+    share a group (Fig. 6(c)).
+    """
+    if not options.batch:
+        return [CheckGroup([site]) for site in sites]
+
+    site_by_address: Dict[int, CheckSite] = {site.address: site for site in sites}
+    groups: List[CheckGroup] = []
+    for block in control_flow.blocks:
+        current: CheckGroup = None
+        written: Set[Register] = set()
+        for instruction in block.instructions:
+            site = site_by_address.get(instruction.address)
+            if site is not None:
+                operand_regs = site.operand_registers()
+                joinable = (
+                    current is not None
+                    and not (operand_regs & written)
+                    and len(current.operand_registers() | operand_regs)
+                    <= MAX_GROUP_OPERAND_REGS
+                )
+                if joinable:
+                    current.sites.append(site)
+                else:
+                    current = CheckGroup([site])
+                    groups.append(current)
+                    written = set()
+            written |= instruction.regs_written()
+        # Groups never span blocks; `current` dies with the block.
+    return groups

@@ -1,0 +1,91 @@
+"""Instrumentation options — the knobs evaluated in Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.allowlist import AllowList
+
+
+@dataclass(frozen=True)
+class RedFatOptions:
+    """Configuration of one instrumentation run.
+
+    The Table 1 columns correspond to::
+
+        unoptimized   RedFatOptions.unoptimized()
+        +elim         ... elim=True
+        +batch        ... + batch=True
+        +merge        ... + merge=True           (= fully optimized)
+        -size         ... + size_hardening=False
+        -reads        ... + check_reads=False
+    """
+
+    #: Enable the low-fat (pointer arithmetic) component; redzone checking
+    #: is always on.  When an allow-list is present, only allow-listed
+    #: sites get the low-fat component (paper §5).
+    lowfat: bool = True
+
+    #: Check elimination: skip operands that provably cannot reach the
+    #: low-fat heap (paper §6).
+    elim: bool = True
+
+    #: Check batching: one trampoline per reorderable group (paper §6).
+    batch: bool = True
+
+    #: Check merging: single bounds check for operands differing only in
+    #: displacement, and branch-merged UaF/LB/UB checks (paper §4.2, §6).
+    merge: bool = True
+
+    #: Metadata (size) hardening: validate the stored SIZE against the
+    #: immutable low-fat class size (Fig. 4 lines 23-24).  ``-size``
+    #: disables it.
+    size_hardening: bool = True
+
+    #: Instrument reads as well as writes. ``-reads`` keeps write-only
+    #: protection (sufficient against most exploits, paper §7.1).
+    check_reads: bool = True
+
+    #: Profile-phase allow-list; None means every eligible site gets the
+    #: low-fat component (the configuration that produces false positives).
+    allowlist: Optional[AllowList] = None
+
+    #: Generate the profile-phase binary instead of the production one.
+    profile_mode: bool = False
+
+    #: Clobbered-register/flags specialization of trampolines (paper §6,
+    #: "additional low-level optimizations").
+    specialize_registers: bool = True
+
+    # -- presets -----------------------------------------------------------
+
+    @classmethod
+    def unoptimized(cls, **overrides) -> "RedFatOptions":
+        base = cls(elim=False, batch=False, merge=False, specialize_registers=False)
+        return replace(base, **overrides)
+
+    @classmethod
+    def fully_optimized(cls, **overrides) -> "RedFatOptions":
+        return replace(cls(), **overrides)
+
+    @classmethod
+    def production(cls, allowlist: AllowList, **overrides) -> "RedFatOptions":
+        """The deployment configuration of Fig. 5, step (2)."""
+        return replace(cls(allowlist=allowlist), **overrides)
+
+    @classmethod
+    def profile(cls, **overrides) -> "RedFatOptions":
+        """The profiling configuration of Fig. 5, step (1)."""
+        return replace(cls(profile_mode=True), **overrides)
+
+    def with_(self, **overrides) -> "RedFatOptions":
+        return replace(self, **overrides)
+
+    def lowfat_allowed(self, site_address: int) -> bool:
+        """Should *site_address* receive the (LowFat) component?"""
+        if not self.lowfat:
+            return False
+        if self.allowlist is None:
+            return True
+        return site_address in self.allowlist

@@ -1,0 +1,143 @@
+"""Profile-based false-positive mitigation (paper §5, Fig. 5).
+
+Phase 1 instruments every candidate group with a runtime callback instead
+of inline checks.  Each execution of a profiled site evaluates the full
+(LowFat) predicate precisely against the live register and heap state,
+and records pass/fail per site.  Sites that executed and never failed
+form the allow-list; phase 2 re-instruments the original binary with the
+full check on allow-listed sites and (Redzone)-only elsewhere.
+
+The profile hypothesis (§5): *each memory operation is always a false
+positive or never a false positive* — e.g. a Fortran-style ``array - K``
+base pointer fails the check on every execution, while idiomatic accesses
+never do.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import VMFault
+from repro.binfmt.binary import Binary
+from repro.layout import REDZONE_SIZE, lowfat_base, lowfat_size
+from repro.runtime.redfat import RedFatRuntime
+from repro.vm.loader import run_binary
+from repro.core.allowlist import AllowList
+from repro.core.analysis import CheckSite
+from repro.core.options import RedFatOptions
+from repro.core.redfat_tool import HardenResult, RedFat
+
+#: An execution of the profile binary: receives (binary, runtime) and runs
+#: it against one test input.
+Execution = Callable[[Binary, RedFatRuntime], None]
+
+
+def _default_execution(binary: Binary, runtime: RedFatRuntime) -> None:
+    run_binary(binary, runtime)
+
+
+@dataclass
+class ProfileReport:
+    """Outcome of the profiling phase."""
+
+    executions: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    failures: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    eligible_sites: List[int] = field(default_factory=list)
+
+    @property
+    def allowlist(self) -> AllowList:
+        """Sites observed to always pass the (LowFat) check."""
+        return AllowList(
+            site
+            for site in self.eligible_sites
+            if self.executions.get(site, 0) > 0 and self.failures.get(site, 0) == 0
+        )
+
+    def observed_false_positive_sites(self) -> List[int]:
+        """Sites that failed at least once during profiling."""
+        return sorted(site for site, count in self.failures.items() if count)
+
+
+class Profiler:
+    """Drives the two-phase workflow of Fig. 5."""
+
+    def __init__(self, options: Optional[RedFatOptions] = None) -> None:
+        self.options = options or RedFatOptions()
+
+    # -- phase 1 -------------------------------------------------------------
+
+    def profile(
+        self,
+        binary: Binary,
+        executions: Optional[Sequence[Execution]] = None,
+    ) -> ProfileReport:
+        """Run the profile binary over the test suite; returns the report."""
+        profile_tool = RedFat(self.options.with_(profile_mode=True))
+        harden = profile_tool.instrument(binary)
+        report = ProfileReport(
+            eligible_sites=[
+                site.address
+                for sites in harden.site_table.values()
+                for site in sites
+                if site.lowfat_eligible
+            ]
+        )
+
+        def callback(cpu, instruction) -> None:
+            head = harden.rewrite.tag_map.get(instruction.address)
+            for site in harden.site_table.get(head, ()):
+                if not site.lowfat_eligible:
+                    continue
+                report.executions[site.address] += 1
+                if not _lowfat_check_passes(cpu, site):
+                    report.failures[site.address] += 1
+
+        for execute in executions or [_default_execution]:
+            runtime = RedFatRuntime(mode="log")
+            runtime.profile_callback = callback
+            execute(harden.binary, runtime)
+        return report
+
+    # -- phase 2 -----------------------------------------------------------------
+
+    def harden(self, binary: Binary, report: ProfileReport) -> HardenResult:
+        """Produce the production binary using the profiled allow-list."""
+        production = RedFat(self.options.with_(allowlist=report.allowlist))
+        return production.instrument(binary)
+
+    def run_workflow(
+        self,
+        binary: Binary,
+        executions: Optional[Sequence[Execution]] = None,
+    ) -> "tuple[HardenResult, ProfileReport]":
+        """Convenience: profile then harden, as ``redfat`` does end-to-end."""
+        report = self.profile(binary, executions)
+        return self.harden(binary, report), report
+
+
+def _lowfat_check_passes(cpu, site: CheckSite) -> bool:
+    """Precisely evaluate the production (LowFat) check for one access.
+
+    Mirrors Fig. 4 with ``ptr`` taken from the operand's base register.
+    A non-fat pointer passes trivially (the production check would fall
+    back to redzone-only protection, which both instrumentations share).
+    """
+    operand = site.mem
+    pointer = cpu.regs[operand.base]
+    base = lowfat_base(pointer)
+    if base == 0:
+        return True
+    lower = operand.address(lambda register: cpu.regs[register])
+    try:
+        size = cpu.memory.read_int(base, 8)
+    except VMFault:
+        return False  # garbage fat-looking pointer: the check would crash
+    if size == 0 or size > lowfat_size(base) - REDZONE_SIZE:
+        return False
+    if lower < base + REDZONE_SIZE:
+        return False
+    if lower + site.width > base + REDZONE_SIZE + size:
+        return False
+    return True

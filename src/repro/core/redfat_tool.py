@@ -1,0 +1,165 @@
+"""The RedFat tool: binary in, hardened (or profile) binary out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.binfmt.binary import Binary
+from repro.binfmt.sections import SEG_READ, Segment
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Imm
+from repro.layout import MAX_REGIONS, SIZES_TABLE_ADDR, build_sizes_table
+from repro.rewriter.cfg import recover_control_flow
+from repro.rewriter.regusage import (
+    dead_registers_after,
+    flags_dead_after,
+    pick_scratch_registers,
+)
+from repro.rewriter.rewriter import PatchRequest, RewriteResult, Rewriter
+from repro.runtime.redfat import RedFatRuntime
+from repro.vm.runtime_iface import Service
+from repro.core.analysis import AnalysisStats, CheckSite, find_candidate_sites
+from repro.core.batching import SCRATCH_COUNT, build_groups
+from repro.core.checkgen import CheckContext, CheckGenerator
+from repro.core.merging import merge_group
+from repro.core.options import RedFatOptions
+
+#: Segment name for the embedded SIZES table.
+SIZES_SEGMENT = ".sizes"
+
+#: Site protection classifications (coverage accounting).
+PROT_LOWFAT = "lowfat+redzone"
+PROT_REDZONE = "redzone"
+PROT_NONE = "none"
+
+
+def sizes_table_segment() -> Segment:
+    """The SIZES table the hardened binary embeds (region -> class size)."""
+    table = build_sizes_table(MAX_REGIONS)
+    blob = b"".join(entry.to_bytes(8, "little") for entry in table)
+    return Segment(SIZES_SEGMENT, SIZES_TABLE_ADDR, blob, SEG_READ)
+
+
+@dataclass
+class HardenResult:
+    """Everything produced by one instrumentation run."""
+
+    binary: Binary
+    rewrite: RewriteResult
+    options: RedFatOptions
+    stats: AnalysisStats
+    #: site address -> PROT_* classification.
+    protection: Dict[int, str]
+    #: profile mode only: group head -> the sites it profiles.
+    site_table: Dict[int, List[CheckSite]] = field(default_factory=dict)
+    groups: int = 0
+
+    def create_runtime(self, mode: str = "abort", **kw) -> RedFatRuntime:
+        """A ``libredfat`` runtime wired for precise error attribution."""
+        runtime = RedFatRuntime(mode=mode, **kw)
+        runtime.site_resolver = lambda rip: self.rewrite.resolve_site(rip) or rip
+        return runtime
+
+    def protected_sites(self, kind: str) -> List[int]:
+        return sorted(site for site, prot in self.protection.items() if prot == kind)
+
+    def static_coverage(self) -> float:
+        """Fraction of instrumented sites carrying the full check."""
+        instrumented = [p for p in self.protection.values() if p != PROT_NONE]
+        if not instrumented:
+            return 0.0
+        return sum(1 for p in instrumented if p == PROT_LOWFAT) / len(instrumented)
+
+
+class RedFat:
+    """The instrumentation tool (paper §7: ``redfat prog.orig``)."""
+
+    def __init__(self, options: Optional[RedFatOptions] = None) -> None:
+        self.options = options or RedFatOptions()
+
+    def instrument(self, binary: Binary) -> HardenResult:
+        """Produce the hardened (or profiling) version of *binary*.
+
+        The input image is never modified.  Works identically on stripped
+        binaries: nothing here consults the symbol table.
+        """
+        options = self.options
+        control_flow = recover_control_flow(binary)
+        sites, stats = find_candidate_sites(control_flow, options)
+        groups = build_groups(control_flow, sites, options)
+
+        rewriter = Rewriter(binary, control_flow)
+        if not binary.has_segment(SIZES_SEGMENT):
+            rewriter.add_segment(sizes_table_segment())
+
+        protection: Dict[int, str] = {}
+        site_table: Dict[int, List[CheckSite]] = {}
+        group_sites: Dict[int, List[CheckSite]] = {}
+
+        for group in groups:
+            head = group.head_address
+            group_sites[head] = group.sites
+            if options.profile_mode:
+                items = [
+                    Instruction(
+                        Opcode.RTCALL, (Imm(int(Service.PROFILE)),), tag=head
+                    )
+                ]
+                site_table[head] = list(group.sites)
+                for site in group.sites:
+                    protection[site.address] = PROT_REDZONE
+            else:
+                ranges = merge_group(group, options)
+                items = self._generate_items(
+                    control_flow, group, ranges, binary.is_pic
+                )
+                for access_range in ranges:
+                    kind = PROT_LOWFAT if access_range.use_lowfat else PROT_REDZONE
+                    for site in access_range.sites:
+                        protection[site.address] = kind
+            rewriter.request(PatchRequest(head, items))
+
+        result = rewriter.finalize()
+        for head, _reason in result.skipped:
+            for site in group_sites.get(head, ()):
+                protection[site.address] = PROT_NONE
+        return HardenResult(
+            binary=result.binary,
+            rewrite=result,
+            options=options,
+            stats=stats,
+            protection=protection,
+            site_table=site_table,
+            groups=len(groups),
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _generate_items(self, control_flow, group, ranges, pic: bool):
+        options = self.options
+        head = group.head_address
+        block = control_flow.block_of[head]
+        index = next(
+            i for i, instruction in enumerate(block.instructions)
+            if instruction.address == head
+        )
+        if options.specialize_registers:
+            dead = dead_registers_after(block.instructions, index)
+            flags_dead = flags_dead_after(block.instructions, index)
+        else:
+            dead = frozenset()
+            flags_dead = False
+        scratch = pick_scratch_registers(
+            group.operand_registers(), dead, SCRATCH_COUNT
+        )
+        save_registers = [register for register in scratch if register not in dead]
+        context = CheckContext(
+            options=options,
+            scratch=scratch,
+            save_registers=save_registers,
+            save_flags=not flags_dead,
+            pic=pic,
+        )
+        return CheckGenerator(context).generate(ranges, head)

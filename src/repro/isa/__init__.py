@@ -1,0 +1,45 @@
+"""A compact x86_64-flavoured ISA: the substrate RedFat instruments.
+
+The ISA keeps the properties the paper's analyses depend on:
+
+- AT&T-style 5-tuple memory operands ``seg:disp(base,index,scale)``;
+- variable-length byte encoding (1..12 bytes), so trampoline patching has
+  to reason about instruction sizes exactly like E9Patch does;
+- a flags register preserved/clobbered by instrumentation;
+- jumps/calls with rel32 displacements that rewriting must fix up.
+"""
+
+from repro.isa.registers import Register, RAX, RBX, RCX, RDX, RSI, RDI, RBP, RSP, RIP
+from repro.isa.operands import Reg, Imm, Mem, Label
+from repro.isa.opcodes import Opcode, CONDITION_CODES
+from repro.isa.instructions import Instruction
+from repro.isa.encoding import encode, decode, JUMP_LEN
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.disassembler import disassemble, format_instruction
+
+__all__ = [
+    "Register",
+    "Reg",
+    "Imm",
+    "Mem",
+    "Label",
+    "Opcode",
+    "CONDITION_CODES",
+    "Instruction",
+    "encode",
+    "decode",
+    "JUMP_LEN",
+    "Assembler",
+    "assemble",
+    "disassemble",
+    "format_instruction",
+    "RAX",
+    "RBX",
+    "RCX",
+    "RDX",
+    "RSI",
+    "RDI",
+    "RBP",
+    "RSP",
+    "RIP",
+]

@@ -1,0 +1,60 @@
+"""Disassembler: bytes -> human-readable listing.
+
+Primarily a debugging and testing aid; the analyses operate on decoded
+:class:`~repro.isa.instructions.Instruction` objects directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import JUMP_OPCODES, Opcode
+
+_SUFFIX = {1: "b", 2: "w", 4: "l", 8: "q"}
+
+#: Opcodes whose ``size`` field is meaningful in the listing.
+_SIZED_OPCODES = frozenset(
+    {Opcode.MOV, Opcode.MOVS, Opcode.CMP, Opcode.ADD, Opcode.SUB, Opcode.AND,
+     Opcode.OR, Opcode.XOR}
+)
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """Render one instruction in the library's destination-first syntax."""
+    mnemonic = instruction.opcode.name.lower()
+    if instruction.opcode in _SIZED_OPCODES and instruction.size != 8:
+        mnemonic += _SUFFIX[instruction.size]
+    if instruction.opcode in JUMP_OPCODES:
+        target = instruction.jump_target()
+        if target is not None:
+            return f"{mnemonic} {target:#x}"
+    if not instruction.operands:
+        return mnemonic
+    rendered = ", ".join(str(operand) for operand in instruction.operands)
+    return f"{mnemonic} {rendered}"
+
+
+def iter_disassemble(
+    data: bytes, base_address: int = 0
+) -> Iterator[Tuple[int, Instruction]]:
+    """Yield ``(address, instruction)`` pairs, stopping at a decode error."""
+    offset = 0
+    while offset < len(data):
+        address = base_address + offset
+        try:
+            instruction = decode(data, offset, address)
+        except EncodingError:
+            return
+        yield address, instruction
+        offset += instruction.length
+
+
+def disassemble(data: bytes, base_address: int = 0) -> List[str]:
+    """Return a listing: one ``address: text`` line per instruction."""
+    return [
+        f"{address:#010x}: {format_instruction(instruction)}"
+        for address, instruction in iter_disassemble(data, base_address)
+    ]

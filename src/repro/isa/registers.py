@@ -1,0 +1,75 @@
+"""General purpose registers.
+
+Sixteen 64-bit GPRs with the x86_64 names, plus RIP as a pseudo-register
+usable only as the base of a rip-relative memory operand (PIC data access).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Register(enum.IntEnum):
+    """Register identifiers; the integer value is the encoding id."""
+
+    RAX = 0
+    RCX = 1
+    RDX = 2
+    RBX = 3
+    RSP = 4
+    RBP = 5
+    RSI = 6
+    RDI = 7
+    R8 = 8
+    R9 = 9
+    R10 = 10
+    R11 = 11
+    R12 = 12
+    R13 = 13
+    R14 = 14
+    R15 = 15
+    #: Pseudo-register: only valid as a memory operand base (rip-relative).
+    RIP = 16
+
+    @property
+    def att_name(self) -> str:
+        """AT&T syntax name, e.g. ``%rax``."""
+        return "%" + self.name.lower()
+
+    @classmethod
+    def from_name(cls, name: str) -> "Register":
+        """Parse ``rax`` or ``%rax`` (case-insensitive)."""
+        cleaned = name.lstrip("%").upper()
+        try:
+            return cls[cleaned]
+        except KeyError:
+            raise ValueError(f"unknown register {name!r}") from None
+
+
+# Convenient module-level aliases.
+RAX = Register.RAX
+RCX = Register.RCX
+RDX = Register.RDX
+RBX = Register.RBX
+RSP = Register.RSP
+RBP = Register.RBP
+RSI = Register.RSI
+RDI = Register.RDI
+R8 = Register.R8
+R9 = Register.R9
+R10 = Register.R10
+R11 = Register.R11
+R12 = Register.R12
+R13 = Register.R13
+R14 = Register.R14
+R15 = Register.R15
+RIP = Register.RIP
+
+#: All sixteen addressable GPRs (excludes the RIP pseudo-register).
+GPRS = tuple(Register(i) for i in range(16))
+
+#: System V-style calling convention used by MiniC and the runtime stubs.
+ARG_REGS = (RDI, RSI, RDX, RCX, R8, R9)
+RETURN_REG = RAX
+CALLEE_SAVED = (RBX, RBP, R12, R13, R14, R15)
+CALLER_SAVED = (RAX, RCX, RDX, RSI, RDI, R8, R9, R10, R11)

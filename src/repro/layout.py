@@ -1,0 +1,142 @@
+"""Virtual address-space layout shared by the allocator, VM and rewriter.
+
+The layout follows the low-fat scheme of the paper (Fig. 2): the 64-bit
+address space is partitioned into equally-sized 32 GB regions.  Region 0 is
+*non-fat* and holds everything that is not a low-fat heap object: program
+code, globals, the stack and the baseline (glibc-like) heap.  Regions
+1..``NUM_SIZE_CLASSES`` each hold one subheap servicing a single allocation
+size class; objects in region *i* are aligned to ``SIZES[i]``, which is what
+makes ``base(ptr)``/``size(ptr)`` computable from the pointer alone.
+"""
+
+from __future__ import annotations
+
+#: log2 of the region size: regions are 32 GB, so ``region = addr >> 35``.
+REGION_SHIFT = 35
+
+#: Size of one low-fat region in bytes (32 GB).
+REGION_SIZE = 1 << REGION_SHIFT
+
+#: Allocation size classes, one low-fat region each (region 1 services
+#: allocations of 1..16 bytes, region 2 of 17..32 bytes, and so on).
+SIZE_CLASSES = (
+    16,
+    32,
+    48,
+    64,
+    96,
+    128,
+    256,
+    512,
+    1024,
+    4096,
+    16384,
+    65536,
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    1 << 26,
+)
+
+#: Number of low-fat regions (#1..#M in the paper's Fig. 2).
+NUM_SIZE_CLASSES = len(SIZE_CLASSES)
+
+#: ``SIZES`` table indexed by region number.  Non-fat regions hold the
+#: sentinel 0 (the paper uses SIZE_MAX; a zero sentinel lets the generated
+#: check use a single ``test``/``jz`` and is semantically identical).
+NONFAT_SENTINEL = 0
+
+#: Largest region index that can appear for a canonical 48-bit address.
+MAX_REGIONS = 1 << (48 - REGION_SHIFT)
+
+
+def build_sizes_table(num_entries: int = MAX_REGIONS) -> list:
+    """Return the ``SIZES`` table mapping region index -> allocation size.
+
+    Entry 0 and all entries past the last size class are the non-fat
+    sentinel.  The table is what the hardened binary's data segment embeds
+    so that generated check code can do ``SIZES[addr >> 35]`` in one load.
+    """
+    table = [NONFAT_SENTINEL] * num_entries
+    for index, size in enumerate(SIZE_CLASSES, start=1):
+        table[index] = size
+    return table
+
+
+def region_of(address: int) -> int:
+    """Return the region index of *address*."""
+    return address >> REGION_SHIFT
+
+
+def region_base(region: int) -> int:
+    """Return the lowest address belonging to region *region*."""
+    return region << REGION_SHIFT
+
+
+def is_lowfat(address: int) -> bool:
+    """True when *address* lies inside a low-fat (heap) region."""
+    return 1 <= region_of(address) <= NUM_SIZE_CLASSES
+
+
+def size_class_for(request: int) -> int:
+    """Return the region index whose size class services *request* bytes.
+
+    Raises :class:`ValueError` for requests beyond the largest class; the
+    allocator turns that into an out-of-memory condition.
+    """
+    if request <= 0:
+        request = 1
+    for index, size in enumerate(SIZE_CLASSES, start=1):
+        if request <= size:
+            return index
+    raise ValueError(f"allocation of {request} bytes exceeds largest size class")
+
+
+def lowfat_base(address: int, sizes: "list | None" = None) -> int:
+    """Python model of the low-fat ``base(ptr)`` operation.
+
+    Returns 0 (NULL) for non-fat pointers, mirroring the paper's
+    definition; otherwise rounds *address* down to its size-class multiple.
+    """
+    region = region_of(address)
+    if not 1 <= region <= NUM_SIZE_CLASSES:
+        return 0
+    size = SIZE_CLASSES[region - 1]
+    return address - (address % size)
+
+
+def lowfat_size(address: int) -> int:
+    """Python model of ``size(ptr)``: the allocation size, or 0 if non-fat."""
+    region = region_of(address)
+    if not 1 <= region <= NUM_SIZE_CLASSES:
+        return NONFAT_SENTINEL
+    return SIZE_CLASSES[region - 1]
+
+
+# ---------------------------------------------------------------------------
+# Non-fat region 0 internal layout.
+# ---------------------------------------------------------------------------
+
+#: Default load address of program code (mirrors the classic ELF 0x400000).
+CODE_BASE = 0x400000
+
+#: Trampoline area: an otherwise-unused range of region 0, far enough from
+#: code that a rel32 jump still reaches it (E9Patch places trampolines
+#: within +-2GB of the patched instruction).
+TRAMPOLINE_BASE = 0x30000000
+
+#: Where the hardened binary's SIZES table is materialised (region 0 data).
+SIZES_TABLE_ADDR = 0x20000000
+
+#: Baseline (glibc-like, non-fat) heap placement inside region 0.
+GLIBC_HEAP_BASE = 0x10000000
+GLIBC_HEAP_LIMIT = 0x1F000000
+
+#: Stack: grows down from near the top of region 0 — more than 2 GB away
+#: from the low-fat heap, which is what justifies the check-elimination
+#: rule for %rsp-based operands.
+STACK_TOP = 0x7_C000_0000
+STACK_SIZE = 8 << 20
+
+#: Redzone size in bytes (the paper's default).
+REDZONE_SIZE = 16

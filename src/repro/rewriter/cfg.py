@@ -1,0 +1,99 @@
+"""Conservative control-flow recovery over stripped binaries.
+
+Precise CFG recovery is undecidable; per the paper (§6), the analysis errs
+on the side of *over-approximating* the jump-target set: extra targets
+only shrink batch sizes and forbid some patch fillers, never break
+correctness.  Recovered targets are:
+
+- the entry point,
+- every direct jump/call target,
+- every return point (the address after a call),
+- conservatively, the address after every terminator (a leader).
+
+Symbols are deliberately ignored — the analysis must behave identically
+on stripped binaries (the test suite checks this).
+
+Calls and runtime calls *end* a basic block here: instrumentation checks
+must not be hoisted over a possible ``free()`` (the object state could
+change between check and access), so batching-safe blocks stop at them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.binfmt.binary import Binary
+from repro.isa.encoding import decode_all
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+
+
+def _ends_block(instruction: Instruction) -> bool:
+    return instruction.is_terminator or instruction.opcode is Opcode.RTCALL
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    start: int
+    instructions: List[Instruction] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        last = self.instructions[-1]
+        return last.address + last.length
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass
+class ControlFlowInfo:
+    """Decoded text plus recovered control-flow facts."""
+
+    instructions: List[Instruction]
+    by_address: Dict[int, Instruction]
+    targets: Set[int]
+    blocks: List[BasicBlock]
+    block_of: Dict[int, BasicBlock]
+
+    def is_possible_target(self, address: int) -> bool:
+        return address in self.targets
+
+
+def recover_control_flow(binary: Binary) -> ControlFlowInfo:
+    """Decode all executable segments and recover blocks/targets."""
+    instructions: List[Instruction] = []
+    for segment in binary.text_segments():
+        instructions.extend(decode_all(segment.data, segment.vaddr))
+    by_address = {instruction.address: instruction for instruction in instructions}
+
+    targets: Set[int] = {binary.entry}
+    for instruction in instructions:
+        direct = instruction.jump_target()
+        if direct is not None:
+            targets.add(direct)
+        if instruction.opcode in (Opcode.CALL, Opcode.CALLR, Opcode.RTCALL):
+            targets.add(instruction.address + instruction.length)
+
+    # Leaders: targets plus fall-throughs of block-ending instructions.
+    leaders: Set[int] = set(targets)
+    for instruction in instructions:
+        if _ends_block(instruction):
+            leaders.add(instruction.address + instruction.length)
+
+    blocks: List[BasicBlock] = []
+    block_of: Dict[int, BasicBlock] = {}
+    current: BasicBlock = None
+    for instruction in instructions:
+        if current is None or instruction.address in leaders:
+            current = BasicBlock(instruction.address)
+            blocks.append(current)
+        current.instructions.append(instruction)
+        block_of[instruction.address] = current
+        if _ends_block(instruction):
+            current = None
+    blocks = [block for block in blocks if block.instructions]
+    return ControlFlowInfo(instructions, by_address, targets, blocks, block_of)

@@ -1,0 +1,94 @@
+"""Static register/flags usage analysis for trampoline specialization.
+
+The generated check code needs scratch registers and clobbers the flags.
+Saving and restoring them costs 2 instructions each per trampoline entry,
+so the paper specializes trampolines by a "simple static analysis to
+determine which registers (if any) are clobbered" after the patch point.
+
+The analysis here is a block-local backward-free scan: a register is dead
+at a site if, on the straight-line suffix of its basic block, it is
+written before it is ever read.  At the block boundary everything is
+conservatively assumed live, except across call/ret terminators where the
+ABI makes the flags dead.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import (
+    CONDITIONAL_JUMPS,
+    Opcode,
+    SETCC_CONDITIONS,
+)
+from repro.isa.registers import GPRS, RSP, Register
+
+
+def dead_registers_after(block: List[Instruction], index: int) -> FrozenSet[Register]:
+    """Registers that may be clobbered by a trampoline entered at *index*.
+
+    ``block[index:]`` is the straight-line suffix that will execute after
+    the trampoline returns (starting with the displaced instruction
+    itself, which still reads its own operands).
+    """
+    live: set = set()
+    dead: set = set()
+    for instruction in block[index:]:
+        for register in instruction.regs_read():
+            if register not in dead:
+                live.add(register)
+        for register in instruction.regs_written():
+            if register not in live:
+                dead.add(register)
+    dead.discard(RSP)  # the stack pointer is never scratch material
+    return frozenset(dead)
+
+
+def _reads_flags(instruction: Instruction) -> bool:
+    return (
+        instruction.opcode in CONDITIONAL_JUMPS
+        or instruction.opcode in SETCC_CONDITIONS
+        or instruction.opcode is Opcode.PUSHF
+    )
+
+
+def flags_dead_after(block: List[Instruction], index: int) -> bool:
+    """True when the flags register need not be preserved at *index*.
+
+    Flags are dead if the suffix overwrites them before reading them, or
+    the block ends in a call/ret (the ABI treats flags as clobbered).
+    Ending in a plain jump is conservatively treated as flags-live.
+    """
+    for instruction in block[index:]:
+        if _reads_flags(instruction):
+            return False
+        if instruction.writes_flags() or instruction.opcode is Opcode.POPF:
+            return True
+    if not block[index:]:
+        return False
+    last = block[-1]
+    return last.opcode in (Opcode.CALL, Opcode.CALLR, Opcode.RET, Opcode.RTCALL)
+
+
+def pick_scratch_registers(
+    forbidden: FrozenSet[Register],
+    dead: FrozenSet[Register],
+    count: int,
+) -> List[Register]:
+    """Choose *count* scratch registers, preferring dead ones.
+
+    Returns registers ordered dead-first so callers can tell how many
+    need save/restore; raises ValueError when the operand registers of a
+    group leave fewer than *count* candidates (callers then split the
+    group).
+    """
+    candidates = [reg for reg in GPRS if reg is not RSP and reg not in forbidden]
+    ordered = [reg for reg in candidates if reg in dead] + [
+        reg for reg in candidates if reg not in dead
+    ]
+    if len(ordered) < count:
+        raise ValueError(
+            f"cannot find {count} scratch registers (forbidden: {sorted(forbidden)})"
+        )
+    return ordered[:count]

@@ -1,0 +1,97 @@
+"""Rewriting statistics (in the spirit of E9Patch's patchability report).
+
+Summarises a :class:`~repro.rewriter.rewriter.RewriteResult`: how many
+sites were patched in place vs. via group displacement, trampoline space
+consumption, and the instruction-length histogram that determines which
+tactic each site needed (instructions >= 5 bytes patch in place; shorter
+ones displace successors).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.binfmt.binary import Binary
+from repro.isa.encoding import JUMP_LEN
+from repro.rewriter.cfg import recover_control_flow
+from repro.rewriter.rewriter import RewriteResult
+
+
+@dataclass
+class RewriteStatistics:
+    """Aggregate rewriting facts for one hardened binary."""
+
+    patched_sites: int = 0
+    skipped_sites: int = 0
+    in_place_patches: int = 0
+    group_displacements: int = 0
+    trampoline_bytes: int = 0
+    trampolines: int = 0
+    input_text_bytes: int = 0
+    output_image_bytes: int = 0
+    length_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean_trampoline_bytes(self) -> float:
+        if not self.trampolines:
+            return 0.0
+        return self.trampoline_bytes / self.trampolines
+
+    @property
+    def patch_success_rate(self) -> float:
+        total = self.patched_sites + self.skipped_sites
+        if not total:
+            return 1.0
+        return self.patched_sites / total
+
+    def render(self) -> str:
+        histogram = ", ".join(
+            f"{length}B: {count}"
+            for length, count in sorted(self.length_histogram.items())
+        )
+        return (
+            f"patched {self.patched_sites} sites "
+            f"({self.in_place_patches} in place, "
+            f"{self.group_displacements} via group displacement, "
+            f"{self.skipped_sites} skipped; "
+            f"success rate {100 * self.patch_success_rate:.1f}%)\n"
+            f"{self.trampolines} trampolines, {self.trampoline_bytes} bytes "
+            f"({self.mean_trampoline_bytes:.1f} B/trampoline); "
+            f"image {self.input_text_bytes} -> {self.output_image_bytes} bytes\n"
+            f"patched-instruction lengths: {histogram}"
+        )
+
+
+def rewrite_statistics(
+    original: Binary, result: RewriteResult
+) -> RewriteStatistics:
+    """Compute statistics for *result* produced from *original*."""
+    control_flow = recover_control_flow(original)
+    lengths = Counter()
+    in_place = 0
+    displaced = 0
+    head_addresses = {head for _, _, head in result.trampoline_ranges}
+    for head in head_addresses:
+        instruction = control_flow.by_address.get(head)
+        if instruction is None:
+            continue
+        lengths[instruction.length] += 1
+        if instruction.length >= JUMP_LEN:
+            in_place += 1
+        else:
+            displaced += 1
+    return RewriteStatistics(
+        patched_sites=len(result.patched),
+        skipped_sites=len(result.skipped),
+        in_place_patches=in_place,
+        group_displacements=displaced,
+        trampoline_bytes=result.trampoline_bytes,
+        trampolines=len(result.trampoline_ranges),
+        input_text_bytes=sum(
+            len(segment.data) for segment in original.text_segments()
+        ),
+        output_image_bytes=result.binary.total_size(),
+        length_histogram=dict(lengths),
+    )

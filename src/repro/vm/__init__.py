@@ -1,0 +1,23 @@
+"""Guest virtual machine: sparse 64-bit memory + ISA interpreter.
+
+The VM is the stand-in for hardware execution.  Its key export, beyond
+correct semantics, is the **executed-instruction counter**: all overhead
+factors in the experiments are ratios of instructions executed by the
+hardened vs. original binary, which is deterministic and machine
+independent (see DESIGN.md, "Overhead metric").
+"""
+
+from repro.vm.memory import Memory, PAGE_SIZE
+from repro.vm.cpu import CPU
+from repro.vm.runtime_iface import RuntimeEnvironment, Service
+from repro.vm.loader import load_binary, run_binary
+
+__all__ = [
+    "Memory",
+    "PAGE_SIZE",
+    "CPU",
+    "RuntimeEnvironment",
+    "Service",
+    "load_binary",
+    "run_binary",
+]

@@ -1,0 +1,423 @@
+"""The ISA interpreter.
+
+Design notes:
+
+- Instructions are decoded once per address and cached; rewritten binaries
+  are static (no self-modifying code — the same restriction E9Patch has),
+  so the cache never invalidates.
+- ``instructions_executed`` counts every retired instruction, including
+  trampoline code.  Overhead factors in the experiments are ratios of this
+  counter, making results deterministic across machines.
+- An optional ``access_hook`` observes every data memory access; it is how
+  the Memcheck baseline (DBI) and the coverage tooling attach.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import GuestExit, VMError, VMFault
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import RSP, Register
+from repro.vm.memory import Memory
+from repro.vm.runtime_iface import RuntimeEnvironment
+
+_M64 = (1 << 64) - 1
+_SIGN = 1 << 63
+_RIP = Register.RIP
+
+#: Condition predicates over (zf, sf, cf, of).
+_CONDITIONS: Dict[str, Callable] = {
+    "e": lambda zf, sf, cf, of: zf,
+    "ne": lambda zf, sf, cf, of: not zf,
+    "l": lambda zf, sf, cf, of: sf != of,
+    "le": lambda zf, sf, cf, of: zf or sf != of,
+    "g": lambda zf, sf, cf, of: not zf and sf == of,
+    "ge": lambda zf, sf, cf, of: sf == of,
+    "b": lambda zf, sf, cf, of: cf,
+    "be": lambda zf, sf, cf, of: cf or zf,
+    "a": lambda zf, sf, cf, of: not cf and not zf,
+    "ae": lambda zf, sf, cf, of: not cf,
+    "s": lambda zf, sf, cf, of: sf,
+    "ns": lambda zf, sf, cf, of: not sf,
+}
+
+_JCC = {
+    Opcode.JE: "e", Opcode.JNE: "ne", Opcode.JL: "l", Opcode.JLE: "le",
+    Opcode.JG: "g", Opcode.JGE: "ge", Opcode.JB: "b", Opcode.JBE: "be",
+    Opcode.JA: "a", Opcode.JAE: "ae", Opcode.JS: "s", Opcode.JNS: "ns",
+}
+
+_SETCC = {
+    Opcode.SETE: "e", Opcode.SETNE: "ne", Opcode.SETL: "l", Opcode.SETLE: "le",
+    Opcode.SETG: "g", Opcode.SETGE: "ge", Opcode.SETB: "b", Opcode.SETBE: "be",
+    Opcode.SETA: "a", Opcode.SETAE: "ae",
+}
+
+
+def _signed(value: int) -> int:
+    return value - (1 << 64) if value & _SIGN else value
+
+
+class CPU:
+    """One hardware thread executing guest code."""
+
+    def __init__(self, memory: Memory, runtime: RuntimeEnvironment) -> None:
+        self.memory = memory
+        self.runtime = runtime
+        self.regs = [0] * 17
+        self.rip = 0
+        self.zf = False
+        self.sf = False
+        self.cf = False
+        self.of = False
+        self.instructions_executed = 0
+        self.exit_status: Optional[int] = None
+        self.icache: Dict[int, Instruction] = {}
+        #: Optional observer: fn(address, size, is_read, is_write, instruction).
+        self.access_hook = None
+        self._dispatch = self._build_dispatch()
+        runtime.attach(self)
+
+    # -- fetch/decode -------------------------------------------------------
+
+    def _decode_at(self, address: int) -> Instruction:
+        window = self.memory.read_upto(address, 16)
+        if not window:
+            raise VMFault(address, f"wild fetch at {address:#x}")
+        instruction = decode(window, 0, address)
+        self.icache[address] = instruction
+        return instruction
+
+    def flush_icache(self) -> None:
+        self.icache.clear()
+
+    # -- operand helpers ----------------------------------------------------------
+
+    def effective_address(self, mem: Mem, instruction: Instruction) -> int:
+        address = mem.disp
+        base = mem.base
+        if base is not None:
+            if base is _RIP:
+                address += instruction.address + instruction.length
+            else:
+                address += self.regs[base]
+        if mem.index is not None:
+            address += self.regs[mem.index] * mem.scale
+        return address & _M64
+
+    def _read_operand(self, operand, instruction: Instruction, size: int) -> int:
+        if type(operand) is Reg:
+            return self.regs[operand.reg]
+        if type(operand) is Imm:
+            return operand.value & _M64
+        address = self.effective_address(operand, instruction)
+        if self.access_hook is not None:
+            self.access_hook(address, size, True, False, instruction)
+        return self.memory.read_int(address, size)
+
+    # -- flags --------------------------------------------------------------------
+
+    def _set_zs(self, result: int) -> None:
+        self.zf = result == 0
+        self.sf = bool(result & _SIGN)
+
+    def _flags_add(self, a: int, b: int, result: int) -> None:
+        self.cf = (a + b) > _M64
+        self.of = bool((~(a ^ b) & (a ^ result)) & _SIGN)
+        self._set_zs(result)
+
+    def _flags_sub(self, a: int, b: int, result: int) -> None:
+        self.cf = b > a
+        self.of = bool(((a ^ b) & (a ^ result)) & _SIGN)
+        self._set_zs(result)
+
+    def _flags_logic(self, result: int) -> None:
+        self.cf = False
+        self.of = False
+        self._set_zs(result)
+
+    def pack_flags(self) -> int:
+        return (
+            (1 if self.zf else 0)
+            | (2 if self.sf else 0)
+            | (4 if self.cf else 0)
+            | (8 if self.of else 0)
+        )
+
+    def unpack_flags(self, value: int) -> None:
+        self.zf = bool(value & 1)
+        self.sf = bool(value & 2)
+        self.cf = bool(value & 4)
+        self.of = bool(value & 8)
+
+    # -- ALU core -------------------------------------------------------------------
+
+    def _alu(self, opcode: Opcode, a: int, b: int) -> int:
+        if opcode is Opcode.ADD:
+            result = (a + b) & _M64
+            self._flags_add(a, b, result)
+        elif opcode is Opcode.SUB:
+            result = (a - b) & _M64
+            self._flags_sub(a, b, result)
+        elif opcode is Opcode.AND:
+            result = a & b
+            self._flags_logic(result)
+        elif opcode is Opcode.OR:
+            result = a | b
+            self._flags_logic(result)
+        elif opcode is Opcode.XOR:
+            result = a ^ b
+            self._flags_logic(result)
+        elif opcode is Opcode.IMUL:
+            result = (_signed(a) * _signed(b)) & _M64
+            self._set_zs(result)
+            self.cf = self.of = False
+        elif opcode is Opcode.DIV:
+            if b == 0:
+                raise VMError("guest divide by zero")
+            result = a // b
+            self._set_zs(result)
+        elif opcode is Opcode.MOD:
+            if b == 0:
+                raise VMError("guest modulo by zero")
+            result = a % b
+            self._set_zs(result)
+        elif opcode is Opcode.IDIV:
+            if b == 0:
+                raise VMError("guest divide by zero")
+            sa, sb = _signed(a), _signed(b)
+            result = (abs(sa) // abs(sb)) & _M64
+            if (sa < 0) != (sb < 0):
+                result = (-result) & _M64
+            self._set_zs(result)
+        elif opcode is Opcode.IMOD:
+            if b == 0:
+                raise VMError("guest modulo by zero")
+            sa, sb = _signed(a), _signed(b)
+            result = (abs(sa) % abs(sb)) & _M64
+            if sa < 0:
+                result = (-result) & _M64
+            self._set_zs(result)
+        elif opcode is Opcode.SHL:
+            result = (a << (b & 63)) & _M64
+            self._set_zs(result)
+        elif opcode is Opcode.SHR:
+            result = a >> (b & 63)
+            self._set_zs(result)
+        elif opcode is Opcode.SAR:
+            result = (_signed(a) >> (b & 63)) & _M64
+            self._set_zs(result)
+        else:  # pragma: no cover - dispatch guarantees coverage
+            raise VMError(f"not an ALU opcode: {opcode!r}")
+        return result
+
+    # -- instruction handlers --------------------------------------------------------
+
+    def _exec_mov(self, instruction: Instruction) -> None:
+        dst, src = instruction.operands
+        size = instruction.size
+        if type(dst) is Reg:
+            value = self._read_operand(src, instruction, size)
+            if size != 8:
+                value &= (1 << (size * 8)) - 1
+            self.regs[dst.reg] = value
+        else:
+            value = self._read_operand(src, instruction, size)
+            address = self.effective_address(dst, instruction)
+            if self.access_hook is not None:
+                self.access_hook(address, size, False, True, instruction)
+            self.memory.write_int(address, value, size)
+
+    def _exec_movs(self, instruction: Instruction) -> None:
+        dst, src = instruction.operands
+        size = instruction.size
+        address = self.effective_address(src, instruction)
+        if self.access_hook is not None:
+            self.access_hook(address, size, True, False, instruction)
+        self.regs[dst.reg] = self.memory.read_int(address, size, signed=True) & _M64
+
+    def _exec_lea(self, instruction: Instruction) -> None:
+        dst, src = instruction.operands
+        self.regs[dst.reg] = self.effective_address(src, instruction)
+
+    def _exec_alu(self, instruction: Instruction) -> None:
+        dst, src = instruction.operands
+        opcode = instruction.opcode
+        size = instruction.size
+        if type(dst) is Reg:
+            a = self.regs[dst.reg]
+            b = self._read_operand(src, instruction, size)
+            self.regs[dst.reg] = self._alu(opcode, a, b)
+        else:
+            address = self.effective_address(dst, instruction)
+            if self.access_hook is not None:
+                self.access_hook(address, size, True, True, instruction)
+            a = self.memory.read_int(address, size)
+            b = self._read_operand(src, instruction, size)
+            self.memory.write_int(address, self._alu(opcode, a, b), size)
+
+    def _exec_cmp(self, instruction: Instruction) -> None:
+        dst, src = instruction.operands
+        size = instruction.size
+        a = self._read_operand(dst, instruction, size)
+        b = self._read_operand(src, instruction, size)
+        self._flags_sub(a, b, (a - b) & _M64)
+
+    def _exec_test(self, instruction: Instruction) -> None:
+        dst, src = instruction.operands
+        a = self._read_operand(dst, instruction, 8)
+        b = self._read_operand(src, instruction, 8)
+        self._flags_logic(a & b)
+
+    def _exec_not(self, instruction: Instruction) -> None:
+        reg = instruction.operands[0].reg
+        self.regs[reg] = (~self.regs[reg]) & _M64
+
+    def _exec_neg(self, instruction: Instruction) -> None:
+        reg = instruction.operands[0].reg
+        value = self.regs[reg]
+        result = (-value) & _M64
+        self.regs[reg] = result
+        self.cf = value != 0
+        self._set_zs(result)
+
+    def _exec_setcc(self, instruction: Instruction) -> None:
+        condition = _CONDITIONS[_SETCC[instruction.opcode]]
+        self.regs[instruction.operands[0].reg] = (
+            1 if condition(self.zf, self.sf, self.cf, self.of) else 0
+        )
+
+    def _exec_push(self, instruction: Instruction) -> None:
+        self.regs[RSP] = rsp = (self.regs[RSP] - 8) & _M64
+        self.memory.write_int(rsp, self.regs[instruction.operands[0].reg], 8)
+
+    def _exec_pop(self, instruction: Instruction) -> None:
+        rsp = self.regs[RSP]
+        self.regs[instruction.operands[0].reg] = self.memory.read_int(rsp, 8)
+        self.regs[RSP] = (rsp + 8) & _M64
+
+    def _exec_pushf(self, instruction: Instruction) -> None:
+        self.regs[RSP] = rsp = (self.regs[RSP] - 8) & _M64
+        self.memory.write_int(rsp, self.pack_flags(), 8)
+
+    def _exec_popf(self, instruction: Instruction) -> None:
+        rsp = self.regs[RSP]
+        self.unpack_flags(self.memory.read_int(rsp, 8))
+        self.regs[RSP] = (rsp + 8) & _M64
+
+    def _exec_jmp(self, instruction: Instruction) -> None:
+        self.rip = (
+            instruction.address + instruction.length + instruction.operands[0].value
+        ) & _M64
+
+    def _exec_jcc(self, instruction: Instruction) -> None:
+        condition = _CONDITIONS[_JCC[instruction.opcode]]
+        if condition(self.zf, self.sf, self.cf, self.of):
+            self.rip = (
+                instruction.address + instruction.length + instruction.operands[0].value
+            ) & _M64
+
+    def _exec_call(self, instruction: Instruction) -> None:
+        self.regs[RSP] = rsp = (self.regs[RSP] - 8) & _M64
+        self.memory.write_int(rsp, instruction.address + instruction.length, 8)
+        self.rip = (
+            instruction.address + instruction.length + instruction.operands[0].value
+        ) & _M64
+
+    def _exec_jmpr(self, instruction: Instruction) -> None:
+        self.rip = self.regs[instruction.operands[0].reg]
+
+    def _exec_callr(self, instruction: Instruction) -> None:
+        self.regs[RSP] = rsp = (self.regs[RSP] - 8) & _M64
+        self.memory.write_int(rsp, instruction.address + instruction.length, 8)
+        self.rip = self.regs[instruction.operands[0].reg]
+
+    def _exec_ret(self, instruction: Instruction) -> None:
+        rsp = self.regs[RSP]
+        self.rip = self.memory.read_int(rsp, 8)
+        self.regs[RSP] = (rsp + 8) & _M64
+
+    def _exec_nop(self, instruction: Instruction) -> None:
+        pass
+
+    def _exec_trap(self, instruction: Instruction) -> None:
+        self.runtime.on_trap(instruction.operands[0].value, self, instruction)
+
+    def _exec_rtcall(self, instruction: Instruction) -> None:
+        self.runtime.call(instruction.operands[0].value, self, instruction)
+
+    def _build_dispatch(self) -> Dict[int, Callable]:
+        table: Dict[int, Callable] = {
+            Opcode.MOV: self._exec_mov,
+            Opcode.MOVS: self._exec_movs,
+            Opcode.LEA: self._exec_lea,
+            Opcode.CMP: self._exec_cmp,
+            Opcode.TEST: self._exec_test,
+            Opcode.NOT: self._exec_not,
+            Opcode.NEG: self._exec_neg,
+            Opcode.PUSH: self._exec_push,
+            Opcode.POP: self._exec_pop,
+            Opcode.PUSHF: self._exec_pushf,
+            Opcode.POPF: self._exec_popf,
+            Opcode.JMP: self._exec_jmp,
+            Opcode.CALL: self._exec_call,
+            Opcode.JMPR: self._exec_jmpr,
+            Opcode.CALLR: self._exec_callr,
+            Opcode.RET: self._exec_ret,
+            Opcode.NOP: self._exec_nop,
+            Opcode.TRAP: self._exec_trap,
+            Opcode.RTCALL: self._exec_rtcall,
+        }
+        for opcode in (
+            Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+            Opcode.IMUL, Opcode.DIV, Opcode.MOD, Opcode.IDIV, Opcode.IMOD,
+            Opcode.SHL, Opcode.SHR, Opcode.SAR,
+        ):
+            table[opcode] = self._exec_alu
+        for opcode in _JCC:
+            table[opcode] = self._exec_jcc
+        for opcode in _SETCC:
+            table[opcode] = self._exec_setcc
+        return table
+
+    # -- run loop ---------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute exactly one instruction."""
+        rip = self.rip
+        instruction = self.icache.get(rip)
+        if instruction is None:
+            instruction = self._decode_at(rip)
+        self.rip = rip + instruction.length
+        self._dispatch[instruction.opcode](instruction)
+        self.instructions_executed += 1
+
+    def run(self, max_instructions: int = 2_000_000_000) -> int:
+        """Run until the guest exits; returns the exit status.
+
+        Raises :class:`VMError` if the instruction budget is exhausted
+        (runaway guest) and propagates faults/memory errors.
+        """
+        icache = self.icache
+        dispatch = self._dispatch
+        executed = 0
+        try:
+            while executed < max_instructions:
+                rip = self.rip
+                instruction = icache.get(rip)
+                if instruction is None:
+                    instruction = self._decode_at(rip)
+                self.rip = rip + instruction.length
+                dispatch[instruction.opcode](instruction)
+                executed += 1
+        except GuestExit as exit_signal:
+            executed += 1  # the exiting rtcall did retire
+            self.exit_status = exit_signal.status
+            return exit_signal.status
+        finally:
+            self.instructions_executed += executed
+        raise VMError(f"instruction budget exhausted ({max_instructions})")

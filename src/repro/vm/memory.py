@@ -1,0 +1,147 @@
+"""Sparse paged guest memory.
+
+A 64-bit address space backed by a dict of 4 KiB pages.  Pages must be
+explicitly mapped (by the loader or an allocator runtime) before access;
+touching an unmapped page raises :class:`~repro.errors.VMFault`, the
+moral equivalent of SIGSEGV.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import VMFault
+
+PAGE_SIZE = 4096
+_PAGE_SHIFT = 12
+_PAGE_MASK = PAGE_SIZE - 1
+_M64 = (1 << 64) - 1
+
+
+class Memory:
+    """Sparse byte-addressable memory with page-granular mapping."""
+
+    __slots__ = ("_pages",)
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    # -- mapping ----------------------------------------------------------
+
+    def map_range(self, address: int, size: int) -> None:
+        """Ensure every page covering [address, address+size) is mapped."""
+        if size <= 0:
+            return
+        first = address >> _PAGE_SHIFT
+        last = (address + size - 1) >> _PAGE_SHIFT
+        pages = self._pages
+        for page_index in range(first, last + 1):
+            if page_index not in pages:
+                pages[page_index] = bytearray(PAGE_SIZE)
+
+    def unmap_range(self, address: int, size: int) -> None:
+        """Unmap all pages fully covered by [address, address+size)."""
+        if size <= 0:
+            return
+        first = (address + _PAGE_MASK) >> _PAGE_SHIFT
+        last = (address + size) >> _PAGE_SHIFT
+        for page_index in range(first, last):
+            self._pages.pop(page_index, None)
+
+    def is_mapped(self, address: int, size: int = 1) -> bool:
+        first = address >> _PAGE_SHIFT
+        last = (address + size - 1) >> _PAGE_SHIFT
+        return all(index in self._pages for index in range(first, last + 1))
+
+    def mapped_bytes(self) -> int:
+        """Total mapped memory in bytes (for memory-overhead reporting)."""
+        return len(self._pages) * PAGE_SIZE
+
+    # -- byte access -----------------------------------------------------------
+
+    def read(self, address: int, size: int) -> bytes:
+        address &= _M64
+        page_index = address >> _PAGE_SHIFT
+        offset = address & _PAGE_MASK
+        page = self._pages.get(page_index)
+        if page is None:
+            raise VMFault(address)
+        if offset + size <= PAGE_SIZE:
+            return bytes(page[offset : offset + size])
+        # Crosses a page boundary: gather.
+        out = bytearray()
+        remaining = size
+        while remaining:
+            page = self._pages.get(page_index)
+            if page is None:
+                raise VMFault(page_index << _PAGE_SHIFT)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            out += page[offset : offset + chunk]
+            remaining -= chunk
+            page_index += 1
+            offset = 0
+        return bytes(out)
+
+    def write(self, address: int, data: bytes) -> None:
+        address &= _M64
+        page_index = address >> _PAGE_SHIFT
+        offset = address & _PAGE_MASK
+        size = len(data)
+        page = self._pages.get(page_index)
+        if page is None:
+            raise VMFault(address)
+        if offset + size <= PAGE_SIZE:
+            page[offset : offset + size] = data
+            return
+        written = 0
+        while written < size:
+            page = self._pages.get(page_index)
+            if page is None:
+                raise VMFault(page_index << _PAGE_SHIFT)
+            chunk = min(size - written, PAGE_SIZE - offset)
+            page[offset : offset + chunk] = data[written : written + chunk]
+            written += chunk
+            page_index += 1
+            offset = 0
+
+    def read_upto(self, address: int, size: int) -> bytes:
+        """Read up to *size* bytes, stopping at the first unmapped page.
+
+        Used by the instruction fetcher: an instruction near the end of a
+        mapped range must still decode even though a full-width fetch
+        window would cross into unmapped memory.
+        """
+        address &= _M64
+        out = bytearray()
+        page_index = address >> _PAGE_SHIFT
+        offset = address & _PAGE_MASK
+        remaining = size
+        while remaining:
+            page = self._pages.get(page_index)
+            if page is None:
+                break
+            chunk = min(remaining, PAGE_SIZE - offset)
+            out += page[offset : offset + chunk]
+            remaining -= chunk
+            page_index += 1
+            offset = 0
+        return bytes(out)
+
+    # -- integer access ------------------------------------------------------------
+
+    def read_int(self, address: int, size: int, signed: bool = False) -> int:
+        return int.from_bytes(self.read(address, size), "little", signed=signed)
+
+    def write_int(self, address: int, value: int, size: int) -> None:
+        mask = (1 << (size * 8)) - 1
+        self.write(address, (value & mask).to_bytes(size, "little"))
+
+    def read_cstring(self, address: int, limit: int = 4096) -> bytes:
+        """Read a NUL-terminated byte string (bounded by *limit*)."""
+        out = bytearray()
+        for index in range(limit):
+            byte = self.read(address + index, 1)[0]
+            if byte == 0:
+                break
+            out.append(byte)
+        return bytes(out)

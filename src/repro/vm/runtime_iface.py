@@ -1,0 +1,130 @@
+"""The runtime-service boundary between guest code and host runtimes.
+
+Guest binaries obtain OS/libc services through the ``rtcall`` instruction
+(the stand-in for syscalls + dynamically linked libc).  Which
+:class:`RuntimeEnvironment` handles the calls is chosen when the VM is
+created — the analogue of ``LD_PRELOAD``-ing ``libredfat.so`` over glibc:
+the *binary* is identical either way; only the preloaded runtime differs.
+
+Arguments follow the System V convention (rdi, rsi, rdx, ...), results
+return in rax.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+
+class Service(enum.IntEnum):
+    """Runtime services reachable via ``rtcall``."""
+
+    EXIT = 0
+    MALLOC = 1
+    FREE = 2
+    CALLOC = 3
+    REALLOC = 4
+    PRINT_INT = 5
+    PRINT_CHAR = 6
+    #: Profiling hook used by RedFat's profile-phase instrumentation.
+    PROFILE = 7
+
+
+class TrapCode(enum.IntEnum):
+    """Trap immediates used by generated check code."""
+
+    ABORT = 0
+    OOB_UPPER = 1
+    OOB_LOWER = 2
+    USE_AFTER_FREE = 3
+    METADATA = 4
+
+
+class RuntimeEnvironment:
+    """Base class for preloadable runtimes (glibc-like, redfat, ...)."""
+
+    #: Human-readable name used in reports.
+    name = "runtime"
+
+    def __init__(self) -> None:
+        self.output: List[str] = []
+
+    def attach(self, cpu) -> None:
+        """Called once when the VM is created; gives access to memory."""
+        self.cpu = cpu
+
+    # -- dispatch ----------------------------------------------------------
+
+    def call(self, service: int, cpu, instruction) -> None:
+        """Handle one ``rtcall``; may modify CPU registers/memory."""
+        from repro.errors import GuestExit, VMError
+        from repro.isa.registers import RAX, RDI, RSI
+
+        regs = cpu.regs
+        if service == Service.EXIT:
+            raise GuestExit(regs[RDI] & 0xFF)
+        if service == Service.MALLOC:
+            regs[RAX] = self.malloc(regs[RDI])
+            return
+        if service == Service.FREE:
+            self.free(regs[RDI])
+            return
+        if service == Service.CALLOC:
+            count, size = regs[RDI], regs[RSI]
+            address = self.malloc(count * size)
+            if address:
+                cpu.memory.write(address, b"\0" * (count * size))
+            regs[RAX] = address
+            return
+        if service == Service.REALLOC:
+            regs[RAX] = self.realloc(regs[RDI], regs[RSI])
+            return
+        if service == Service.PRINT_INT:
+            value = regs[RDI]
+            if value >= 1 << 63:
+                value -= 1 << 64
+            self.output.append(str(value))
+            return
+        if service == Service.PRINT_CHAR:
+            self.output.append(chr(regs[RDI] & 0x7F))
+            return
+        if service == Service.PROFILE:
+            self.profile_hook(cpu, instruction)
+            return
+        raise VMError(f"unknown runtime service {service}")
+
+    # -- allocator interface (subclasses implement) -------------------------
+
+    def malloc(self, size: int) -> int:
+        raise NotImplementedError
+
+    def free(self, address: int) -> None:
+        raise NotImplementedError
+
+    def realloc(self, address: int, size: int) -> int:
+        """Default realloc built on malloc/free + byte copy."""
+        if address == 0:
+            return self.malloc(size)
+        new_address = self.malloc(size)
+        if new_address:
+            old_size = self.usable_size(address)
+            payload = self.cpu.memory.read(address, min(size, old_size))
+            self.cpu.memory.write(new_address, payload)
+            self.free(address)
+        return new_address
+
+    def usable_size(self, address: int) -> int:
+        raise NotImplementedError
+
+    # -- hardening hooks ----------------------------------------------------
+
+    def on_trap(self, code: int, cpu, instruction) -> None:
+        """Handle a ``trap`` executed by guest/instrumentation code."""
+        from repro.errors import GuestMemoryError
+
+        raise GuestMemoryError(
+            f"guest trap {TrapCode(code).name} at {instruction.address:#x}"
+        )
+
+    def profile_hook(self, cpu, instruction) -> None:
+        """Profile-phase callback; the default runtime ignores it."""

@@ -1,0 +1,16 @@
+"""Workloads: the programs the paper evaluates on, rebuilt in MiniC.
+
+- :mod:`repro.workloads.spec` — 29 kernels named after the SPEC CPU2006
+  suite, each with ``train`` and ``ref`` inputs (Table 1);
+- :mod:`repro.workloads.cves` — the four CVE reproductions with
+  attacker-controlled non-incremental offsets (Table 2);
+- :mod:`repro.workloads.juliet` — a CWE-122 heap-overflow case generator
+  in the style of the NIST Juliet suite (Table 2);
+- :mod:`repro.workloads.chrome` — a generated large binary plus the 14
+  Kraken-named workloads (Fig. 8).
+"""
+
+from repro.workloads.registry import SpecBenchmark, PaperRow
+from repro.workloads.spec import SPEC_BENCHMARKS, get_benchmark
+
+__all__ = ["SpecBenchmark", "PaperRow", "SPEC_BENCHMARKS", "get_benchmark"]

@@ -1,0 +1,398 @@
+"""The Chrome/Kraken scalability workload (paper §7.3, Fig. 8).
+
+The paper instruments the ~149 MB Chrome binary with write-only
+(Redzone)+(LowFat) checks and measures the Kraken browser benchmark
+inside it (1.28x geometric-mean overhead).  Our stand-in is one *large
+generated binary* embedding:
+
+- the 14 Kraken sub-benchmarks as MiniC kernels, selected at run time by
+  ``arg(0)`` (the "page" the browser loads), and
+- hundreds of generated filler functions emulating the vast amount of
+  browser code that is instrumented but not exercised by the benchmark —
+  the property that makes Chrome hard for binary rewriters is static
+  size, not dynamic behaviour.
+
+Scalability is then measured as: the rewriter patches every site of the
+large image, the output still runs every kernel correctly, and the
+write-only overhead lands in the paper's range.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from repro.cc import CompiledProgram, compile_source
+
+#: Kraken sub-benchmark names in the paper's Fig. 8 order, mapped to the
+#: selector value ``arg(0)`` and a per-kernel work size ``arg(1)``.
+KRAKEN_BENCHMARKS = [
+    "ai-astar",
+    "audio-beat-detection",
+    "audio-dft",
+    "audio-fft",
+    "audio-oscillator",
+    "imaging-gaussian-blur",
+    "imaging-darkroom",
+    "imaging-desaturate",
+    "json-parse-financial",
+    "json-stringify-tinderbox",
+    "crypto-aes",
+    "crypto-ccm",
+    "crypto-pbkdf2",
+    "crypto-sha256-iterative",
+]
+
+#: Fig. 8 reports a 1.28x geometric mean for write-only hardening.
+PAPER_KRAKEN_GEOMEAN = 1.28
+
+_KERNELS = """
+int kraken_ai_astar(int n) {
+    int w = 24;
+    int cells = w * w;
+    int *cost = malloc(8 * cells);
+    int *open = malloc(8 * cells);
+    srand(3);
+    for (int i = 0; i < cells; i = i + 1) { cost[i] = rand() % 9 + 1; open[i] = -1; }
+    open[0] = 0;
+    int frontier = 0;
+    int tail = 1;
+    int *queue = malloc(8 * cells * 4);
+    queue[0] = 0;
+    while (frontier < tail) {
+        int cell = queue[frontier]; frontier = frontier + 1;
+        int x = cell % w; int y = cell / w;
+        if (x + 1 < w && open[cell + 1] < 0) { open[cell + 1] = open[cell] + cost[cell + 1]; queue[tail] = cell + 1; tail = tail + 1; }
+        if (y + 1 < w && open[cell + w] < 0) { open[cell + w] = open[cell] + cost[cell + w]; queue[tail] = cell + w; tail = tail + 1; }
+    }
+    return open[cells - 1];
+}
+
+int kraken_beat_detection(int n) {
+    int *signal = malloc(8 * n);
+    srand(5);
+    for (int i = 0; i < n; i = i + 1) signal[i] = rand() % 200 - 100;
+    int beats = 0;
+    int energy = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        energy = (energy * 7 + signal[i] * signal[i]) / 8;
+        if (signal[i] * signal[i] > energy * 2) beats = beats + 1;
+    }
+    return beats;
+}
+
+int kraken_dft(int n) {
+    int *wave = malloc(8 * n);
+    int *re = malloc(8 * 16);
+    srand(7);
+    for (int i = 0; i < n; i = i + 1) wave[i] = rand() % 100;
+    int s = 0;
+    for (int k = 0; k < 16; k = k + 1) {
+        int acc = 0;
+        for (int t = 0; t < n; t = t + 1)
+            acc = acc + wave[t] * (((k * t) % 7) - 3);
+        re[k] = acc;
+        s = (s + abs(acc)) % 1000003;
+    }
+    return s;
+}
+
+int kraken_fft(int n) {
+    int *buf = malloc(8 * n);
+    srand(11);
+    for (int i = 0; i < n; i = i + 1) buf[i] = rand() % 64;
+    int span = 1;
+    while (span < n) {
+        for (int i = 0; i + span < n; i = i + 2 * span) {
+            for (int j = 0; j < span; j = j + 1) {
+                int a = buf[i + j];
+                int b = buf[i + j + span];
+                buf[i + j] = a + b;
+                buf[i + j + span] = a - b;
+            }
+        }
+        span = span * 2;
+    }
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) s = (s + abs(buf[i])) % 1000003;
+    return s;
+}
+
+int kraken_oscillator(int n) {
+    int *out = malloc(8 * n);
+    int phase = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        phase = (phase + 37) % 629;
+        int tri = phase;
+        if (tri > 314) tri = 629 - tri;
+        out[i] = tri - 157;
+    }
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) s = s + abs(out[i]);
+    return s % 1000003;
+}
+
+int kraken_gaussian_blur(int n) {
+    int w = 32;
+    int h = n / w;
+    int *img = malloc(8 * w * h);
+    int *out = malloc(8 * w * h);
+    srand(13);
+    for (int i = 0; i < w * h; i = i + 1) img[i] = rand() % 256;
+    for (int y = 1; y < h - 1; y = y + 1)
+        for (int x = 1; x < w - 1; x = x + 1) {
+            int i = y * w + x;
+            out[i] = (img[i] * 4 + img[i-1] + img[i+1] + img[i-w] + img[i+w]) / 8;
+        }
+    int s = 0;
+    for (int i = 0; i < w * h; i = i + 1) s = s + out[i];
+    return s % 1000003;
+}
+
+int kraken_darkroom(int n) {
+    int *pix = malloc(8 * n);
+    srand(17);
+    for (int i = 0; i < n; i = i + 1) pix[i] = rand() % 256;
+    for (int i = 0; i < n; i = i + 1) {
+        int v = pix[i];
+        v = v * 9 / 8 - 10;
+        if (v < 0) v = 0;
+        if (v > 255) v = 255;
+        pix[i] = v;
+    }
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) s = s + pix[i];
+    return s % 1000003;
+}
+
+int kraken_desaturate(int n) {
+    int *rgb = malloc(8 * n * 3);
+    int *grey = malloc(8 * n);
+    srand(19);
+    for (int i = 0; i < n * 3; i = i + 1) rgb[i] = rand() % 256;
+    for (int i = 0; i < n; i = i + 1)
+        grey[i] = (rgb[i*3] * 3 + rgb[i*3+1] * 6 + rgb[i*3+2]) / 10;
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) s = s + grey[i];
+    return s % 1000003;
+}
+
+int kraken_json_parse(int n) {
+    char *text = malloc(n);
+    int *values = malloc(8 * n);
+    srand(23);
+    for (int i = 0; i < n; i = i + 1) {
+        int r = i % 8;
+        if (r < 5) text[i] = '0' + rand() % 10;
+        else if (r == 5) text[i] = ',';
+        else if (r == 6) text[i] = '{';
+        else text[i] = '}';
+    }
+    int count = 0;
+    int acc = 0;
+    int in_num = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        char c = text[i];
+        if (c >= '0' && c <= '9') { acc = acc * 10 + (c - '0'); in_num = 1; }
+        else if (in_num) { values[count] = acc; count = count + 1; acc = 0; in_num = 0; }
+    }
+    int s = count;
+    for (int i = 0; i < count; i = i + 1) s = (s + values[i]) % 1000003;
+    return s;
+}
+
+int kraken_json_stringify(int n) {
+    int *values = malloc(8 * n);
+    char *out = malloc(n * 8 + 16);
+    srand(29);
+    for (int i = 0; i < n; i = i + 1) values[i] = rand() % 100000;
+    int w = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        int v = values[i];
+        out[w] = '{'; w = w + 1;
+        while (v > 0) { out[w] = '0' + v % 10; w = w + 1; v = v / 10; }
+        out[w] = '}'; w = w + 1;
+    }
+    int s = w;
+    for (int i = 0; i < w; i = i + 1) s = (s + out[i]) % 1000003;
+    return s;
+}
+
+int kraken_aes(int n) {
+    char *sbox = malloc(256);
+    char *state = malloc(n);
+    srand(31);
+    for (int i = 0; i < 256; i = i + 1) sbox[i] = (i * 7 + 99) % 256;
+    for (int i = 0; i < n; i = i + 1) state[i] = rand() % 256;
+    for (int round = 0; round < 6; round = round + 1) {
+        for (int i = 0; i < n; i = i + 1) state[i] = sbox[state[i]];
+        for (int i = 0; i + 1 < n; i = i + 1) state[i] = state[i] ^ state[i + 1];
+    }
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) s = s + state[i];
+    return s % 1000003;
+}
+
+int kraken_ccm(int n) {
+    char *msg = malloc(n);
+    char *mac = malloc(16);
+    srand(37);
+    for (int i = 0; i < n; i = i + 1) msg[i] = rand() % 256;
+    memset(mac, 0, 16);
+    for (int i = 0; i < n; i = i + 1) {
+        int slot = i % 16;
+        mac[slot] = (mac[slot] ^ msg[i]) * 3 % 256;
+    }
+    int s = 0;
+    for (int i = 0; i < 16; i = i + 1) s = s * 31 + mac[i];
+    return s % 1000003;
+}
+
+int kraken_pbkdf2(int n) {
+    int state = 0x1234;
+    int *block = malloc(8 * 16);
+    for (int i = 0; i < 16; i = i + 1) block[i] = i * 0x9e37;
+    for (int iter = 0; iter < n; iter = iter + 1) {
+        for (int i = 0; i < 16; i = i + 1) {
+            state = (state * 33 + block[i]) & 0xffffff;
+            block[i] = block[i] ^ state;
+        }
+    }
+    int s = 0;
+    for (int i = 0; i < 16; i = i + 1) s = (s + block[i]) % 1000003;
+    return s;
+}
+
+int kraken_sha256(int n) {
+    int *h = malloc(8 * 8);
+    int *w = malloc(8 * 16);
+    for (int i = 0; i < 8; i = i + 1) h[i] = i * 0x6a09 + 1;
+    for (int i = 0; i < 16; i = i + 1) w[i] = i * 0x428a + 7;
+    for (int block = 0; block < n; block = block + 1) {
+        for (int t = 0; t < 16; t = t + 1) {
+            int ch = (h[4] & h[5]) ^ (~h[4] & h[6]);
+            int temp = (h[7] + ch + w[t]) & 0xffffff;
+            h[7] = h[6]; h[6] = h[5]; h[5] = h[4];
+            h[4] = (h[3] + temp) & 0xffffff;
+            h[3] = h[2]; h[2] = h[1]; h[1] = h[0];
+            h[0] = (temp * 3) & 0xffffff;
+        }
+    }
+    int s = 0;
+    for (int i = 0; i < 8; i = i + 1) s = (s + h[i]) % 1000003;
+    return s;
+}
+"""
+
+#: Default work size per kernel, tuned for ~10-30k baseline instructions.
+KERNEL_WORK = {
+    "ai-astar": 0,  # fixed-size grid
+    "audio-beat-detection": 600,
+    "audio-dft": 60,
+    "audio-fft": 256,
+    "audio-oscillator": 700,
+    "imaging-gaussian-blur": 512,
+    "imaging-darkroom": 600,
+    "imaging-desaturate": 300,
+    "json-parse-financial": 500,
+    "json-stringify-tinderbox": 120,
+    "crypto-aes": 150,
+    "crypto-ccm": 500,
+    "crypto-pbkdf2": 40,
+    "crypto-sha256-iterative": 40,
+}
+
+_DISPATCH_NAMES = [
+    "kraken_ai_astar",
+    "kraken_beat_detection",
+    "kraken_dft",
+    "kraken_fft",
+    "kraken_oscillator",
+    "kraken_gaussian_blur",
+    "kraken_darkroom",
+    "kraken_desaturate",
+    "kraken_json_parse",
+    "kraken_json_stringify",
+    "kraken_aes",
+    "kraken_ccm",
+    "kraken_pbkdf2",
+    "kraken_sha256",
+]
+
+
+def _filler_function(index: int) -> str:
+    """One generated never-hot 'browser code' function."""
+    variant = index % 4
+    if variant == 0:
+        body = f"""
+    int *a = malloc(8 * (n + 2));
+    int s = {index};
+    for (int i = 0; i < n; i = i + 1) {{ a[i] = s + i * {index % 7 + 1}; s = s + a[i] % 13; }}
+    free(a);
+    return s;"""
+    elif variant == 1:
+        body = f"""
+    char *b = malloc(n + 16);
+    memset(b, {index % 200}, n);
+    int s = 0;
+    for (int i = 1; i < n; i = i + 1) b[i] = b[i] ^ b[i - 1];
+    for (int i = 0; i < n; i = i + 1) s = s + b[i];
+    free(b);
+    return s;"""
+    elif variant == 2:
+        body = f"""
+    int s = {index * 3 + 1};
+    for (int i = 0; i < n; i = i + 1) {{
+        if ((i & 3) == 0) s = s + i;
+        else if ((i & 3) == 1) s = s - i / 2;
+        else s = s ^ (i * {index % 5 + 2});
+    }}
+    return s;"""
+    else:
+        body = f"""
+    int *m = malloc(8 * 8);
+    for (int i = 0; i < 8; i = i + 1) m[i] = i * {index % 11 + 1};
+    int s = 0;
+    for (int r = 0; r < n % 8 + 1; r = r + 1)
+        for (int i = 0; i < 8; i = i + 1) s = s + m[i] * r;
+    free(m);
+    return s;"""
+    return f"int browser_fn_{index}(int n) {{{body}\n}}\n"
+
+
+def chrome_source(filler_functions: int = 300) -> str:
+    """Generate the Chrome stand-in source."""
+    fillers = "\n".join(_filler_function(i) for i in range(filler_functions))
+    dispatch = "\n    ".join(
+        f"if (which == {i}) return {name}(work);"
+        for i, name in enumerate(_DISPATCH_NAMES)
+    )
+    filler_dispatch = "\n    ".join(
+        f"if (which == {1000 + i}) return browser_fn_{i}(work);"
+        for i in range(0, filler_functions, max(filler_functions // 8, 1))
+    )
+    return f"""
+{_KERNELS}
+
+{fillers}
+
+int main() {{
+    int which = arg(0);
+    int work = arg(1);
+    {dispatch}
+    {filler_dispatch}
+    return 0;
+}}
+"""
+
+
+@lru_cache(maxsize=4)
+def build_chrome(filler_functions: int = 300) -> CompiledProgram:
+    """Compile the large browser stand-in binary."""
+    return compile_source(chrome_source(filler_functions))
+
+
+def kraken_args(name: str) -> List[int]:
+    """The ``[selector, work]`` inputs for one Kraken sub-benchmark."""
+    index = KRAKEN_BENCHMARKS.index(name)
+    return [index, KERNEL_WORK[name]]

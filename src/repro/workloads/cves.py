@@ -1,0 +1,175 @@
+"""CVE reproductions with non-incremental overflows (paper §7.2, Table 2).
+
+Each case models the vulnerable allocation/access pattern of its CVE with
+an attacker-controlled offset (``arg(0)``).  The malicious input is
+crafted exactly as the paper describes: large enough to "skip over" the
+16-byte redzone of the victim object and land *inside an adjacent
+allocated heap object* — the access pattern (Redzone)-only tools such as
+Memcheck cannot distinguish from a valid access, but that pointer
+arithmetic checking catches regardless of the offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cc import CompiledProgram, compile_source
+
+
+@dataclass
+class CVECase:
+    """One Table 2 row."""
+
+    cve: str
+    program_name: str
+    source: str
+    benign_args: List[int]
+    malicious_args: List[int]
+    description: str
+
+    def compile(self) -> CompiledProgram:
+        return compile_source(self.source)
+
+
+#: CVE-2012-4295 — wireshark, Fig. 1 of the paper.  The struct's 5-byte
+#: m_vc_index_array is written at index speed-1 with attacker-controlled
+#: speed.  Victim struct is 24 bytes (rounded to 32 by a redzone
+#: allocator), so speed = 60 lands ~27 bytes into the adjacent heap
+#: object, past the redzone.
+WIRESHARK_2012_4295 = """
+struct sdh_g707_format {
+    int m_vc_size;
+    int m_sdh_line_rate;
+    char m_vc_index_array[5];
+};
+
+int channelised_fill_sdh_g707_format(struct sdh_g707_format *fmt,
+                                     int vc_size, int speed) {
+    if (vc_size == 0) return -1;
+    fmt->m_vc_size = vc_size;
+    fmt->m_sdh_line_rate = speed;
+    memset(fmt->m_vc_index_array, 0xff, 5);
+    fmt->m_vc_index_array[speed - 1] = 0;   // the CVE: no bound on speed
+    return 0;
+}
+
+int main() {
+    struct sdh_g707_format *fmt = malloc(24);
+    int *adjacent = malloc(64);              // the attacker's real target
+    adjacent[0] = 0x11223344;
+    int speed = arg(0);                      // from a crafted PCAP packet
+    channelised_fill_sdh_g707_format(fmt, 3, speed);
+    if (adjacent[0] != 0x11223344) print(-1);  // silent corruption
+    return 0;
+}
+"""
+
+#: CVE-2007-3476 — php/libgd: gdImageCreateTrueColor colour-index write
+#: with an unvalidated index into im->open[] style arrays.
+PHP_2007_3476 = """
+int gd_set_open(int *open_slots, int nslots, int index, int value) {
+    open_slots[index] = value;               // the CVE: index unchecked
+    return 0;
+}
+
+int main() {
+    int nslots = 16;
+    int *open_slots = malloc(8 * nslots);
+    int *image_data = malloc(8 * 64);        // adjacent image buffer
+    for (int i = 0; i < nslots; i = i + 1) open_slots[i] = 0;
+    image_data[0] = 0x5a5a5a5a;
+    int index = arg(0);                      // from a crafted GIF
+    gd_set_open(open_slots, nslots, index, 0x41414141);
+    if (image_data[0] != 0x5a5a5a5a) print(-1);
+    return 0;
+}
+"""
+
+#: CVE-2016-1903 — php/libgd gdImageRotateInterpolated: out-of-bounds
+#: *read* through an unvalidated background-colour index.
+PHP_2016_1903 = """
+int rotate_interpolated(char *palette, int size, int bgd_color) {
+    return palette[bgd_color];               // the CVE: OOB read
+}
+
+int main() {
+    char *palette = malloc(32);
+    char *secret = malloc(64);               // adjacent: info leak target
+    memset(palette, 5, 32);
+    memset(secret, 42, 64);
+    int bgd = arg(0);                        // from a crafted call
+    int leaked = rotate_interpolated(palette, 32, bgd);
+    print(leaked);
+    return 0;
+}
+"""
+
+#: CVE-2016-2335 — 7zip HFS+ handler: attacker-controlled block index
+#: used to write into a decode buffer.
+SEVENZIP_2016_2335 = """
+int hfs_copy_block(char *buffer, int buffer_size, char *block,
+                   int block_index, int block_size) {
+    int start = block_index * block_size;    // the CVE: index unchecked
+    for (int i = 0; i < block_size; i = i + 1)
+        buffer[start + i] = block[i];
+    return 0;
+}
+
+int main() {
+    int block_size = 16;
+    char *buffer = malloc(64);
+    char *victim = malloc(64);               // adjacent heap object
+    char *block = malloc(block_size);
+    memset(block, 0x61, block_size);
+    memset(victim, 7, 64);
+    int block_index = arg(0);                // from a crafted HFS+ image
+    hfs_copy_block(buffer, 64, block, block_index, block_size);
+    if (victim[0] != 7) print(-1);
+    return 0;
+}
+"""
+
+
+CVE_CASES: List[CVECase] = [
+    CVECase(
+        cve="CVE-2012-4295",
+        program_name="wireshark",
+        source=WIRESHARK_2012_4295,
+        benign_args=[3],
+        # speed-1 = 59 bytes past the array start: well past the victim's
+        # 32-byte slot + 16-byte redzone, inside the adjacent object.
+        malicious_args=[60],
+        description="non-incremental write via unvalidated SDH speed field",
+    ),
+    CVECase(
+        cve="CVE-2007-3476",
+        program_name="php",
+        source=PHP_2007_3476,
+        benign_args=[5],
+        # 8-byte elements: index 18 = byte offset 144, past the 128-byte
+        # victim slot + redzone, into the adjacent image buffer.
+        malicious_args=[18],
+        description="unchecked colour-index write in libgd",
+    ),
+    CVECase(
+        cve="CVE-2016-1903",
+        program_name="php",
+        source=PHP_2016_1903,
+        benign_args=[3],
+        # byte offset 60: past the 32-byte palette (class slot 48) and its
+        # redzone, reading the adjacent secret buffer.
+        malicious_args=[60],
+        description="out-of-bounds read leaking adjacent heap data",
+    ),
+    CVECase(
+        cve="CVE-2016-2335",
+        program_name="7zip",
+        source=SEVENZIP_2016_2335,
+        benign_args=[1],
+        # block 6 * 16 = byte 96: past the 64-byte buffer (slot 96 incl.
+        # redzone), writing into the adjacent victim object.
+        malicious_args=[6],
+        description="unchecked block index write in the HFS+ handler",
+    ),
+]

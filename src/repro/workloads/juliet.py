@@ -1,0 +1,197 @@
+"""A CWE-122 (heap buffer overflow) case generator in the Juliet style.
+
+The paper evaluates the subset of the NIST Juliet test suite containing
+*non-incremental* heap overflows: 480 cases, all detected by RedFat and
+all missed by redzone-only checking (Table 2, last row).  Juliet cases
+are small programs systematically varied over control/data-flow shapes;
+we regenerate that structure as the cross product of
+
+    6 flow shapes x 4 victim sizes = 24 distinct source programs,
+    x 20 attacker offsets each     = 480 cases.
+
+Every case overflows a heap object with an offset crafted to land inside
+the adjacent allocated object (skipping the 16-byte redzone), which is
+what makes the whole set invisible to (Redzone)-only tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List
+
+from repro.cc import CompiledProgram, compile_source
+
+#: Victim allocation sizes (distinct low-fat classes and paddings).
+SIZES = (24, 64, 100, 256)
+
+#: Attacker offset variants per source program.
+VARIANTS_PER_SOURCE = 20
+
+#: The neighbouring object every case overflows into.
+NEIGHBOUR_SIZE = 512
+
+
+def _rounded(size: int) -> int:
+    """A redzone allocator's 16-byte rounding of a request."""
+    return (size + 15) & ~15
+
+
+# --------------------------------------------------------------------------
+# Flow shapes.  Each is a function of the victim size returning source
+# that reads the attack offset from arg(0).  The meaning of arg(0) —
+# element index, byte offset, block number — varies per shape, as in
+# Juliet's flow variants.
+# --------------------------------------------------------------------------
+
+
+def _shape_index_write(size: int) -> str:
+    return f"""
+int main() {{
+    int *victim = malloc({size});
+    char *neighbour = malloc({NEIGHBOUR_SIZE});
+    memset(neighbour, 9, {NEIGHBOUR_SIZE});
+    int i = arg(0);
+    victim[i] = 0x41;                 // CWE-122: unchecked element index
+    return 0;
+}}
+"""
+
+
+def _shape_byte_write(size: int) -> str:
+    return f"""
+int main() {{
+    char *victim = malloc({size});
+    char *neighbour = malloc({NEIGHBOUR_SIZE});
+    memset(neighbour, 9, {NEIGHBOUR_SIZE});
+    int i = arg(0);
+    victim[i] = 0x41;                 // CWE-122: unchecked byte offset
+    return 0;
+}}
+"""
+
+
+def _shape_loop_write(size: int) -> str:
+    return f"""
+int main() {{
+    char *victim = malloc({size});
+    char *neighbour = malloc({NEIGHBOUR_SIZE});
+    memset(neighbour, 9, {NEIGHBOUR_SIZE});
+    int start = arg(0);
+    for (int j = start; j < start + 4; j = j + 1)
+        victim[j] = 0x41;             // CWE-122: loop from attacker start
+    return 0;
+}}
+"""
+
+
+def _shape_memcpy(size: int) -> str:
+    return f"""
+int main() {{
+    char *victim = malloc({size});
+    char *neighbour = malloc({NEIGHBOUR_SIZE});
+    char *payload = malloc(16);
+    memset(payload, 0x42, 16);
+    memset(neighbour, 9, {NEIGHBOUR_SIZE});
+    int off = arg(0);
+    memcpy(victim + off, payload, 8); // CWE-122: unchecked destination
+    return 0;
+}}
+"""
+
+
+def _shape_helper_index(size: int) -> str:
+    return f"""
+int compute_index(int raw) {{ return raw * 2 + 1; }}
+
+int main() {{
+    char *victim = malloc({size});
+    char *neighbour = malloc({NEIGHBOUR_SIZE});
+    memset(neighbour, 9, {NEIGHBOUR_SIZE});
+    int i = compute_index(arg(0));
+    victim[i] = 0x41;                 // CWE-122: index laundered by a call
+    return 0;
+}}
+"""
+
+
+def _shape_struct_member(size: int) -> str:
+    # The victim is a struct whose trailing array is indexed unchecked;
+    # arg(0) is the array index (array starts at byte 16 of the struct).
+    return f"""
+struct record {{
+    int kind;
+    int length;
+    char data[{max(size - 16, 1)}];
+}};
+
+int main() {{
+    struct record *victim = malloc({size});
+    char *neighbour = malloc({NEIGHBOUR_SIZE});
+    memset(neighbour, 9, {NEIGHBOUR_SIZE});
+    victim->kind = 1;
+    int i = arg(0);
+    victim->data[i] = 0x41;           // CWE-122: member array overflow
+    return 0;
+}}
+"""
+
+
+#: shape name -> (source generator, fn(size, byte_offset) -> arg value).
+_SHAPES = {
+    "index_write": (_shape_index_write, lambda size, off: off // 8),
+    "byte_write": (_shape_byte_write, lambda size, off: off),
+    "loop_write": (_shape_loop_write, lambda size, off: off),
+    "memcpy": (_shape_memcpy, lambda size, off: off),
+    "helper_index": (_shape_helper_index, lambda size, off: (off - 1) // 2),
+    "struct_member": (_shape_struct_member, lambda size, off: off - 16),
+}
+
+
+@dataclass
+class JulietCase:
+    """One generated CWE-122 test case."""
+
+    case_id: str
+    shape: str
+    victim_size: int
+    source: str
+    malicious_args: List[int]
+    benign_args: List[int]
+
+    def compile(self) -> CompiledProgram:
+        return _compile_cached(self.source)
+
+
+@lru_cache(maxsize=None)
+def _compile_cached(source: str) -> CompiledProgram:
+    return compile_source(source)
+
+
+def generate_cases(count: int = 480) -> List[JulietCase]:
+    """Generate the CWE-122 suite (default: the paper's 480 cases)."""
+    cases: List[JulietCase] = []
+    for shape_name, (make_source, to_arg) in _SHAPES.items():
+        for size in SIZES:
+            source = make_source(size)
+            # Byte offsets inside the neighbour's allocated payload:
+            # past the victim's rounded size + its trailing redzone.
+            base = _rounded(size) + 16
+            for variant in range(VARIANTS_PER_SOURCE):
+                offset = base + 8 * variant
+                if shape_name == "helper_index":
+                    # helper doubles and adds one: pick an odd offset.
+                    offset = base + 8 * variant + 1
+                cases.append(
+                    JulietCase(
+                        case_id=f"CWE122_{shape_name}_{size}_{variant:02d}",
+                        shape=shape_name,
+                        victim_size=size,
+                        source=source,
+                        malicious_args=[to_arg(size, offset)],
+                        benign_args=[0],
+                    )
+                )
+                if len(cases) == count:
+                    return cases
+    return cases

@@ -1,0 +1,107 @@
+"""Benchmark registry types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+from repro.cc import CompiledProgram, compile_source
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The paper's Table 1 row for one benchmark (for EXPERIMENTS.md).
+
+    ``factors`` are the published slow-down multipliers in column order:
+    (unoptimized, +elim, +batch, +merge, -size, -reads); ``memcheck`` is
+    the Memcheck column (None = NR: not run due to known issues).
+    """
+
+    coverage: float
+    baseline_seconds: int
+    factors: Tuple[float, float, float, float, float, float]
+    memcheck: Optional[float]
+
+
+@dataclass
+class SpecBenchmark:
+    """One SPEC-named kernel."""
+
+    name: str
+    language: str  # "C", "C++" or "Fortran"
+    source: str
+    train_args: List[int]
+    ref_args: List[int]
+    paper: PaperRow
+    #: Number of (array-K)-style sites the paper reports as false
+    #: positives when profiling is skipped (§7.1 "False positives").
+    paper_fp_sites: int = 0
+    #: Number of genuine memory errors the paper reports detecting
+    #: (§7.1 "Detected errors").
+    paper_real_bugs: int = 0
+    #: The paper could not run this benchmark under Memcheck.
+    memcheck_nr: bool = False
+    notes: str = ""
+
+    def compile(self, pic: bool = False) -> CompiledProgram:
+        return _compile_cached(self.source, pic)
+
+    @property
+    def expected_output(self) -> Optional[str]:
+        """Populated lazily by the harness for self-checking."""
+        return None
+
+
+@lru_cache(maxsize=None)
+def _compile_cached(source: str, pic: bool) -> CompiledProgram:
+    return compile_source(source, pic=pic)
+
+
+def anti_idiom_reader(name: str, offset: int = 4) -> str:
+    """One Fortran-style reader: iterates a 1-based (shifted-base) array.
+
+    The base pointer ``a - offset`` is out of bounds of the allocation,
+    so the indexed access inside is a guaranteed (LowFat) false positive
+    — one per generated function.
+    """
+    return f"""
+int {name}(int *a, int n) {{
+    int *g = a - {offset};
+    int s = 0;
+    for (int i = {offset}; i < n + {offset}; i = i + 1) s = s + g[i];
+    return s;
+}}
+"""
+
+
+def anti_idiom_writer(name: str, offset: int = 4) -> str:
+    """One Fortran-style writer (see :func:`anti_idiom_reader`)."""
+    return f"""
+int {name}(int *a, int n, int v) {{
+    int *g = a - {offset};
+    for (int i = {offset}; i < n + {offset}; i = i + 1) g[i] = v + i;
+    return 0;
+}}
+"""
+
+
+def anti_idiom_block(prefix: str, count: int, offset: int = 4) -> Tuple[str, str]:
+    """Generate *count* anti-idiom functions plus a driver calling them.
+
+    Returns ``(functions_source, driver_calls_source)``; the driver text
+    assumes locals ``a`` (an int array of >= n words) and ``n``, and
+    accumulates into ``s``.  Used to plant the exact per-benchmark false
+    positive site counts reported in the paper (e.g. 32 for GemsFDTD).
+    """
+    functions = []
+    calls = []
+    for index in range(count):
+        name = f"{prefix}_{index}"
+        if index % 2 == 0:
+            functions.append(anti_idiom_reader(name, offset))
+            calls.append(f"s = s + {name}(a, n);")
+        else:
+            functions.append(anti_idiom_writer(name, offset))
+            calls.append(f"{name}(a, n, {index});")
+    return "\n".join(functions), "\n            ".join(calls)

@@ -1,0 +1,492 @@
+"""MiniC kernels standing in for the SPEC CPU2006 C benchmarks.
+
+Each kernel mimics its namesake's dominant behaviour (hash tables for
+perlbench, run-length coding for bzip2, graph relaxation for mcf, ...).
+All take ``arg(0)`` = problem size and ``arg(1)`` = mode (1 = train,
+2 = ref); benchmarks with low paper coverage gate whole kernels behind
+``mode == 2`` so the train workload never reaches them — reproducing the
+train-vs-ref coverage gap of Table 1.
+"""
+
+from repro.workloads.registry import anti_idiom_block
+
+# -- 400.perlbench: interpreter-style string hashing + dispatch loop -------
+
+_PERL_FP, _PERL_CALLS = anti_idiom_block("perl_magic", 1, offset=4)
+
+PERLBENCH = f"""
+{_PERL_FP}
+
+int hash_bytes(char *s, int n) {{
+    int h = 5381;
+    for (int i = 0; i < n; i = i + 1) h = (h * 33 + s[i]) & 0xffffff;
+    return h;
+}}
+
+int interp(int *ops, int nops, int *stack) {{
+    int sp = 0;
+    int acc = 0;
+    for (int pc = 0; pc < nops; pc = pc + 1) {{
+        int op = ops[pc] % 5;
+        if (op == 0) {{ stack[sp] = acc; sp = sp + 1; }}
+        else if (op == 1) {{ if (sp > 0) {{ sp = sp - 1; acc = acc + stack[sp]; }} }}
+        else if (op == 2) acc = acc * 3 + 1;
+        else if (op == 3) acc = acc - ops[pc];
+        else acc = acc ^ ops[pc];
+    }}
+    return acc;
+}}
+
+int main() {{
+    int n = arg(0);
+    int mode = arg(1);
+    char *text = malloc(n);
+    int *ops = malloc(8 * n);
+    int *stack = malloc(8 * (n + 1));
+    int *a = malloc(8 * (n + 4));
+    srand(7);
+    for (int i = 0; i < n; i = i + 1) {{
+        text[i] = rand() % 96 + 32;
+        ops[i] = rand() % 97;
+        a[i] = i;
+    }}
+    int s = 0;
+    for (int round = 0; round < 3; round = round + 1) {{
+        s = s + hash_bytes(text, n);
+        s = s + interp(ops, n, stack);
+    }}
+    if (mode == 2) {{
+        {_PERL_CALLS}
+    }}
+    print(s & 0xffffff);
+    return 0;
+}}
+"""
+
+# -- 401.bzip2: run-length encode/decode round trip -------------------------
+
+BZIP2 = """
+int rle_encode(char *src, int n, char *dst) {
+    int w = 0;
+    int i = 0;
+    while (i < n) {
+        int run = 1;
+        while (i + run < n && src[i + run] == src[i] && run < 255) run = run + 1;
+        dst[w] = run; w = w + 1;
+        dst[w] = src[i]; w = w + 1;
+        i = i + run;
+    }
+    return w;
+}
+
+int rle_decode(char *src, int w, char *dst) {
+    int out = 0;
+    for (int i = 0; i < w; i = i + 2) {
+        int run = src[i];
+        for (int j = 0; j < run; j = j + 1) { dst[out] = src[i + 1]; out = out + 1; }
+    }
+    return out;
+}
+
+int main() {
+    int n = arg(0);
+    char *data = malloc(n);
+    char *packed = malloc(2 * n + 2);
+    char *unpacked = malloc(n + 256);
+    srand(11);
+    for (int i = 0; i < n; i = i + 1) data[i] = rand() % 4;
+    int s = 0;
+    for (int round = 0; round < 3; round = round + 1) {
+        int w = rle_encode(data, n, packed);
+        int out = rle_decode(packed, w, unpacked);
+        s = s + w + out;
+        for (int i = 0; i < n; i = i + 1) if (unpacked[i] != data[i]) s = s + 1000000;
+    }
+    print(s);
+    return 0;
+}
+"""
+
+# -- 403.gcc: register-allocation-style graph colouring ---------------------
+# The paper reports 14 false-positive sites for gcc; they live in the
+# "spill slot" helpers below, which index frames from a shifted base.
+
+_GCC_FP, _GCC_CALLS = anti_idiom_block("gcc_spill", 14, offset=3)
+
+GCC = f"""
+{_GCC_FP}
+
+int colour(int *adj, int *colours, int nodes, int degree) {{
+    int used = 0;
+    for (int v = 0; v < nodes; v = v + 1) {{
+        int mask = 0;
+        for (int e = 0; e < degree; e = e + 1) {{
+            int u = adj[v * degree + e];
+            if (colours[u] >= 0) mask = mask | (1 << (colours[u] & 31));
+        }}
+        int c = 0;
+        while ((mask >> c) & 1) c = c + 1;
+        colours[v] = c;
+        if (c > used) used = c;
+    }}
+    return used;
+}}
+
+int main() {{
+    int n = arg(0);
+    int mode = arg(1);
+    int degree = 4;
+    int *adj = malloc(8 * n * degree);
+    int *colours = malloc(8 * n);
+    int *a = malloc(8 * (n + 3));
+    srand(13);
+    for (int v = 0; v < n; v = v + 1) {{
+        colours[v] = -1;
+        a[v] = v;
+        for (int e = 0; e < degree; e = e + 1)
+            adj[v * degree + e] = rand() % n;
+    }}
+    int s = colour(adj, colours, n, degree);
+    for (int v = 0; v < n; v = v + 1) s = s + colours[v];
+    if (mode == 2) {{
+        {_GCC_CALLS}
+    }}
+    print(s);
+    return 0;
+}}
+"""
+
+# -- 429.mcf: Bellman-Ford-style relaxation over a sparse network ------------
+
+MCF = """
+struct arc { int from; int to; int cost; };
+
+int main() {
+    int n = arg(0);
+    int narcs = n * 3;
+    struct arc *arcs = malloc(24 * narcs);
+    int *dist = malloc(8 * n);
+    srand(17);
+    for (int i = 0; i < narcs; i = i + 1) {
+        arcs[i].from = rand() % n;
+        arcs[i].to = rand() % n;
+        arcs[i].cost = rand() % 100 + 1;
+    }
+    for (int v = 1; v < n; v = v + 1) dist[v] = 1 << 30;
+    dist[0] = 0;
+    for (int round = 0; round < 6; round = round + 1) {
+        for (int i = 0; i < narcs; i = i + 1) {
+            int from = arcs[i].from;
+            int to = arcs[i].to;
+            if (dist[from] + arcs[i].cost < dist[to])
+                dist[to] = dist[from] + arcs[i].cost;
+        }
+    }
+    int s = 0;
+    for (int v = 0; v < n; v = v + 1) if (dist[v] < (1 << 30)) s = s + dist[v];
+    print(s);
+    return 0;
+}
+"""
+
+# -- 445.gobmk: influence propagation over a Go board ------------------------
+
+_GOBMK_FP, _GOBMK_CALLS = anti_idiom_block("gobmk_owl", 1, offset=5)
+
+GOBMK = f"""
+{_GOBMK_FP}
+
+int main() {{
+    int size = 19;
+    int rounds = arg(0);
+    int mode = arg(1);
+    int cells = size * size;
+    int *board = malloc(8 * cells);
+    int *next = malloc(8 * cells);
+    int *a = malloc(8 * (cells + 5));
+    srand(19);
+    for (int i = 0; i < cells; i = i + 1) {{ board[i] = rand() % 3; a[i] = i; }}
+    int s = 0;
+    for (int r = 0; r < rounds; r = r + 1) {{
+        for (int y = 1; y < size - 1; y = y + 1) {{
+            for (int x = 1; x < size - 1; x = x + 1) {{
+                int i = y * size + x;
+                int inf = board[i] * 4 + board[i - 1] + board[i + 1]
+                        + board[i - size] + board[i + size];
+                next[i] = inf / 4;
+            }}
+        }}
+        int *tmp = board; board = next; next = tmp;
+        s = s + board[rounds * 7 % cells];
+    }}
+    if (mode == 2) s = s + gobmk_owl_0(a, cells);
+    print(s);
+    return 0;
+}}
+"""
+
+# -- 456.hmmer: Viterbi dynamic programming ----------------------------------
+# Paper coverage is 48%: half of the kernels only run on ref.
+
+HMMER = """
+int viterbi(int *dp, int *emit, int states, int steps) {
+    for (int st = 0; st < states; st = st + 1) dp[st] = emit[st];
+    for (int t = 1; t < steps; t = t + 1) {
+        for (int st = 0; st < states; st = st + 1) {
+            int best = dp[(t - 1) * states + st];
+            if (st > 0 && dp[(t - 1) * states + st - 1] > best)
+                best = dp[(t - 1) * states + st - 1];
+            dp[t * states + st] = best + emit[(t * 31 + st) % states];
+        }
+    }
+    int best = 0;
+    for (int st = 0; st < states; st = st + 1)
+        if (dp[(steps - 1) * states + st] > best) best = dp[(steps - 1) * states + st];
+    return best;
+}
+
+int forward_sum(int *dp, int *emit, int states, int steps) {
+    for (int st = 0; st < states; st = st + 1) dp[st] = emit[st];
+    for (int t = 1; t < steps; t = t + 1)
+        for (int st = 0; st < states; st = st + 1)
+            dp[t * states + st] =
+                (dp[(t - 1) * states + st] + emit[(t + st) % states]) % 1000003;
+    int s = 0;
+    for (int st = 0; st < states; st = st + 1) s = s + dp[(steps - 1) * states + st];
+    return s;
+}
+
+int main() {
+    int states = 16;
+    int steps = arg(0);
+    int mode = arg(1);
+    int *dp = malloc(8 * states * steps);
+    int *emit = malloc(8 * states);
+    srand(23);
+    for (int st = 0; st < states; st = st + 1) emit[st] = rand() % 50;
+    int s = viterbi(dp, emit, states, steps);
+    if (mode == 2) s = s + forward_sum(dp, emit, states, steps);
+    print(s);
+    return 0;
+}
+"""
+
+# -- 458.sjeng: alpha-beta game tree over a toy position ----------------------
+
+SJENG = """
+int evaluate(int *pieces, int n) {
+    int score = 0;
+    for (int i = 0; i < n; i = i + 1) score = score + pieces[i] * ((i & 7) - 3);
+    return score;
+}
+
+int search(int *pieces, int n, int depth, int side) {
+    if (depth == 0) return side * evaluate(pieces, n);
+    int best = -(1 << 30);
+    for (int move = 0; move < 4; move = move + 1) {
+        int square = (depth * 13 + move * 7) % n;
+        int saved = pieces[square];
+        pieces[square] = (saved + side + move) & 7;
+        int value = -search(pieces, n, depth - 1, -side);
+        pieces[square] = saved;
+        if (value > best) best = value;
+    }
+    return best;
+}
+
+int main() {
+    int n = 64;
+    int depth = arg(0);
+    int *pieces = malloc(8 * n);
+    srand(29);
+    for (int i = 0; i < n; i = i + 1) pieces[i] = rand() % 8;
+    int s = 0;
+    for (int game = 0; game < 3; game = game + 1)
+        s = s + search(pieces, n, depth, 1);
+    print(s);
+    return 0;
+}
+"""
+
+# -- 462.libquantum: quantum register gate simulation ------------------------
+
+LIBQUANTUM = """
+int main() {
+    int qubits = 10;
+    int rounds = arg(0);
+    int states = 1 << qubits;
+    int *amp = malloc(8 * states);
+    for (int i = 0; i < states; i = i + 1) amp[i] = i & 0xff;
+    int s = 0;
+    for (int r = 0; r < rounds; r = r + 1) {
+        int target = r % qubits;
+        int bit = 1 << target;
+        for (int i = 0; i < states; i = i + 1) {
+            if ((i & bit) == 0) {
+                int j = i | bit;
+                int x = amp[i];
+                amp[i] = x + amp[j];
+                amp[j] = x - amp[j];
+            }
+        }
+        s = s + amp[(r * 97) % states];
+    }
+    print(s & 0xffffff);
+    return 0;
+}
+"""
+
+# -- 464.h264ref: sum-of-absolute-differences block search --------------------
+# Paper coverage is 20%: four of five kernels are ref-only.
+
+H264REF = """
+int sad(char *a, char *b, int w) {
+    int s = 0;
+    for (int i = 0; i < w * w; i = i + 1) s = s + abs(a[i] - b[i]);
+    return s;
+}
+
+int motion_search(char *frame, char *refframe, int w, int blocks) {
+    int best = 1 << 30;
+    for (int b = 0; b < blocks; b = b + 1) {
+        int d = sad(frame + b * 16, refframe + b * 16, 4);
+        if (d < best) best = d;
+    }
+    return best;
+}
+
+int dct_pass(int *coef, int n) {
+    for (int i = 0; i + 4 <= n; i = i + 4) {
+        int a = coef[i] + coef[i + 3];
+        int b = coef[i + 1] + coef[i + 2];
+        coef[i] = a + b;
+        coef[i + 1] = a - b;
+    }
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) s = s + coef[i];
+    return s;
+}
+
+int quant_pass(int *coef, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) { coef[i] = coef[i] / 3; s = s + coef[i]; }
+    return s;
+}
+
+int deblock_pass(char *frame, int n) {
+    int s = 0;
+    for (int i = 1; i < n - 1; i = i + 1) {
+        frame[i] = (frame[i - 1] + frame[i] * 2 + frame[i + 1]) / 4;
+        s = s + frame[i];
+    }
+    return s;
+}
+
+int main() {
+    int n = arg(0);
+    int mode = arg(1);
+    char *frame = malloc(n + 64);
+    char *refframe = malloc(n + 64);
+    int *coef = malloc(8 * n);
+    srand(31);
+    for (int i = 0; i < n; i = i + 1) {
+        frame[i] = rand() % 200;
+        refframe[i] = rand() % 200;
+        coef[i] = rand() % 64;
+    }
+    int s = motion_search(frame, refframe, n, n / 16);
+    if (mode == 2) {
+        s = s + dct_pass(coef, n);
+        s = s + quant_pass(coef, n);
+        s = s + deblock_pass(frame, n);
+        s = s + sad(frame, refframe, 8);
+    }
+    print(s);
+    return 0;
+}
+"""
+
+# -- 433.milc: lattice gauge staple sums ---------------------------------------
+
+MILC = """
+int main() {
+    int dim = arg(0);
+    int sites = dim * dim * dim;
+    int *lattice = malloc(8 * sites);
+    int *staple = malloc(8 * sites);
+    srand(37);
+    for (int i = 0; i < sites; i = i + 1) lattice[i] = rand() % 97;
+    int s = 0;
+    for (int sweep = 0; sweep < 4; sweep = sweep + 1) {
+        for (int i = 0; i < sites; i = i + 1) {
+            int right = lattice[(i + 1) % sites];
+            int up = lattice[(i + dim) % sites];
+            int far = lattice[(i + dim * dim) % sites];
+            staple[i] = (lattice[i] * 2 + right + up + far) % 1000003;
+        }
+        for (int i = 0; i < sites; i = i + 1) lattice[i] = staple[i];
+        s = s + lattice[sweep * 11 % sites];
+    }
+    print(s);
+    return 0;
+}
+"""
+
+# -- 470.lbm: D2Q5 lattice-Boltzmann streaming/collision -----------------------
+
+LBM = """
+int main() {
+    int w = arg(0);
+    int h = w;
+    int cells = w * h;
+    int *density = malloc(8 * cells);
+    int *next = malloc(8 * cells);
+    srand(41);
+    for (int i = 0; i < cells; i = i + 1) density[i] = rand() % 100 + 100;
+    int s = 0;
+    for (int step = 0; step < 6; step = step + 1) {
+        for (int y = 1; y < h - 1; y = y + 1) {
+            for (int x = 1; x < w - 1; x = x + 1) {
+                int i = y * w + x;
+                int flow = density[i - 1] + density[i + 1]
+                         + density[i - w] + density[i + w];
+                next[i] = (density[i] * 4 + flow) / 8;
+            }
+        }
+        int *tmp = density; density = next; next = tmp;
+        s = s + density[(step * 131) % cells];
+    }
+    print(s);
+    return 0;
+}
+"""
+
+# -- 482.sphinx3: Gaussian mixture scoring --------------------------------------
+
+SPHINX3 = """
+int main() {
+    int frames = arg(0);
+    int mixtures = 8;
+    int dims = 13;
+    int *features = malloc(8 * frames * dims);
+    int *means = malloc(8 * mixtures * dims);
+    srand(43);
+    for (int i = 0; i < frames * dims; i = i + 1) features[i] = rand() % 64;
+    for (int i = 0; i < mixtures * dims; i = i + 1) means[i] = rand() % 64;
+    int s = 0;
+    for (int f = 0; f < frames; f = f + 1) {
+        int best = 1 << 30;
+        for (int m = 0; m < mixtures; m = m + 1) {
+            int d = 0;
+            for (int k = 0; k < dims; k = k + 1) {
+                int diff = features[f * dims + k] - means[m * dims + k];
+                d = d + diff * diff;
+            }
+            if (d < best) best = d;
+        }
+        s = (s + best) % 1000003;
+    }
+    print(s);
+    return 0;
+}
+"""

@@ -1,0 +1,345 @@
+"""MiniC kernels standing in for the SPEC CPU2006 C++ benchmarks.
+
+(The point of the C++ rows in the paper is that reassembly-based
+rewriters such as RetroWrite cannot handle C++ binaries at all, while the
+trampoline approach is language-agnostic; here "C++" benchmarks simply
+exercise the object-graph/virtual-dispatch-flavoured workloads their
+namesakes are known for.)
+"""
+
+from repro.workloads.registry import anti_idiom_block
+
+# -- 471.omnetpp: discrete event simulation on a binary heap ------------------
+# Paper coverage 62.8%: statistics collection only runs on ref.
+
+OMNETPP = """
+struct event { int time; int kind; };
+
+int heap_push(struct event *heap, int n, int time, int kind) {
+    int i = n;
+    heap[i].time = time;
+    heap[i].kind = kind;
+    while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (heap[parent].time <= heap[i].time) break;
+        int tt = heap[parent].time; int kk = heap[parent].kind;
+        heap[parent].time = heap[i].time; heap[parent].kind = heap[i].kind;
+        heap[i].time = tt; heap[i].kind = kk;
+        i = parent;
+    }
+    return n + 1;
+}
+
+int heap_pop(struct event *heap, int n) {
+    heap[0].time = heap[n - 1].time;
+    heap[0].kind = heap[n - 1].kind;
+    n = n - 1;
+    int i = 0;
+    while (1) {
+        int left = 2 * i + 1;
+        int right = 2 * i + 2;
+        int smallest = i;
+        if (left < n && heap[left].time < heap[smallest].time) smallest = left;
+        if (right < n && heap[right].time < heap[smallest].time) smallest = right;
+        if (smallest == i) break;
+        int tt = heap[smallest].time; int kk = heap[smallest].kind;
+        heap[smallest].time = heap[i].time; heap[smallest].kind = heap[i].kind;
+        heap[i].time = tt; heap[i].kind = kk;
+        i = smallest;
+    }
+    return n;
+}
+
+int collect_stats(int *histogram, int buckets, struct event *heap, int n) {
+    for (int i = 0; i < n; i = i + 1)
+        histogram[heap[i].kind % buckets] = histogram[heap[i].kind % buckets] + 1;
+    int s = 0;
+    for (int b = 0; b < buckets; b = b + 1) s = s + histogram[b] * b;
+    return s;
+}
+
+int main() {
+    int events = arg(0);
+    int mode = arg(1);
+    struct event *heap = malloc(16 * (events + 1));
+    int *histogram = malloc(8 * 16);
+    memset(histogram, 0, 128);
+    srand(47);
+    int n = 0;
+    int clock = 0;
+    int s = 0;
+    for (int i = 0; i < events; i = i + 1)
+        n = heap_push(heap, n, rand() % 10000, rand() % 16);
+    while (n > 0) {
+        clock = heap[0].time;
+        int kind = heap[0].kind;
+        n = heap_pop(heap, n);
+        if (kind < 4 && n < events) n = heap_push(heap, n, clock + kind + 1, kind + 7);
+        s = s + clock % 17;
+    }
+    if (mode == 2) s = s + collect_stats(histogram, 16, heap, events / 2);
+    print(s);
+    return 0;
+}
+"""
+
+# -- 473.astar: grid breadth-first pathfinding ----------------------------------
+
+ASTAR = """
+int main() {
+    int w = arg(0);
+    int cells = w * w;
+    int *grid = malloc(8 * cells);
+    int *dist = malloc(8 * cells);
+    int *queue = malloc(8 * cells * 4);
+    srand(53);
+    for (int i = 0; i < cells; i = i + 1) {
+        grid[i] = rand() % 5;      // 0 is a wall
+        dist[i] = -1;
+    }
+    grid[0] = 1;
+    dist[0] = 0;
+    int head = 0;
+    int tail = 0;
+    queue[tail] = 0; tail = tail + 1;
+    while (head < tail) {
+        int cell = queue[head]; head = head + 1;
+        int x = cell % w;
+        int y = cell / w;
+        for (int dir = 0; dir < 4; dir = dir + 1) {
+            int nx = x; int ny = y;
+            if (dir == 0) nx = x + 1;
+            if (dir == 1) nx = x - 1;
+            if (dir == 2) ny = y + 1;
+            if (dir == 3) ny = y - 1;
+            if (nx >= 0 && nx < w && ny >= 0 && ny < w) {
+                int next = ny * w + nx;
+                if (grid[next] != 0 && dist[next] < 0) {
+                    dist[next] = dist[cell] + grid[next];
+                    queue[tail] = next; tail = tail + 1;
+                }
+            }
+        }
+    }
+    int s = 0;
+    for (int i = 0; i < cells; i = i + 1) if (dist[i] > 0) s = s + dist[i];
+    print(s);
+    return 0;
+}
+"""
+
+# -- 483.xalancbmk: XML-style tree transformation --------------------------------
+# Paper coverage 78.9%: the serializer pass only runs on ref.
+
+XALANCBMK = """
+struct tnode { int tag; int value; int first_child; int next_sibling; };
+
+int build(struct tnode *nodes, int count) {
+    srand(59);
+    for (int i = 0; i < count; i = i + 1) {
+        nodes[i].tag = rand() % 8;
+        nodes[i].value = rand() % 100;
+        nodes[i].first_child = -1;
+        nodes[i].next_sibling = -1;
+    }
+    for (int i = 1; i < count; i = i + 1) {
+        int parent = rand() % i;
+        if (nodes[parent].first_child < 0) nodes[parent].first_child = i;
+        else {
+            int child = nodes[parent].first_child;
+            while (nodes[child].next_sibling >= 0) child = nodes[child].next_sibling;
+            nodes[child].next_sibling = i;
+        }
+    }
+    return 0;
+}
+
+int transform(struct tnode *nodes, int count) {
+    int s = 0;
+    for (int i = 0; i < count; i = i + 1) {
+        if (nodes[i].tag == 3) nodes[i].value = nodes[i].value * 2;
+        int child = nodes[i].first_child;
+        while (child >= 0) {
+            s = s + nodes[child].value;
+            child = nodes[child].next_sibling;
+        }
+    }
+    return s;
+}
+
+int serialize(struct tnode *nodes, int count, char *out) {
+    int w = 0;
+    for (int i = 0; i < count; i = i + 1) {
+        out[w] = nodes[i].tag + 60; w = w + 1;
+        out[w] = nodes[i].value & 0x7f; w = w + 1;
+    }
+    int s = 0;
+    for (int i = 0; i < w; i = i + 1) s = s + out[i];
+    return s;
+}
+
+int main() {
+    int count = arg(0);
+    int mode = arg(1);
+    struct tnode *nodes = malloc(32 * count);
+    char *out = malloc(2 * count + 16);
+    build(nodes, count);
+    int s = 0;
+    for (int pass = 0; pass < 3; pass = pass + 1) s = s + transform(nodes, count);
+    if (mode == 2) s = s + serialize(nodes, count, out);
+    print(s);
+    return 0;
+}
+"""
+
+# -- 444.namd: particle pair-force accumulation -----------------------------------
+
+NAMD = """
+int main() {
+    int particles = arg(0);
+    int *px = malloc(8 * particles);
+    int *py = malloc(8 * particles);
+    int *fx = malloc(8 * particles);
+    int *fy = malloc(8 * particles);
+    srand(61);
+    for (int i = 0; i < particles; i = i + 1) {
+        px[i] = rand() % 1000;
+        py[i] = rand() % 1000;
+        fx[i] = 0;
+        fy[i] = 0;
+    }
+    for (int i = 0; i < particles; i = i + 1) {
+        for (int j = i + 1; j < particles; j = j + 1) {
+            int dx = px[i] - px[j];
+            int dy = py[i] - py[j];
+            int r2 = dx * dx + dy * dy + 1;
+            int f = 100000 / r2;
+            fx[i] = fx[i] + f * dx / 32;
+            fy[i] = fy[i] + f * dy / 32;
+            fx[j] = fx[j] - f * dx / 32;
+            fy[j] = fy[j] - f * dy / 32;
+        }
+    }
+    int s = 0;
+    for (int i = 0; i < particles; i = i + 1) s = s + abs(fx[i]) + abs(fy[i]);
+    print(s % 1000003);
+    return 0;
+}
+"""
+
+# -- 447.dealII: compressed-sparse-row matrix-vector products ----------------------
+
+DEALII = """
+int main() {
+    int rows = arg(0);
+    int mode = arg(1);
+    int per_row = 5;
+    int nnz = rows * per_row;
+    int *colidx = malloc(8 * nnz);
+    int *values = malloc(8 * nnz);
+    int *x = malloc(8 * rows);
+    int *y = malloc(8 * rows);
+    srand(67);
+    for (int r = 0; r < rows; r = r + 1) {
+        x[r] = rand() % 16;
+        for (int k = 0; k < per_row; k = k + 1) {
+            colidx[r * per_row + k] = rand() % rows;
+            values[r * per_row + k] = rand() % 9 - 4;
+        }
+    }
+    int s = 0;
+    for (int iter = 0; iter < 5; iter = iter + 1) {
+        for (int r = 0; r < rows; r = r + 1) {
+            int acc = 0;
+            for (int k = 0; k < per_row; k = k + 1)
+                acc = acc + values[r * per_row + k] * x[colidx[r * per_row + k]];
+            y[r] = acc;
+        }
+        int *tmp = x; x = y; y = tmp;
+        s = (s + x[iter * 7 % rows]) % 1000003;
+    }
+    print(s);
+    return 0;
+}
+"""
+
+# -- 450.soplex: dense simplex-style pivoting ---------------------------------------
+
+SOPLEX = """
+int main() {
+    int n = arg(0);
+    int *tableau = malloc(8 * n * n);
+    srand(71);
+    for (int i = 0; i < n * n; i = i + 1) tableau[i] = rand() % 19 - 9;
+    int s = 0;
+    for (int pivot = 0; pivot < n; pivot = pivot + 1) {
+        int p = tableau[pivot * n + pivot];
+        if (p == 0) p = 1;
+        for (int r = 0; r < n; r = r + 1) {
+            if (r == pivot) continue;
+            int factor = tableau[r * n + pivot] / p;
+            if (factor == 0) continue;
+            for (int c = 0; c < n; c = c + 1)
+                tableau[r * n + c] = tableau[r * n + c] - factor * tableau[pivot * n + c];
+        }
+        s = (s + tableau[pivot * n + pivot]) % 1000003;
+    }
+    print(s);
+    return 0;
+}
+"""
+
+# -- 453.povray: fixed-point ray-sphere intersection --------------------------------
+
+_POVRAY_FP, _POVRAY_CALLS = anti_idiom_block("povray_noise", 1, offset=7)
+
+POVRAY = f"""
+{_POVRAY_FP}
+
+int isqrt(int v) {{
+    if (v <= 0) return 0;
+    int x = v;
+    for (int i = 0; i < 20; i = i + 1) x = (x + v / x) / 2;
+    return x;
+}}
+
+int main() {{
+    int rays = arg(0);
+    int mode = arg(1);
+    int spheres = 8;
+    int *sx = malloc(8 * spheres);
+    int *sy = malloc(8 * spheres);
+    int *sr = malloc(8 * spheres);
+    int *a = malloc(8 * (rays + 7));
+    int n = rays;
+    srand(73);
+    for (int i = 0; i < spheres; i = i + 1) {{
+        sx[i] = rand() % 200 - 100;
+        sy[i] = rand() % 200 - 100;
+        sr[i] = rand() % 30 + 5;
+    }}
+    for (int i = 0; i < rays; i = i + 1) a[i] = i;
+    int s = 0;
+    for (int ray = 0; ray < rays; ray = ray + 1) {{
+        int dx = (ray * 37) % 199 - 99;
+        int dy = (ray * 61) % 199 - 99;
+        int nearest = 1 << 30;
+        for (int i = 0; i < spheres; i = i + 1) {{
+            int ox = dx - sx[i];
+            int oy = dy - sy[i];
+            int d2 = ox * ox + oy * oy;
+            int r2 = sr[i] * sr[i];
+            if (d2 < r2) {{
+                int t = isqrt(r2 - d2);
+                if (t < nearest) nearest = t;
+            }}
+        }}
+        if (nearest < (1 << 30)) s = s + nearest;
+    }}
+    if (mode == 2) {{
+        {_POVRAY_CALLS}
+    }}
+    print(s);
+    return 0;
+}}
+"""

@@ -1,0 +1,421 @@
+"""MiniC kernels standing in for the SPEC CPU2006 Fortran benchmarks.
+
+Fortran arrays are 1-based (and may start at any lower bound), which
+gfortran compiles by *normalising the array base pointer* — e.g.
+``REAL, DIMENSION(its:ite) :: fqy`` becomes accesses through ``fqy - its``.
+That shifted base is an intentional out-of-bounds pointer and the chief
+source of (LowFat) false positives in the paper (§7.1).  Every kernel
+below therefore routes part of its work through
+:func:`~repro.workloads.registry.anti_idiom_block` helpers, planting
+exactly the per-benchmark false-positive site counts Table 1's discussion
+reports (bwaves 5, gromacs 3, GemsFDTD 32, wrf 26, calculix 2).
+
+calculix additionally contains 4 genuine ``array[-1]`` read underflows in
+``main`` and wrf one read overflow in ``interp_fcn`` — the real bugs both
+RedFat and Memcheck detect in the paper (§7.1 "Detected errors").
+"""
+
+from repro.workloads.registry import anti_idiom_block
+
+# -- 410.bwaves: 3D blast-wave stencil (5 FP sites) ---------------------------
+
+_BWAVES_FP, _BWAVES_CALLS = anti_idiom_block("bwaves_flux", 5, offset=4)
+
+BWAVES = f"""
+{_BWAVES_FP}
+
+int main() {{
+    int dim = arg(0);
+    int cells = dim * dim * dim;
+    int *u = malloc(8 * (cells + 1));
+    int *unew = malloc(8 * (cells + 1));
+    int *a = malloc(8 * (cells + 1));
+    srand(83);
+    for (int i = 0; i < cells; i = i + 1) {{ u[i] = rand() % 50; a[i] = i; }}
+    int n = cells;
+    int s = 0;
+    for (int step = 0; step < 3; step = step + 1) {{
+        for (int i = dim; i < cells - dim; i = i + 1)
+            unew[i] = (u[i] * 2 + u[i - 1] + u[i + 1] + u[i - dim] + u[i + dim]) / 6;
+        int *tmp = u; u = unew; unew = tmp;
+        s = s + u[(step * 419) % cells];
+    }}
+    {_BWAVES_CALLS}
+    print(s);
+    return 0;
+}}
+"""
+
+# -- 416.gamess: quantum-chemistry-style matrix contractions -------------------
+# Paper coverage 43%: two of the four passes are ref-only.
+
+GAMESS = """
+int contract(int *m, int *v, int *out, int n) {
+    for (int r = 0; r < n; r = r + 1) {
+        int acc = 0;
+        for (int c = 0; c < n; c = c + 1) acc = acc + m[r * n + c] * v[c];
+        out[r] = acc % 1000003;
+    }
+    int s = 0;
+    for (int r = 0; r < n; r = r + 1) s = (s + out[r]) % 1000003;
+    return s;
+}
+
+int exchange(int *m, int n) {
+    int s = 0;
+    for (int r = 0; r < n; r = r + 1)
+        for (int c = r + 1; c < n; c = c + 1) {
+            int t = m[r * n + c];
+            m[r * n + c] = m[c * n + r];
+            m[c * n + r] = t;
+            s = s + t;
+        }
+    return s;
+}
+
+int overlap(int *m, int n) {
+    int s = 0;
+    for (int r = 0; r < n; r = r + 1) s = s + m[r * n + r];
+    return s;
+}
+
+int fock_update(int *m, int *v, int n) {
+    int s = 0;
+    for (int r = 0; r < n; r = r + 1) {
+        m[r * n + r] = m[r * n + r] + v[r];
+        s = s + m[r * n + r];
+    }
+    return s;
+}
+
+int main() {
+    int n = arg(0);
+    int mode = arg(1);
+    int *m = malloc(8 * n * n);
+    int *v = malloc(8 * n);
+    int *out = malloc(8 * n);
+    srand(89);
+    for (int i = 0; i < n * n; i = i + 1) m[i] = rand() % 23;
+    for (int i = 0; i < n; i = i + 1) v[i] = rand() % 23;
+    int s = contract(m, v, out, n);
+    s = s + exchange(m, n);
+    if (mode == 2) {
+        s = s + overlap(m, n);
+        s = s + fock_update(m, v, n);
+        s = s + contract(m, out, v, n);
+    }
+    print(s);
+    return 0;
+}
+"""
+
+# -- 434.zeusmp: magnetohydrodynamics sweeps ------------------------------------
+# Paper coverage 23.2%: three of four sweeps are ref-only.
+
+ZEUSMP = """
+int sweep_x(int *g, int w, int h) {
+    int s = 0;
+    for (int y = 0; y < h; y = y + 1)
+        for (int x = 1; x < w; x = x + 1) {
+            g[y * w + x] = (g[y * w + x] + g[y * w + x - 1]) / 2;
+            s = s + g[y * w + x];
+        }
+    return s;
+}
+
+int sweep_y(int *g, int w, int h) {
+    int s = 0;
+    for (int y = 1; y < h; y = y + 1)
+        for (int x = 0; x < w; x = x + 1) {
+            g[y * w + x] = (g[y * w + x] + g[(y - 1) * w + x]) / 2;
+            s = s + g[y * w + x];
+        }
+    return s;
+}
+
+int source_step(int *g, int *src, int cells) {
+    int s = 0;
+    for (int i = 0; i < cells; i = i + 1) {
+        g[i] = g[i] + src[i] % 5;
+        s = s + g[i];
+    }
+    return s;
+}
+
+int pressure(int *g, int *p, int cells) {
+    int s = 0;
+    for (int i = 0; i < cells; i = i + 1) {
+        p[i] = g[i] * g[i] % 10007;
+        s = s + p[i];
+    }
+    return s;
+}
+
+int main() {
+    int w = arg(0);
+    int mode = arg(1);
+    int cells = w * w;
+    int *g = malloc(8 * cells);
+    int *src = malloc(8 * cells);
+    int *p = malloc(8 * cells);
+    srand(97);
+    for (int i = 0; i < cells; i = i + 1) { g[i] = rand() % 100; src[i] = rand() % 100; }
+    int s = sweep_x(g, w, w);
+    if (mode == 2) {
+        s = s + sweep_y(g, w, w);
+        s = s + source_step(g, src, cells);
+        s = s + pressure(g, p, cells);
+    }
+    print(s % 1000003);
+    return 0;
+}
+"""
+
+# -- 435.gromacs: molecular force loops (3 FP sites) ------------------------------
+
+_GROMACS_FP, _GROMACS_CALLS = anti_idiom_block("gromacs_bond", 3, offset=3)
+
+GROMACS = f"""
+{_GROMACS_FP}
+
+int main() {{
+    int n = arg(0);
+    int *pos = malloc(8 * (n + 1));
+    int *force = malloc(8 * (n + 1));
+    int *a = malloc(8 * (n + 1));
+    srand(101);
+    for (int i = 0; i < n; i = i + 1) {{ pos[i] = rand() % 500; force[i] = 0; a[i] = i; }}
+    int s = 0;
+    for (int step = 0; step < 3; step = step + 1) {{
+        for (int i = 1; i < n; i = i + 1) {{
+            int stretch = pos[i] - pos[i - 1] - 10;
+            force[i] = force[i] - stretch;
+            force[i - 1] = force[i - 1] + stretch;
+        }}
+        for (int i = 0; i < n; i = i + 1) {{
+            pos[i] = pos[i] + force[i] / 16;
+            s = s + abs(force[i]);
+        }}
+    }}
+    {_GROMACS_CALLS}
+    print(s % 1000003);
+    return 0;
+}}
+"""
+
+# -- 436.cactusADM: Einstein-equation grid update -----------------------------------
+
+CACTUSADM = """
+int main() {
+    int dim = arg(0);
+    int cells = dim * dim * dim;
+    int *metric = malloc(8 * cells);
+    int *curv = malloc(8 * cells);
+    srand(103);
+    for (int i = 0; i < cells; i = i + 1) { metric[i] = rand() % 60 + 10; curv[i] = 0; }
+    int stride = dim * dim;
+    int s = 0;
+    for (int step = 0; step < 3; step = step + 1) {
+        for (int i = stride; i < cells - stride; i = i + 1) {
+            int lap = metric[i - 1] + metric[i + 1] + metric[i - dim]
+                    + metric[i + dim] + metric[i - stride] + metric[i + stride]
+                    - 6 * metric[i];
+            curv[i] = curv[i] + lap / 4;
+            metric[i] = metric[i] + curv[i] / 8;
+        }
+        s = s + metric[(step * 577) % cells];
+    }
+    print(s % 1000003);
+    return 0;
+}
+"""
+
+# -- 437.leslie3d: compressible-flow stencil ------------------------------------------
+
+LESLIE3D = """
+int main() {
+    int dim = arg(0);
+    int cells = dim * dim * dim;
+    int *vel = malloc(8 * cells);
+    int *rho = malloc(8 * cells);
+    srand(107);
+    for (int i = 0; i < cells; i = i + 1) { vel[i] = rand() % 40; rho[i] = rand() % 40 + 10; }
+    int s = 0;
+    for (int step = 0; step < 4; step = step + 1) {
+        for (int i = 1; i < cells - 1; i = i + 1) {
+            int fluxl = vel[i - 1] * rho[i - 1];
+            int fluxr = vel[i + 1] * rho[i + 1];
+            rho[i] = rho[i] + (fluxl - fluxr) / 64;
+            if (rho[i] < 1) rho[i] = 1;
+        }
+        s = s + rho[(step * 701) % cells];
+    }
+    print(s % 1000003);
+    return 0;
+}
+"""
+
+# -- 454.calculix: structural solver with REAL BUGS (2 FP sites, 4 underflows) ------
+
+_CALCULIX_FP, _CALCULIX_CALLS = anti_idiom_block("calculix_beam", 2, offset=5)
+
+CALCULIX = f"""
+{_CALCULIX_FP}
+
+int assemble(int *k, int n) {{
+    int s = 0;
+    for (int i = 1; i < n; i = i + 1) {{
+        k[i] = k[i] + k[i - 1] % 13;
+        s = s + k[i];
+    }}
+    return s;
+}}
+
+int solve(int *k, int *u, int n) {{
+    for (int i = 0; i < n; i = i + 1) u[i] = k[i] % 29;
+    for (int iter = 0; iter < 3; iter = iter + 1)
+        for (int i = 1; i < n - 1; i = i + 1)
+            u[i] = (u[i - 1] + u[i + 1] + k[i]) / 3;
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) s = s + u[i];
+    return s;
+}}
+
+int main() {{
+    int n = arg(0);
+    int mode = arg(1);
+    int *k = malloc(8 * n);
+    int *u = malloc(8 * n);
+    int *a = malloc(8 * (n + 1));
+    srand(109);
+    for (int i = 0; i < n; i = i + 1) {{ k[i] = rand() % 100; a[i] = i; }}
+    // The four genuine read underflows the paper reports in main():
+    // each reads array[-1], a classic off-by-one on 1-based arrays.
+    int s = k[-1] % 7;
+    s = s + u[-1] % 7;
+    s = s + a[-1] % 7;
+    int *stress = malloc(8 * n);
+    s = s + stress[-1] % 7;
+    for (int i = 0; i < n; i = i + 1) stress[i] = 0;
+    s = s + assemble(k, n);
+    if (mode == 2) {{
+        s = s + solve(k, u, n);
+        {_CALCULIX_CALLS}
+    }}
+    print(s % 1000003);
+    return 0;
+}}
+"""
+
+# -- 459.GemsFDTD: finite-difference time domain (32 FP sites) -----------------------
+
+_GEMS_FP, _GEMS_CALLS = anti_idiom_block("gems_field", 32, offset=3)
+
+GEMSFDTD = f"""
+{_GEMS_FP}
+
+int main() {{
+    int dim = arg(0);
+    int cells = dim * dim;
+    int *efield = malloc(8 * (cells + 1));
+    int *hfield = malloc(8 * (cells + 1));
+    int *a = malloc(8 * (cells + 1));
+    srand(113);
+    for (int i = 0; i < cells; i = i + 1) {{
+        efield[i] = rand() % 30;
+        hfield[i] = rand() % 30;
+        a[i] = i;
+    }}
+    int n = cells;
+    int s = 0;
+    for (int step = 0; step < 2; step = step + 1) {{
+        for (int i = 1; i < cells; i = i + 1)
+            hfield[i] = hfield[i] + (efield[i] - efield[i - 1]) / 2;
+        for (int i = 0; i < cells - 1; i = i + 1)
+            efield[i] = efield[i] + (hfield[i + 1] - hfield[i]) / 2;
+        s = s + efield[(step * 271) % cells];
+    }}
+    {_GEMS_CALLS}
+    print(s % 1000003);
+    return 0;
+}}
+"""
+
+# -- 465.tonto: quantum crystallography integrals --------------------------------------
+
+TONTO = """
+int main() {
+    int n = arg(0);
+    int *shell = malloc(8 * n);
+    int *integrals = malloc(8 * n);
+    srand(127);
+    for (int i = 0; i < n; i = i + 1) shell[i] = rand() % 64 + 1;
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        int acc = 0;
+        for (int j = 0; j < i % 16 + 1; j = j + 1)
+            acc = acc + shell[(i + j) % n] * shell[(i * 3 + j) % n];
+        integrals[i] = acc % 10007;
+        s = (s + integrals[i]) % 1000003;
+    }
+    print(s);
+    return 0;
+}
+"""
+
+# -- 481.wrf: weather model (26 FP sites, 1 real overflow in interp_fcn) ---------------
+# Paper coverage 27%: the physics passes are ref-only.
+
+_WRF_FP, _WRF_CALLS = anti_idiom_block("wrf_fqy", 26, offset=3)
+
+WRF = f"""
+{_WRF_FP}
+
+int interp_fcn(int *column, int levels) {{
+    int s = 0;
+    // Genuine read overflow: the loop reads column[levels], one past
+    // the end (paper: "a read overflow in the interp_fcn() function").
+    for (int k = 0; k < levels; k = k + 1)
+        s = s + (column[k] + column[k + 1]) / 2;
+    return s;
+}}
+
+int microphysics(int *q, int n) {{
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {{
+        q[i] = q[i] * 9 / 10 + 1;
+        s = s + q[i];
+    }}
+    return s;
+}}
+
+int radiation(int *t, int n) {{
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {{
+        t[i] = t[i] + (300 - t[i]) / 8;
+        s = s + t[i];
+    }}
+    return s;
+}}
+
+int main() {{
+    int n = arg(0);
+    int mode = arg(1);
+    int levels = 16;
+    int *column = malloc(8 * levels);
+    int *q = malloc(8 * n);
+    int *t = malloc(8 * n);
+    int *a = malloc(8 * (n + 1));
+    srand(131);
+    for (int i = 0; i < levels; i = i + 1) column[i] = rand() % 90;
+    for (int i = 0; i < n; i = i + 1) {{ q[i] = rand() % 50; t[i] = rand() % 250; a[i] = i; }}
+    int s = interp_fcn(column, levels);
+    if (mode == 2) {{
+        s = s + microphysics(q, n);
+        s = s + radiation(t, n);
+        {_WRF_CALLS}
+    }}
+    print(s % 1000003);
+    return 0;
+}}
+"""

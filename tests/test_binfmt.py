@@ -1,0 +1,206 @@
+"""Tests for the binary container, serialization and builder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BinaryFormatError
+from repro.binfmt import (
+    Binary,
+    BinaryBuilder,
+    BinaryType,
+    SEG_EXEC,
+    SEG_READ,
+    SEG_WRITE,
+    Segment,
+    SymbolTable,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Imm, Label, Reg
+from repro.isa.registers import RAX
+
+
+class TestSegment:
+    def test_bss_mem_size(self):
+        segment = Segment(".bss", 0x1000, b"", SEG_READ | SEG_WRITE, mem_size=64)
+        assert segment.end == 0x1040
+        assert segment.contains(0x103F)
+        assert not segment.contains(0x1040)
+
+    def test_mem_size_defaults_to_data(self):
+        segment = Segment(".data", 0, b"abcd")
+        assert segment.mem_size == 4
+
+    def test_mem_size_too_small(self):
+        with pytest.raises(BinaryFormatError):
+            Segment(".data", 0, b"abcd", mem_size=2)
+
+    def test_perm_string(self):
+        assert Segment(".text", 0, b"x", SEG_READ | SEG_EXEC).perm_string() == "r-x"
+
+    def test_overlap_detection(self):
+        first = Segment("a", 0x1000, b"\0" * 0x100)
+        second = Segment("b", 0x10FF, b"\0" * 4)
+        third = Segment("c", 0x1100, b"\0" * 4)
+        assert first.overlaps(second)
+        assert not first.overlaps(third)
+
+
+class TestBinary:
+    def make_binary(self) -> Binary:
+        symbols = SymbolTable({"main": 0x400000, "counter": 0x600000})
+        return Binary(
+            [
+                Segment(".text", 0x400000, b"\x70\x62", SEG_READ | SEG_EXEC),
+                Segment(".data", 0x600000, b"\x01\x00", SEG_READ | SEG_WRITE),
+                Segment(".bss", 0x700000, b"", SEG_READ | SEG_WRITE, mem_size=128),
+            ],
+            entry=0x400000,
+            symbols=symbols,
+        )
+
+    def test_serialization_roundtrip(self):
+        binary = self.make_binary()
+        restored = Binary.from_bytes(binary.to_bytes())
+        assert restored.entry == binary.entry
+        assert [s.name for s in restored.segments] == [".bss", ".data", ".text"] or [
+            s.name for s in restored.segments
+        ] == [s.name for s in binary.segments]
+        text = restored.segment(".text")
+        assert text.data == b"\x70\x62"
+        assert restored.segment(".bss").mem_size == 128
+        assert restored.symbols is not None
+        assert restored.symbols["main"] == 0x400000
+
+    def test_save_load(self, tmp_path):
+        binary = self.make_binary()
+        path = tmp_path / "prog.melf"
+        binary.save(path)
+        assert Binary.load(path).entry == binary.entry
+
+    def test_strip_removes_symbols_only(self):
+        binary = self.make_binary()
+        stripped = binary.strip()
+        assert stripped.is_stripped
+        assert not binary.is_stripped
+        assert stripped.segment(".text").data == binary.segment(".text").data
+
+    def test_copy_is_deep(self):
+        binary = self.make_binary()
+        clone = binary.copy()
+        clone.segment(".text").data = b"\x00"
+        assert binary.segment(".text").data == b"\x70\x62"
+
+    def test_overlapping_segments_rejected(self):
+        binary = self.make_binary()
+        with pytest.raises(BinaryFormatError):
+            binary.add_segment(Segment("evil", 0x400001, b"z"))
+
+    def test_bad_magic(self):
+        with pytest.raises(BinaryFormatError):
+            Binary.from_bytes(b"NOPE" + b"\0" * 40)
+
+    def test_truncated(self):
+        blob = self.make_binary().to_bytes()
+        with pytest.raises(BinaryFormatError):
+            Binary.from_bytes(blob[: len(blob) // 2])
+
+    def test_segment_at(self):
+        binary = self.make_binary()
+        assert binary.segment_at(0x400001).name == ".text"
+        assert binary.segment_at(0x500000) is None
+
+    def test_missing_segment(self):
+        with pytest.raises(BinaryFormatError):
+            self.make_binary().segment(".nope")
+
+
+class TestBuilder:
+    def test_build_two_functions(self):
+        builder = BinaryBuilder()
+        builder.add_function(
+            "main",
+            [
+                Instruction(Opcode.CALL, (Label("helper"),)),
+                Instruction(Opcode.RET),
+            ],
+        )
+        builder.add_function(
+            "helper",
+            [
+                Instruction(Opcode.MOV, (Reg(RAX), Imm(7))),
+                Instruction(Opcode.RET),
+            ],
+        )
+        binary = builder.build("main")
+        assert binary.entry == binary.symbols["main"]
+        helper = binary.symbols["helper"]
+        assert helper > binary.symbols["main"]
+        from repro.isa.encoding import decode_all
+
+        text = binary.segment(".text")
+        decoded = decode_all(text.data, text.vaddr)
+        assert decoded[0].jump_target() == helper
+
+    def test_globals_in_data_and_bss(self):
+        builder = BinaryBuilder()
+        counter = builder.add_global("counter", 8, init=(42).to_bytes(8, "little"))
+        scratch = builder.add_global("scratch", 256)
+        builder.add_function("main", [Instruction(Opcode.RET)])
+        binary = builder.build("main")
+        assert binary.segment(".data").contains(counter)
+        assert binary.segment(".bss").contains(scratch)
+        assert binary.symbols["counter"] == counter
+
+    def test_data_words(self):
+        builder = BinaryBuilder()
+        table = builder.add_data_words("table", [1, 2, 3])
+        builder.add_function("main", [Instruction(Opcode.RET)])
+        binary = builder.build("main")
+        data = binary.segment(".data")
+        offset = table - data.vaddr
+        assert data.data[offset : offset + 8] == (1).to_bytes(8, "little")
+
+    def test_duplicate_function(self):
+        builder = BinaryBuilder()
+        builder.add_function("main", [Instruction(Opcode.RET)])
+        with pytest.raises(BinaryFormatError):
+            builder.add_function("main", [Instruction(Opcode.RET)])
+
+    def test_duplicate_global(self):
+        builder = BinaryBuilder()
+        builder.add_global("x", 8)
+        with pytest.raises(BinaryFormatError):
+            builder.add_global("x", 8)
+
+    def test_missing_entry(self):
+        builder = BinaryBuilder()
+        builder.add_function("main", [Instruction(Opcode.RET)])
+        with pytest.raises(BinaryFormatError):
+            builder.build("nope")
+
+    def test_pic_flag_propagates(self):
+        builder = BinaryBuilder(binary_type=BinaryType.PIC)
+        builder.add_function("main", [Instruction(Opcode.RET)])
+        assert builder.build("main").is_pic
+
+
+@given(
+    payload=st.binary(min_size=0, max_size=256),
+    entry=st.integers(min_value=0, max_value=1 << 48),
+    stripped=st.booleans(),
+)
+@settings(max_examples=100)
+def test_serialization_roundtrip_property(payload, entry, stripped):
+    symbols = None if stripped else SymbolTable({"f": 1, "g": 2})
+    binary = Binary(
+        [Segment(".text", 0x400000, payload, SEG_READ | SEG_EXEC, mem_size=len(payload) + 16)],
+        entry=entry,
+        symbols=symbols,
+    )
+    restored = Binary.from_bytes(binary.to_bytes())
+    assert restored.entry == entry
+    assert restored.segment(".text").data == payload
+    assert restored.segment(".text").mem_size == len(payload) + 16
+    assert restored.is_stripped == stripped

@@ -1,0 +1,447 @@
+"""MiniC compiler tests: language semantics, executed on the VM."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.cc import compile_source
+
+
+def run(source: str, args=(), **kw):
+    return compile_source(source, **kw).run(args=args)
+
+
+def status_of(source: str, args=()):
+    return run(source, args).status
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert status_of("int main() { return (2 + 3 * 4 - 1) % 256; }") == 13
+
+    def test_precedence_parens(self):
+        assert status_of("int main() { return ((2 + 3) * 4) % 256; }") == 20
+
+    def test_division_and_modulo(self):
+        assert status_of("int main() { return 17 / 5 * 10 + 17 % 5; }") == 32
+
+    def test_negative_division_truncates(self):
+        assert status_of("int main() { if (-7 / 2 == -3) return 1; return 0; }") == 1
+
+    def test_bitwise(self):
+        assert status_of("int main() { return (0xf0 & 0x3c) | (1 ^ 3); }") == 0x32
+
+    def test_shifts(self):
+        assert status_of("int main() { return (1 << 6) + (256 >> 4); }") == 80
+
+    def test_unary(self):
+        assert status_of("int main() { return -(-5) + !0 + !7 + (~0 & 1); }") == 7
+
+    def test_comparisons(self):
+        source = """
+        int main() {
+            int r = 0;
+            if (1 < 2) r = r + 1;
+            if (2 <= 2) r = r + 1;
+            if (3 > 2) r = r + 1;
+            if (2 >= 3) r = r + 100;
+            if (5 == 5) r = r + 1;
+            if (5 != 5) r = r + 100;
+            if (-1 < 1) r = r + 1;
+            return r;
+        }
+        """
+        assert status_of(source) == 5
+
+    def test_short_circuit_and(self):
+        source = """
+        int g;
+        int bump() { g = g + 1; return 1; }
+        int main() { int x = 0 && bump(); return g * 10 + x; }
+        """
+        assert status_of(source) == 0
+
+    def test_short_circuit_or(self):
+        source = """
+        int g;
+        int bump() { g = g + 1; return 0; }
+        int main() { int x = 1 || bump(); return g * 10 + x; }
+        """
+        assert status_of(source) == 1
+
+    def test_assignment_value_chains(self):
+        assert status_of("int main() { int a; int b; a = b = 7; return a + b; }") == 14
+
+    def test_hex_and_char_literals(self):
+        assert status_of("int main() { return 0x20 + 'A' - 'a' + '0'; }") == 0x20 + 65 - 97 + 48
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        source = """
+        int classify(int x) {
+            if (x < 10) return 1;
+            else if (x < 100) return 2;
+            else return 3;
+        }
+        int main() { return classify(5)*100 + classify(50)*10 + classify(500); }
+        """
+        assert status_of(source) == 123
+
+    def test_while_loop(self):
+        assert status_of(
+            "int main() { int s = 0; int i = 0; while (i < 10) { s = s + i; i = i + 1; } return s; }"
+        ) == 45
+
+    def test_for_loop_with_decl(self):
+        assert status_of(
+            "int main() { int s = 0; for (int i = 1; i <= 10; i = i + 1) s = s + i; return s; }"
+        ) == 55
+
+    def test_break_continue(self):
+        source = """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 100; i = i + 1) {
+                if (i % 2 == 0) continue;
+                if (i > 10) break;
+                s = s + i;
+            }
+            return s;
+        }
+        """
+        assert status_of(source) == 1 + 3 + 5 + 7 + 9
+
+    def test_nested_loops(self):
+        source = """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 5; i = i + 1)
+                for (int j = 0; j < 5; j = j + 1)
+                    if (i != j) s = s + 1;
+            return s;
+        }
+        """
+        assert status_of(source) == 20
+
+    def test_recursion(self):
+        assert status_of(
+            "int f(int n) { if (n < 2) return n; return f(n-1) + f(n-2); } int main() { return f(12); }"
+        ) == 144
+
+    def test_mutual_recursion(self):
+        source = """
+        int odd(int n);
+        int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+        int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+        int main() { return even(10) * 10 + odd(10); }
+        """
+        # Forward declarations are not supported; reorder instead.
+        source = """
+        int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+        int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+        int main() { return even(10) * 10 + odd(10); }
+        """
+        assert status_of(source) == 10
+
+
+class TestMemory:
+    def test_heap_array_roundtrip(self):
+        source = """
+        int main() {
+            int *a = malloc(8 * 16);
+            for (int i = 0; i < 16; i = i + 1) a[i] = i * i;
+            int s = 0;
+            for (int i = 0; i < 16; i = i + 1) s = s + a[i];
+            free(a);
+            return s % 256;
+        }
+        """
+        assert status_of(source) == (sum(i * i for i in range(16))) % 256
+
+    def test_char_arrays_are_bytes(self):
+        source = """
+        int main() {
+            char *b = malloc(16);
+            b[0] = 300;       // truncates to 44
+            b[1] = 1;
+            return b[0] + b[1];
+        }
+        """
+        assert status_of(source) == (300 % 256) + 1
+
+    def test_global_scalars_and_arrays(self):
+        source = """
+        int counter = 5;
+        int table[4] = {10, 20, 30, 40};
+        int main() {
+            counter = counter + table[2];
+            return counter;
+        }
+        """
+        assert status_of(source) == 35
+
+    def test_global_char_array(self):
+        source = """
+        char digits[4] = {7, 8, 9, 10};
+        int main() { return digits[0] * 10 + digits[3]; }
+        """
+        assert status_of(source) == 80
+
+    def test_local_array_on_stack(self):
+        source = """
+        int main() {
+            int a[8];
+            for (int i = 0; i < 8; i = i + 1) a[i] = i;
+            return a[3] * 10 + a[7];
+        }
+        """
+        assert status_of(source) == 37
+
+    def test_pointer_arithmetic_scaling(self):
+        source = """
+        int main() {
+            int *a = malloc(8 * 8);
+            a[4] = 99;
+            int *p = a + 4;
+            return *p;
+        }
+        """
+        assert status_of(source) == 99
+
+    def test_anti_idiom_offset_base(self):
+        """The false-positive anti-idiom: index from a shifted base."""
+        source = """
+        int main() {
+            int *a = malloc(8 * 8);
+            a[2] = 55;
+            int *q = a - 5;   // q is out of bounds of a
+            return q[7];       // == a[2]: always a legitimate access
+        }
+        """
+        assert status_of(source) == 55
+
+    def test_address_of_and_deref(self):
+        source = """
+        int main() {
+            int x = 5;
+            int *p = &x;
+            *p = *p + 2;
+            return x;
+        }
+        """
+        assert status_of(source) == 7
+
+    def test_memset_memcpy(self):
+        source = """
+        int main() {
+            char *a = malloc(32);
+            char *b = malloc(32);
+            memset(a, 7, 32);
+            memcpy(b, a, 32);
+            return b[0] + b[31];
+        }
+        """
+        assert status_of(source) == 14
+
+    def test_realloc_preserves_prefix(self):
+        source = """
+        int main() {
+            int *a = malloc(16);
+            a[0] = 11; a[1] = 22;
+            int *b = realloc(a, 64);
+            return b[0] + b[1];
+        }
+        """
+        assert status_of(source) == 33
+
+
+class TestStructs:
+    def test_struct_members(self):
+        source = """
+        struct point { int x; int y; };
+        int main() {
+            struct point p;
+            p.x = 3; p.y = 4;
+            return p.x * p.x + p.y * p.y;
+        }
+        """
+        assert status_of(source) == 25
+
+    def test_struct_pointer_arrow(self):
+        source = """
+        struct node { int value; struct node *next; };
+        int main() {
+            struct node *a = malloc(16);
+            struct node *b = malloc(16);
+            a->value = 1; a->next = b;
+            b->value = 2; b->next = 0;
+            return a->next->value * 10 + a->value;
+        }
+        """
+        assert status_of(source) == 21
+
+    def test_struct_array_member(self):
+        source = """
+        struct fmt { int size; char index[5]; int rate; };
+        int main() {
+            struct fmt *f = malloc(24);
+            f->size = 1;
+            for (int i = 0; i < 5; i = i + 1) f->index[i] = i + 1;
+            f->rate = 9;
+            return f->index[4] * 10 + f->rate;
+        }
+        """
+        assert status_of(source) == 59
+
+    def test_linked_list_sum(self):
+        source = """
+        struct node { int value; struct node *next; };
+        int main() {
+            struct node *head = 0;
+            for (int i = 1; i <= 5; i = i + 1) {
+                struct node *n = malloc(16);
+                n->value = i;
+                n->next = head;
+                head = n;
+            }
+            int s = 0;
+            while (head != 0) { s = s + head->value; head = head->next; }
+            return s;
+        }
+        """
+        assert status_of(source) == 15
+
+    def test_array_of_structs(self):
+        source = """
+        struct pair { int a; int b; };
+        int main() {
+            struct pair *ps = malloc(16 * 4);
+            for (int i = 0; i < 4; i = i + 1) { ps[i].a = i; ps[i].b = i * 2; }
+            return ps[3].a + ps[3].b;
+        }
+        """
+        assert status_of(source) == 9
+
+
+class TestFunctionsAndBuiltins:
+    def test_six_args(self):
+        source = """
+        int f(int a, int b, int c, int d, int e, int g) {
+            return a + b*2 + c*3 + d*4 + e*5 + g*6;
+        }
+        int main() { return f(1,1,1,1,1,1); }
+        """
+        assert status_of(source) == 21
+
+    def test_print_output(self):
+        result = run("int main() { print(7); print(-3); return 0; }")
+        assert result.output == ["7", "-3"]
+
+    def test_args_from_harness(self):
+        result = run(
+            "int main() { return arg(0) + arg(1) * 2; }",
+            args=[5, 10],
+        )
+        assert result.status == 25
+
+    def test_rand_deterministic(self):
+        source = """
+        int main() {
+            srand(42);
+            int a = rand();
+            srand(42);
+            int b = rand();
+            if (a == b && a >= 0) return 1;
+            return 0;
+        }
+        """
+        assert status_of(source) == 1
+
+    def test_abs_min_max(self):
+        assert status_of(
+            "int main() { return abs(-5) + min(3, 9) + max(3, 9); }"
+        ) == 17
+
+    def test_void_function(self):
+        source = """
+        int g;
+        void set(int v) { g = v; }
+        int main() { set(9); return g; }
+        """
+        assert status_of(source) == 9
+
+
+class TestPIC:
+    def test_pic_program_runs_rebased(self):
+        source = """
+        int counter = 3;
+        int table[4] = {1, 2, 3, 4};
+        int main() {
+            counter = counter + table[1] + arg(0);
+            return counter;
+        }
+        """
+        program = compile_source(source, pic=True)
+        for rebase in (0, 0x100000):
+            result = program.run(args=[10], rebase=rebase)
+            assert result.status == 15
+
+
+class TestErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError):
+            run("int main() { return nope; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError):
+            run("int main() { return nope(); }")
+
+    def test_duplicate_local(self):
+        with pytest.raises(CompileError):
+            run("int main() { int a; int a; return 0; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError):
+            run("int main() { break; return 0; }")
+
+    def test_missing_main(self):
+        with pytest.raises(CompileError):
+            run("int f() { return 1; }")
+
+    def test_syntax_error(self):
+        with pytest.raises(CompileError):
+            run("int main() { return 1 + ; }")
+
+    def test_deref_non_pointer(self):
+        with pytest.raises(CompileError):
+            run("int main() { int x; return *x; }")
+
+    def test_unknown_struct_member(self):
+        with pytest.raises(CompileError):
+            run(
+                "struct p { int x; };"
+                "int main() { struct p v; v.x = 1; return v.nope; }"
+            )
+
+
+class TestShadowingScopes:
+    def test_inner_scope_shadows(self):
+        source = """
+        int main() {
+            int x = 1;
+            { int x = 2; if (x != 2) return 100; }
+            return x;
+        }
+        """
+        assert status_of(source) == 1
+
+    def test_loop_variable_reuse(self):
+        source = """
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 3; i = i + 1) s = s + i;
+            for (int i = 0; i < 3; i = i + 1) s = s + i;
+            return s;
+        }
+        """
+        assert status_of(source) == 6

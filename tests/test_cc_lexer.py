@@ -1,0 +1,100 @@
+"""Lexer edge cases and a specialization ablation for the instrumentation."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.cc import compile_source
+from repro.cc.lexer import Token, tokenize
+from repro.core import RedFat, RedFatOptions
+from repro.workloads import get_benchmark
+
+
+class TestLexer:
+    def test_comments_stripped(self):
+        tokens = tokenize("a // line\n/* block\nspanning */ b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+        assert tokens[-1].kind == "eof"
+
+    def test_line_numbers_through_comments(self):
+        tokens = tokenize("/* one\ntwo */\nx")
+        assert tokens[0].line == 3
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CompileError):
+            tokenize("/* never ends")
+
+    def test_hex_literals(self):
+        tokens = tokenize("0xFF 0x10")
+        assert tokens[0].value == 255
+        assert tokens[1].value == 16
+
+    def test_char_literals(self):
+        tokens = tokenize("'a' '\\n' '\\0'")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 0]
+
+    def test_malformed_char_literal(self):
+        with pytest.raises(CompileError):
+            tokenize("'ab'")
+
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError):
+            tokenize("a ` b")
+
+    def test_longest_operator_wins(self):
+        tokens = tokenize("a <<= b >>= c ++ -- ->")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<<=", ">>=", "++", "--", "->"]
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("int integer if iffy")
+        assert [t.kind for t in tokens[:-1]] == [
+            "keyword", "ident", "keyword", "ident",
+        ]
+
+
+class TestSpecializationAblation:
+    """DESIGN.md ablation: clobbered-register trampoline specialization.
+
+    The paper's 'additional low-level optimizations' (§6) skip
+    save/restore of registers/flags the suffix provably clobbers.  The
+    ablation verifies it is (a) behaviour-preserving and (b) a strict
+    instruction-count win on real workloads.
+    """
+
+    def test_specialization_saves_instructions(self):
+        bench = get_benchmark("mcf")
+        program = bench.compile()
+        stripped = program.binary.strip()
+        counts = {}
+        for specialize in (False, True):
+            options = RedFatOptions(specialize_registers=specialize)
+            harden = RedFat(options).instrument(stripped)
+            result = program.run(
+                args=bench.train_args, binary=harden.binary,
+                runtime=harden.create_runtime(mode="log"),
+            )
+            counts[specialize] = result.instructions
+        assert counts[True] < counts[False]
+
+    def test_specialization_preserves_output(self):
+        program = compile_source(
+            """
+            int main() {
+                int *a = malloc(8 * 12);
+                int s = 0;
+                for (int i = 0; i < 12; i++) { a[i] = i * 3; s += a[i]; }
+                print(s);
+                return s & 0x7f;
+            }
+            """
+        )
+        baseline = program.run()
+        for specialize in (False, True):
+            harden = RedFat(
+                RedFatOptions(specialize_registers=specialize)
+            ).instrument(program.binary.strip())
+            result = program.run(
+                binary=harden.binary, runtime=harden.create_runtime(mode="abort")
+            )
+            assert result.status == baseline.status
+            assert result.output == baseline.output

@@ -1,0 +1,95 @@
+"""Tests for MiniC's C-style syntactic sugar (compound assign, ++/--)."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.cc import compile_source
+
+
+def status_of(source: str, args=()):
+    return compile_source(source).run(args=args).status
+
+
+class TestCompoundAssignment:
+    def test_all_operators(self):
+        source = """
+        int main() {
+            int x = 100;
+            x += 10;   // 110
+            x -= 20;   // 90
+            x *= 2;    // 180
+            x /= 3;    // 60
+            x %= 50;   // 10
+            x <<= 3;   // 80
+            x >>= 1;   // 40
+            x |= 5;    // 45
+            x &= 60;   // 44
+            x ^= 7;    // 43
+            return x;
+        }
+        """
+        assert status_of(source) == 43
+
+    def test_compound_on_array_element(self):
+        source = """
+        int main() {
+            int *a = malloc(64);
+            a[3] = 10;
+            a[3] += 32;
+            return a[3];
+        }
+        """
+        assert status_of(source) == 42
+
+    def test_compound_on_struct_member(self):
+        source = """
+        struct acc { int total; };
+        int main() {
+            struct acc *a = malloc(8);
+            a->total = 1;
+            for (int i = 0; i < 5; i++) a->total += i;
+            return a->total;
+        }
+        """
+        assert status_of(source) == 11
+
+    def test_compound_result_is_a_value(self):
+        assert status_of("int main() { int x = 1; int y = (x += 4); return x * 10 + y; }") == 55
+
+    def test_right_associative_chain(self):
+        assert status_of("int main() { int x = 2; int y = 3; x += y += 1; return x * 10 + y; }") == 64
+
+
+class TestIncrementDecrement:
+    def test_prefix(self):
+        assert status_of("int main() { int x = 5; ++x; --x; --x; return x; }") == 4
+
+    def test_postfix_statement(self):
+        assert status_of("int main() { int s = 0; for (int i = 0; i < 4; i++) s += 10; return s; }") == 40
+
+    def test_on_pointer_dereference_target(self):
+        source = """
+        int main() {
+            int *a = malloc(8);
+            a[0] = 7;
+            int *p = a;
+            (*p)++;
+            return a[0];
+        }
+        """
+        assert status_of(source) == 8
+
+    def test_increment_non_lvalue_rejected(self):
+        with pytest.raises(CompileError):
+            status_of("int main() { 5++; return 0; }")
+
+
+class TestEquivalenceWithDesugared:
+    def test_same_code_both_spellings(self):
+        sugar = compile_source(
+            "int main() { int s = 0; for (int i = 0; i < 9; i++) s += i * 2; return s; }"
+        ).run()
+        plain = compile_source(
+            "int main() { int s = 0; for (int i = 0; i < 9; i = i + 1) s = s + i * 2; return s; }"
+        ).run()
+        assert sugar.status == plain.status

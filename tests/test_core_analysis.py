@@ -1,0 +1,239 @@
+"""Tests for candidate analysis, check elimination, batching and merging."""
+
+import pytest
+
+from repro.binfmt import BinaryBuilder
+from repro.isa.assembler import parse
+from repro.isa.operands import Mem
+from repro.isa.registers import RAX, RBX, RCX, RDX, RSP, Register
+from repro.rewriter.cfg import recover_control_flow
+from repro.core import (
+    RedFatOptions,
+    build_groups,
+    find_candidate_sites,
+    merge_group,
+)
+from repro.core.analysis import can_eliminate
+
+
+def analyze(asm: str, options: RedFatOptions):
+    builder = BinaryBuilder()
+    builder.add_function("main", parse(asm))
+    binary = builder.build("main")
+    control_flow = recover_control_flow(binary)
+    sites, stats = find_candidate_sites(control_flow, options)
+    return binary, control_flow, sites, stats
+
+
+class TestCheckElimination:
+    def test_absolute_operand_eliminated(self):
+        assert can_eliminate(Mem(0x601000))
+
+    def test_rsp_based_eliminated(self):
+        assert can_eliminate(Mem(8, RSP))
+
+    def test_rip_relative_eliminated(self):
+        assert can_eliminate(Mem(0x100, Register.RIP))
+
+    def test_plain_base_not_eliminated(self):
+        assert not can_eliminate(Mem(8, RAX))
+
+    def test_indexed_never_eliminated(self):
+        assert not can_eliminate(Mem(0, RSP, RBX, 8))
+        assert not can_eliminate(Mem(0x601000, None, RBX, 8))
+
+    def test_elim_option_filters_sites(self):
+        asm = """
+            mov (%rbx), $1
+            mov 0x700000, $2
+            mov 8(%rsp), $3
+            ret
+        """
+        _, _, sites, stats = analyze(asm, RedFatOptions(elim=True))
+        assert len(sites) == 1
+        assert stats.eliminated == 2
+        _, _, sites2, stats2 = analyze(asm, RedFatOptions(elim=False))
+        assert len(sites2) == 3
+        assert stats2.eliminated == 0
+
+    def test_reads_option(self):
+        asm = """
+            mov %rax, (%rbx)
+            mov (%rbx), %rax
+            add (%rbx), $1
+            ret
+        """
+        _, _, sites, stats = analyze(asm, RedFatOptions(check_reads=False))
+        # The load is skipped; the store and the RMW remain.
+        assert len(sites) == 2
+        assert stats.skipped_reads == 1
+        _, _, sites2, _ = analyze(asm, RedFatOptions(check_reads=True))
+        assert len(sites2) == 3
+
+    def test_lea_is_not_a_candidate(self):
+        _, _, sites, stats = analyze("lea %rax, 8(%rbx)\nret", RedFatOptions())
+        assert sites == []
+        assert stats.memory_operands == 0
+
+    def test_lowfat_eligibility(self):
+        asm = "mov (%rbx), $1\nmov (,%rcx,8), $2\nret"
+        _, _, sites, _ = analyze(asm, RedFatOptions(elim=False))
+        assert sites[0].lowfat_eligible
+        assert not sites[1].lowfat_eligible  # no base register: no pointer
+
+
+class TestBatching:
+    def options(self, **kw):
+        return RedFatOptions(**kw)
+
+    def test_basic_block_batch(self):
+        # The Example 2 shape: four stores, one group.
+        asm = """
+            mov 8(%rbx), %r10
+            mov (%rax), %r8
+            mov 8(%rax), $0
+            mov 16(%rax), $0
+            ret
+        """
+        binary, control_flow, sites, _ = analyze(asm, self.options())
+        groups = build_groups(control_flow, sites, self.options(batch=True))
+        assert len(groups) == 1
+        assert len(groups[0]) == 4
+
+    def test_no_batch_option(self):
+        asm = "mov (%rax), $1\nmov 8(%rax), $2\nret"
+        _, control_flow, sites, _ = analyze(asm, self.options())
+        groups = build_groups(control_flow, sites, self.options(batch=False))
+        assert len(groups) == 2
+
+    def test_register_write_splits_group(self):
+        # rbx is rewritten between the two accesses: the second cannot be
+        # reordered to the head.
+        asm = """
+            mov (%rbx), $1
+            mov %rbx, %rcx
+            add %rbx, $64
+            mov (%rbx), $2
+            ret
+        """
+        _, control_flow, sites, _ = analyze(asm, self.options())
+        groups = build_groups(control_flow, sites, self.options())
+        assert len(groups) == 2
+
+    def test_block_boundary_splits_group(self):
+        asm = """
+            mov (%rbx), $1
+            loop:
+            mov 8(%rbx), $2
+            cmp %rax, $0
+            jne loop
+            ret
+        """
+        _, control_flow, sites, _ = analyze(asm, self.options())
+        groups = build_groups(control_flow, sites, self.options())
+        assert len(groups) == 2
+
+    def test_call_splits_group(self):
+        asm = """
+            mov (%rbx), $1
+            call helper
+            mov 8(%rbx), $2
+            ret
+            helper:
+            ret
+        """
+        _, control_flow, sites, _ = analyze(asm, self.options())
+        groups = build_groups(control_flow, sites, self.options())
+        assert len(groups) == 2
+
+    def test_rtcall_splits_group(self):
+        # A runtime call may be free(): checks must not be hoisted over it.
+        asm = """
+            mov (%rbx), $1
+            rtcall $2
+            mov 8(%rbx), $2
+            ret
+        """
+        _, control_flow, sites, _ = analyze(asm, self.options())
+        groups = build_groups(control_flow, sites, self.options())
+        assert len(groups) == 2
+
+    def test_unrelated_write_does_not_split(self):
+        asm = """
+            mov (%rbx), $1
+            mov %rcx, $5
+            mov 8(%rbx), $2
+            ret
+        """
+        _, control_flow, sites, _ = analyze(asm, self.options())
+        groups = build_groups(control_flow, sites, self.options())
+        assert len(groups) == 1
+
+
+class TestMerging:
+    def group_for(self, asm, **opt_kw):
+        options = RedFatOptions(**opt_kw)
+        _, control_flow, sites, _ = analyze(asm, options)
+        groups = build_groups(control_flow, sites, options)
+        assert len(groups) == 1
+        return groups[0], options
+
+    def test_same_shape_merges(self):
+        group, options = self.group_for(
+            "mov (%rax), $1\nmov 8(%rax), $2\nmov 16(%rax), $3\nret"
+        )
+        ranges = merge_group(group, options)
+        assert len(ranges) == 1
+        merged = ranges[0]
+        assert merged.disp == 0
+        assert merged.length == 16 + 8  # max disp + width
+        assert len(merged.sites) == 3
+
+    def test_different_base_does_not_merge(self):
+        group, options = self.group_for("mov (%rax), $1\nmov (%rbx), $2\nret")
+        ranges = merge_group(group, options)
+        assert len(ranges) == 2
+
+    def test_different_scale_does_not_merge(self):
+        group, options = self.group_for(
+            "mov (%rax,%rcx,4), $1\nmov (%rax,%rcx,8), $2\nret"
+        )
+        assert len(merge_group(group, options)) == 2
+
+    def test_negative_disp_merge(self):
+        group, options = self.group_for("mov -8(%rax), $1\nmovb 4(%rax), $2\nret")
+        ranges = merge_group(group, options)
+        assert len(ranges) == 1
+        assert ranges[0].disp == -8
+        assert ranges[0].length == 13  # [-8, 5)
+
+    def test_merge_disabled(self):
+        group, options = self.group_for(
+            "mov (%rax), $1\nmov 8(%rax), $2\nret", merge=False
+        )
+        assert len(merge_group(group, options)) == 2
+
+    def test_representative_site_is_lowest(self):
+        group, options = self.group_for("mov 8(%rax), $1\nmov (%rax), $2\nret")
+        ranges = merge_group(group, options)
+        assert ranges[0].representative_site == group.sites[0].address
+
+    def test_read_write_merge_flags(self):
+        group, options = self.group_for("mov %rbx, (%rax)\nmov 8(%rax), $1\nret")
+        ranges = merge_group(group, options)
+        assert len(ranges) == 1
+        assert ranges[0].is_read and ranges[0].is_write
+
+    def test_allowlist_split_prevents_merge(self):
+        from repro.core import AllowList
+
+        asm = "mov (%rax), $1\nmov 8(%rax), $2\nret"
+        options = RedFatOptions()
+        _, control_flow, sites, _ = analyze(asm, options)
+        allow = AllowList([sites[0].address])  # only the first is allowed
+        options = options.with_(allowlist=allow)
+        groups = build_groups(control_flow, sites, options)
+        ranges = merge_group(groups[0], options)
+        assert len(ranges) == 2
+        assert ranges[0].use_lowfat
+        assert not ranges[1].use_lowfat

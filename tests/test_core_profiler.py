@@ -1,0 +1,159 @@
+"""Tests for the profile-based false-positive mitigation workflow (§5)."""
+
+import pytest
+
+from repro.binfmt import BinaryBuilder
+from repro.errors import GuestMemoryError
+from repro.isa.assembler import parse
+from repro.core import AllowList, Profiler, RedFat, RedFatOptions
+from repro.core.redfat_tool import PROT_LOWFAT, PROT_REDZONE
+from repro.vm.loader import run_binary
+
+
+def build(asm: str):
+    builder = BinaryBuilder()
+    builder.add_function("main", parse(asm))
+    return builder.build("main")
+
+
+#: Snippet (c) from the paper: the (array - K) anti-idiom.  The access
+#: (%rbx,%rcx,1) with rbx = array-32 and rcx >= 32 is always *legitimate*
+#: but always fails the (LowFat) check, because the base pointer itself is
+#: out of bounds.
+ANTI_IDIOM = """
+    mov %rdi, $64
+    rtcall $1
+    mov %rbx, %rax
+    mov %r15, %rax
+    sub %rbx, $32
+    mov %rcx, $40
+    movb (%rbx,%rcx,1), $7
+    jmp second
+    second:
+    mov (%r15), $1
+    mov %rax, $0
+    ret
+"""
+
+
+class TestAllowList:
+    def test_roundtrip(self, tmp_path):
+        allow = AllowList([0x400010, 0x400020])
+        path = tmp_path / "allow.lst"
+        allow.save(path)
+        assert AllowList.load(path) == allow
+
+    def test_loads_ignores_comments(self):
+        allow = AllowList.loads("# header\n0x10\n\n0x20 # tail\n")
+        assert sorted(allow) == [0x10, 0x20]
+
+    def test_membership(self):
+        allow = AllowList([5])
+        assert 5 in allow and 6 not in allow
+
+
+class TestProfiler:
+    def test_anti_idiom_excluded_from_allowlist(self):
+        binary = build(ANTI_IDIOM)
+        profiler = Profiler(RedFatOptions())
+        report = profiler.profile(binary)
+        fp_sites = report.observed_false_positive_sites()
+        assert len(fp_sites) == 1
+        allow = report.allowlist
+        assert fp_sites[0] not in allow
+        # The idiomatic access (through r15) was observed passing.
+        assert len(allow) >= 1
+
+    def test_unexecuted_sites_not_allowlisted(self):
+        asm = """
+            mov %rdi, $64
+            rtcall $1
+            mov %rbx, %rax
+            cmp %rcx, $0
+            je skip
+            mov (%rbx), $1
+            skip:
+            mov %rax, $0
+            ret
+        """
+        binary = build(asm)
+        report = Profiler(RedFatOptions()).profile(binary)
+        # rcx is 0 at entry: the store never executes.
+        assert len(report.allowlist) == 0
+        assert len(report.eligible_sites) == 1
+
+    def test_full_checking_produces_false_positive(self):
+        binary = build(ANTI_IDIOM)
+        harden = RedFat(RedFatOptions()).instrument(binary)  # no allow-list
+        with pytest.raises(GuestMemoryError):
+            run_binary(harden.binary, harden.create_runtime())
+
+    def test_production_binary_has_no_false_positive(self):
+        binary = build(ANTI_IDIOM)
+        profiler = Profiler(RedFatOptions())
+        harden, report = profiler.run_workflow(binary)
+        runtime = harden.create_runtime(mode="abort")
+        result = run_binary(harden.binary, runtime)
+        assert result.status == 0
+        assert len(runtime.errors) == 0
+
+    def test_production_protection_classification(self):
+        binary = build(ANTI_IDIOM)
+        profiler = Profiler(RedFatOptions())
+        harden, report = profiler.run_workflow(binary)
+        fp_site = report.observed_false_positive_sites()[0]
+        assert harden.protection[fp_site] == PROT_REDZONE
+        allowlisted = list(report.allowlist)
+        for site in allowlisted:
+            assert harden.protection[site] == PROT_LOWFAT
+
+    def test_production_binary_still_detects_real_errors(self):
+        """Redzone fallback on non-allowlisted sites still protects."""
+        # The anti-idiom site is redzone-only in production, but a real
+        # overflow through an allow-listed site must still trap.
+        asm = """
+            mov %rdi, $64
+            rtcall $1
+            mov %rbx, %rax
+            mov %rcx, $100
+            mov (%rbx,%rcx,8), $7
+            mov %rax, $0
+            ret
+        """
+        binary = build(asm)
+        profiler = Profiler(RedFatOptions())
+        # Profile with a benign run is impossible here (the bug always
+        # fires), so build the allow-list from a manual report: pretend
+        # nothing was observed -> empty allow-list -> redzone-only.
+        report = profiler.profile(binary)
+        harden = profiler.harden(binary, report)
+        # The buggy site failed profiling, so it is redzone-only; the
+        # low-fat skip would be missed, but this access lands outside any
+        # allocated slot region... verify at least that instrumentation
+        # still exists and the binary traps via the redzone fallback
+        # (the accessed address is in a low-fat region with free state).
+        with pytest.raises(GuestMemoryError):
+            run_binary(harden.binary, harden.create_runtime())
+
+    def test_multiple_executions_accumulate(self):
+        binary = build(ANTI_IDIOM)
+        profiler = Profiler(RedFatOptions())
+        calls = []
+
+        def execute(hardened, runtime):
+            calls.append(1)
+            run_binary(hardened, runtime)
+
+        report = profiler.profile(binary, executions=[execute, execute])
+        assert len(calls) == 2
+        fp_site = report.observed_false_positive_sites()[0]
+        assert report.failures[fp_site] == 2
+
+    def test_profile_binary_reports_no_inline_checks(self):
+        """The profile variant must not trap: it only observes."""
+        binary = build(ANTI_IDIOM)
+        tool = RedFat(RedFatOptions(profile_mode=True))
+        harden = tool.instrument(binary)
+        runtime = harden.create_runtime(mode="abort")
+        result = run_binary(harden.binary, runtime)  # would raise if checks
+        assert result.status == 0

@@ -1,0 +1,129 @@
+"""Tests for the assembler, text parser and disassembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import Assembler, assemble, assemble_text, parse
+from repro.isa.disassembler import disassemble, format_instruction
+from repro.isa.encoding import decode_all
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import RAX, RBX, RCX, Register
+
+
+class TestAssembler:
+    def test_forward_and_backward_labels(self):
+        asm = Assembler()
+        asm.emit(Opcode.JMP, Label("fwd"))
+        asm.label("back")
+        asm.emit(Opcode.NOP)
+        asm.label("fwd")
+        asm.emit(Opcode.JMP, Label("back"))
+        code = asm.assemble(0x1000)
+        decoded = decode_all(code, 0x1000)
+        assert decoded[0].jump_target() == 0x1006  # past jmp(5) + nop(1)
+        assert decoded[2].jump_target() == 0x1005  # the nop
+
+    def test_undefined_label(self):
+        asm = Assembler()
+        asm.emit(Opcode.JMP, Label("nowhere"))
+        with pytest.raises(AssemblyError):
+            asm.assemble()
+
+    def test_duplicate_label(self):
+        asm = Assembler()
+        asm.label("here")
+        with pytest.raises(AssemblyError):
+            asm.label("here")
+
+    def test_call_label(self):
+        asm = Assembler()
+        asm.emit(Opcode.CALL, Label("fn"))
+        asm.emit(Opcode.RET)
+        asm.label("fn")
+        asm.emit(Opcode.RET)
+        code = asm.assemble(0)
+        decoded = decode_all(code)
+        assert decoded[0].jump_target() == 6
+
+    def test_extend_merges_items(self):
+        asm = Assembler()
+        asm.extend([Label("a"), Instruction(Opcode.NOP)])
+        assert len(asm.items) == 2
+
+
+class TestTextSyntax:
+    def test_parse_basic_program(self):
+        items = parse(
+            """
+            # comment line
+            mov %rax, $1
+            start:
+                addq %rax, %rbx   # trailing comment
+                jmp start
+            """
+        )
+        kinds = [type(item).__name__ for item in items]
+        assert kinds == ["Instruction", "Label", "Instruction", "Instruction"]
+
+    def test_size_suffixes(self):
+        items = parse("movb (%rax), %rbx\nmovw (%rax), %rbx\nmovl (%rax), %rbx")
+        assert [item.size for item in items] == [1, 2, 4]
+
+    def test_memory_operand_variants(self):
+        items = parse(
+            "mov (%rax), %rbx\n"
+            "mov 8(%rax), %rbx\n"
+            "mov -8(%rax,%rcx,4), %rbx\n"
+            "mov 0x601000, %rbx\n"
+            "mov (,%rcx,8), %rbx"
+        )
+        mems = [item.operands[0] for item in items]
+        assert mems[0] == Mem(0, RAX)
+        assert mems[1] == Mem(8, RAX)
+        assert mems[2] == Mem(-8, RAX, RCX, 4)
+        assert mems[3] == Mem(0x601000)
+        assert mems[4] == Mem(0, None, RCX, 8)
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            parse("frobnicate %rax")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblyError):
+            parse("mov %xyz, $1")
+
+    def test_bad_scale(self):
+        with pytest.raises(AssemblyError):
+            parse("mov (%rax,%rbx,3), %rcx")
+
+    def test_assemble_text_executident(self):
+        code = assemble_text("mov %rax, $7\nret")
+        decoded = decode_all(code)
+        assert decoded[0].operands[1] == Imm(7)
+        assert decoded[1].opcode == Opcode.RET
+
+
+class TestDisassembler:
+    def test_listing_roundtrips_text(self):
+        source = "mov %rax, $5\npush %rbx\nmov 0x10(%rax), %rcx\nret"
+        code = assemble_text(source, 0x400000)
+        listing = disassemble(code, 0x400000)
+        assert len(listing) == 4
+        assert "mov %rax, $5" in listing[0]
+        assert "ret" in listing[3]
+
+    def test_jump_rendered_absolute(self):
+        code = assemble_text("self:\njmp self", 0x2000)
+        listing = disassemble(code, 0x2000)
+        assert "0x2000" in listing[0]
+
+    def test_sized_mnemonic(self):
+        text = format_instruction(
+            Instruction(Opcode.MOV, (Mem(0, RAX), Imm(0)), size=1)
+        )
+        assert text.startswith("movb")
+
+    def test_stops_on_garbage(self):
+        assert disassemble(b"\xfe\xfe\xfe") == []

@@ -1,0 +1,94 @@
+"""Whole-pipeline property: hardening never changes program behaviour.
+
+Random well-behaved MiniC programs (no memory errors by construction)
+must produce identical status/output under every instrumentation
+configuration, under PIC + rebase, and after stripping.  This is the
+reproduction's strongest invariant: opportunistic hardening may only
+*add* instructions, never semantics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cc import compile_source
+from repro.core import RedFat, RedFatOptions
+from repro.runtime.redfat import RedFatRuntime
+
+CONFIGS = [
+    RedFatOptions.unoptimized(),
+    RedFatOptions(),
+    RedFatOptions(size_hardening=False, check_reads=False),
+]
+
+
+@st.composite
+def safe_programs(draw):
+    """Generate heap-and-struct-heavy programs with no memory errors."""
+    array_len = draw(st.integers(min_value=4, max_value=24))
+    rounds = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=1, max_value=10_000))
+    use_struct = draw(st.booleans())
+    use_free = draw(st.booleans())
+    stride = draw(st.sampled_from([1, 2, 3]))
+    body = []
+    if use_struct:
+        body.append(f"""
+            struct cell *c = malloc(16);
+            c->v = s; c->w = {seed % 97};
+            s = s + c->v + c->w;
+        """)
+        if use_free:
+            body.append("free(c);")
+    source = f"""
+    struct cell {{ int v; int w; }};
+    int main() {{
+        int *a = malloc(8 * {array_len});
+        char *b = malloc({array_len});
+        srand({seed});
+        for (int i = 0; i < {array_len}; i = i + 1) {{
+            a[i] = rand() % 100;
+            b[i] = i;
+        }}
+        int s = 0;
+        for (int r = 0; r < {rounds}; r = r + 1) {{
+            for (int i = 0; i < {array_len}; i = i + {stride})
+                s = s + a[i] * b[i % {array_len}];
+            {"".join(body)}
+        }}
+        print(s);
+        return s & 0x7f;
+    }}
+    """
+    return source
+
+
+@given(source=safe_programs())
+@settings(max_examples=30, deadline=None)
+def test_hardening_preserves_behaviour_property(source):
+    program = compile_source(source)
+    baseline = program.run()
+    reference = program.run(runtime=RedFatRuntime(mode="log"))
+    assert reference.output == baseline.output  # allocator-independent
+    stripped = program.binary.strip()
+    for options in CONFIGS:
+        harden = RedFat(options).instrument(stripped)
+        runtime = harden.create_runtime(mode="abort")
+        result = program.run(binary=harden.binary, runtime=runtime)
+        assert result.status == baseline.status
+        assert result.output == baseline.output
+        assert len(runtime.errors) == 0
+        assert result.instructions >= baseline.instructions
+
+
+@given(source=safe_programs(), rebase=st.sampled_from([0, 0x10000, 0x300000]))
+@settings(max_examples=15, deadline=None)
+def test_pic_hardening_rebased_property(source, rebase):
+    program = compile_source(source, pic=True)
+    baseline = program.run(rebase=rebase)
+    harden = RedFat(RedFatOptions()).instrument(program.binary.strip())
+    result = program.run(
+        binary=harden.binary, runtime=harden.create_runtime(mode="abort"),
+        rebase=rebase,
+    )
+    assert result.status == baseline.status
+    assert result.output == baseline.output

@@ -1,0 +1,109 @@
+"""Tests for basic heap randomization (paper §8: incorporated in RedFat).
+
+Randomization draws reallocations from the free list in random order,
+making heap layouts unpredictable to an attacker without affecting
+correctness or detection.
+"""
+
+import pytest
+
+from repro.errors import GuestMemoryError
+from repro.cc import compile_source
+from repro.core import RedFat, RedFatOptions
+from repro.runtime.lowfat import LowFatAllocator
+from repro.runtime.redfat import RedFatRuntime
+
+CHURN_SOURCE = """
+int main() {
+    int *slots[1];
+    int *live = malloc(8 * 16);
+    int s = 0;
+    for (int round = 0; round < 10; round++) {
+        int *a = malloc(8 * 16);
+        int *b = malloc(8 * 16);
+        for (int i = 0; i < 16; i++) { a[i] = round + i; b[i] = round - i; }
+        for (int i = 0; i < 16; i++) s += a[i] + b[i];
+        free(a);
+        free(b);
+    }
+    print(s);
+    return s & 0x7f;
+}
+"""
+
+
+class TestAllocatorRandomization:
+    def test_reuse_order_differs_across_seeds(self):
+        layouts = []
+        for seed in (1, 2, 3):
+            allocator = LowFatAllocator(randomize=True, seed=seed)
+            block = [allocator.malloc(64) for _ in range(16)]
+            for address in block:
+                allocator.free(address)
+            layouts.append(tuple(allocator.malloc(64) for _ in range(16)))
+        assert len(set(layouts)) > 1  # at least two distinct orders
+
+    def test_deterministic_given_seed(self):
+        def layout(seed):
+            allocator = LowFatAllocator(randomize=True, seed=seed)
+            block = [allocator.malloc(64) for _ in range(8)]
+            for address in block:
+                allocator.free(address)
+            return tuple(allocator.malloc(64) for _ in range(8))
+
+        assert layout(7) == layout(7)
+
+    def test_disabled_is_lifo(self):
+        allocator = LowFatAllocator(randomize=False)
+        first = allocator.malloc(64)
+        second = allocator.malloc(64)
+        allocator.free(first)
+        allocator.free(second)
+        assert allocator.malloc(64) == second  # LIFO reuse
+
+
+class TestRandomizedHardenedExecution:
+    def test_behaviour_preserved_under_randomization(self):
+        program = compile_source(CHURN_SOURCE)
+        baseline = program.run()
+        harden = RedFat(RedFatOptions()).instrument(program.binary.strip())
+        for seed in (1, 5, 9):
+            runtime = harden.create_runtime(mode="abort", randomize=True, seed=seed)
+            result = program.run(binary=harden.binary, runtime=runtime)
+            assert result.status == baseline.status
+            assert result.output == baseline.output
+
+    def test_detection_unaffected_by_randomization(self):
+        program = compile_source(
+            """
+            int main() {
+                int *a = malloc(8 * 8);
+                free(malloc(8 * 8));
+                a[arg(0)] = 1;
+                return 0;
+            }
+            """
+        )
+        harden = RedFat(RedFatOptions()).instrument(program.binary.strip())
+        for seed in (2, 4):
+            runtime = harden.create_runtime(mode="abort", randomize=True, seed=seed)
+            with pytest.raises(GuestMemoryError):
+                program.run(args=[99], binary=harden.binary, runtime=runtime)
+
+    def test_layouts_differ_between_seeds(self):
+        source = """
+        int main() {
+            int *a = malloc(64); int *b = malloc(64); int *c = malloc(64);
+            free(a); free(b); free(c);
+            int *x = malloc(64);
+            print(x);
+            return 0;
+        }
+        """
+        program = compile_source(source)
+        seen = set()
+        for seed in range(6):
+            runtime = RedFatRuntime(mode="log", randomize=True, seed=seed)
+            result = program.run(binary=program.binary, runtime=runtime)
+            seen.add(result.output[0])
+        assert len(seen) > 1

@@ -1,0 +1,159 @@
+"""Property tests: ALU semantics vs. a Python reference model.
+
+Every arithmetic opcode is checked against 64-bit two's-complement
+reference semantics over random operands, including the flag bits that
+the generated check code's conditional jumps rely on (ja/jb/jae/jbe are
+what the bounds checks use, so carry semantics are safety-critical).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble_text
+from repro.isa.registers import RAX, RBX, RCX
+from repro.vm.cpu import CPU
+from repro.vm.memory import Memory
+from repro.vm.runtime_iface import RuntimeEnvironment
+
+M64 = (1 << 64) - 1
+
+
+class _NullRuntime(RuntimeEnvironment):
+    def malloc(self, size):
+        return 0
+
+    def free(self, address):
+        pass
+
+    def usable_size(self, address):
+        return 0
+
+
+def execute(asm: str, a: int, b: int) -> CPU:
+    memory = Memory()
+    code = assemble_text(asm, 0x1000)
+    memory.map_range(0x1000, len(code) + 16)
+    memory.write(0x1000, code)
+    memory.map_range(0x8000, 0x1000)
+    cpu = CPU(memory, _NullRuntime())
+    cpu.rip = 0x1000
+    cpu.regs[RAX] = a & M64
+    cpu.regs[RBX] = b & M64
+    steps = sum(1 for line in asm.splitlines() if line.strip())
+    for _ in range(steps):
+        cpu.step()
+    return cpu
+
+
+def signed(value: int) -> int:
+    value &= M64
+    return value - (1 << 64) if value >= 1 << 63 else value
+
+
+u64 = st.integers(min_value=0, max_value=M64)
+nonzero = st.integers(min_value=1, max_value=M64)
+
+
+@given(a=u64, b=u64)
+@settings(max_examples=200)
+def test_add_matches_model(a, b):
+    cpu = execute("add %rax, %rbx", a, b)
+    assert cpu.regs[RAX] == (a + b) & M64
+    assert cpu.cf == (a + b > M64)
+    assert cpu.zf == ((a + b) & M64 == 0)
+
+
+@given(a=u64, b=u64)
+@settings(max_examples=200)
+def test_sub_matches_model(a, b):
+    cpu = execute("sub %rax, %rbx", a, b)
+    assert cpu.regs[RAX] == (a - b) & M64
+    assert cpu.cf == (b > a)  # borrow: the ja/jb bounds predicates
+
+
+@given(a=u64, b=u64)
+@settings(max_examples=150)
+def test_imul_matches_model(a, b):
+    cpu = execute("imul %rax, %rbx", a, b)
+    assert cpu.regs[RAX] == (signed(a) * signed(b)) & M64
+
+
+@given(a=u64, b=nonzero)
+@settings(max_examples=150)
+def test_unsigned_div_mod(a, b):
+    cpu = execute("mov %rcx, %rax\ndiv %rax, %rbx\nmod %rcx, %rbx", a, b)
+    assert cpu.regs[RAX] == a // b
+    assert cpu.regs[RCX] == a % b
+
+
+@given(a=u64, b=nonzero)
+@settings(max_examples=150)
+def test_signed_div_mod_truncates_like_c(a, b):
+    cpu = execute("mov %rcx, %rax\nidiv %rax, %rbx\nimod %rcx, %rbx", a, b)
+    sa, sb = signed(a), signed(b)
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    remainder = sa - quotient * sb
+    assert signed(cpu.regs[RAX]) == quotient
+    assert signed(cpu.regs[RCX]) == remainder
+
+
+@given(a=u64, shift=st.integers(min_value=0, max_value=63))
+@settings(max_examples=150)
+def test_shifts_match_model(a, shift):
+    cpu = execute(f"mov %rcx, %rax\nshl %rax, ${shift}\nshr %rcx, ${shift}", a, 0)
+    assert cpu.regs[RAX] == (a << shift) & M64
+    assert cpu.regs[RCX] == a >> shift
+
+
+@given(a=u64, shift=st.integers(min_value=0, max_value=63))
+@settings(max_examples=150)
+def test_sar_is_arithmetic(a, shift):
+    cpu = execute(f"sar %rax, ${shift}", a, 0)
+    assert signed(cpu.regs[RAX]) == signed(a) >> shift
+
+
+@given(a=u64, b=u64)
+@settings(max_examples=200)
+def test_unsigned_compare_predicates(a, b):
+    # The exact predicates the generated bounds checks use.
+    cpu = execute(
+        "cmp %rax, %rbx\nseta %rcx\nsetb %rax\nsetae %rbx", a, b
+    )
+    assert cpu.regs[RCX] == int(a > b)
+    assert cpu.regs[RAX] == int(a < b)
+    assert cpu.regs[RBX] == int(a >= b)
+
+
+@given(a=u64, b=u64)
+@settings(max_examples=200)
+def test_signed_compare_predicates(a, b):
+    cpu = execute("cmp %rax, %rbx\nsetg %rcx\nsetl %rax\nsetle %rbx", a, b)
+    assert cpu.regs[RCX] == int(signed(a) > signed(b))
+    assert cpu.regs[RAX] == int(signed(a) < signed(b))
+    assert cpu.regs[RBX] == int(signed(a) <= signed(b))
+
+
+@given(a=u64, b=u64)
+@settings(max_examples=150)
+def test_logic_ops_match_model(a, b):
+    cpu = execute("mov %rcx, %rax\nand %rax, %rbx\nor %rcx, %rbx", a, b)
+    assert cpu.regs[RAX] == a & b
+    assert cpu.regs[RCX] == a | b
+
+
+@given(a=u64)
+@settings(max_examples=150)
+def test_neg_not_match_model(a):
+    cpu = execute("mov %rbx, %rax\nneg %rax\nnot %rbx", a, 0)
+    assert cpu.regs[RAX] == (-a) & M64
+    assert cpu.regs[RBX] == (~a) & M64
+
+
+@given(a=u64)
+@settings(max_examples=100)
+def test_u32_truncating_mov(a):
+    # The merged bounds check's underflow trick depends on this.
+    cpu = execute("movl %rax, %rax", a, 0)
+    assert cpu.regs[RAX] == a & 0xFFFFFFFF

@@ -1,0 +1,65 @@
+"""Tests for binary loading, the exit stub and run plumbing."""
+
+import pytest
+
+from repro.errors import LoaderError
+from repro.binfmt import BinaryBuilder, BinaryType
+from repro.isa.assembler import parse
+from repro.layout import STACK_TOP
+from repro.isa.registers import RSP
+from repro.runtime.glibc import GlibcRuntime
+from repro.vm.loader import EXIT_STUB_ADDR, load_binary, run_binary
+
+
+def build(asm: str, pic: bool = False):
+    builder = BinaryBuilder(binary_type=BinaryType.PIC if pic else BinaryType.EXEC)
+    builder.add_function("main", parse(asm))
+    return builder.build("main")
+
+
+class TestLoader:
+    def test_entry_and_stack_setup(self):
+        binary = build("ret")
+        cpu = load_binary(binary, GlibcRuntime())
+        assert cpu.rip == binary.entry
+        assert cpu.regs[RSP] < STACK_TOP
+        # The pushed return address is the exit stub.
+        assert cpu.memory.read_int(cpu.regs[RSP], 8) == EXIT_STUB_ADDR
+
+    def test_plain_ret_exits_with_rax(self):
+        result = run_binary(build("mov %rax, $23\nret"))
+        assert result.status == 23
+
+    def test_exit_status_truncated_to_byte(self):
+        result = run_binary(build("mov %rax, $0x1ff\nret"))
+        assert result.status == 0xFF
+
+    def test_bss_zero_filled(self):
+        builder = BinaryBuilder()
+        builder.add_global("zeros", 256)
+        builder.add_function("main", parse("mov %rax, 0x700010\nret"))
+        binary = builder.build("main")
+        assert run_binary(binary).status == 0
+
+    def test_rebase_non_pic_rejected(self):
+        with pytest.raises(LoaderError):
+            load_binary(build("ret"), GlibcRuntime(), rebase=0x1000)
+
+    def test_unaligned_rebase_rejected(self):
+        with pytest.raises(LoaderError):
+            load_binary(build("ret", pic=True), GlibcRuntime(), rebase=0x123)
+
+    def test_library_mapping(self):
+        main = build("mov %rax, 0x5000000\nret")
+        library = BinaryBuilder(binary_type=BinaryType.PIC, code_base=0x4000000,
+                                data_base=0x4100000, bss_base=0x4200000)
+        library.add_global("shared_flag", 8, init=(9).to_bytes(8, "little"))
+        library.add_function("entry", parse("ret"))
+        image = library.build("entry")
+        cpu = load_binary(main, GlibcRuntime(), libraries=[(image, 0x1000000)])
+        # The library's data global is visible at its rebased address.
+        assert cpu.memory.read_int(0x4100000 + 0x1000000, 8) == 9
+
+    def test_run_result_output_text(self):
+        result = run_binary(build("mov %rdi, $5\nrtcall $5\nmov %rdi, $6\nrtcall $5\nmov %rax, $0\nret"))
+        assert result.output_text == "5\n6"

@@ -1,0 +1,145 @@
+"""Tests for the workload suites (SPEC kernels, CVEs, Juliet, Chrome)."""
+
+import pytest
+
+from repro.workloads import SPEC_BENCHMARKS, get_benchmark
+from repro.workloads.chrome import (
+    KERNEL_WORK,
+    KRAKEN_BENCHMARKS,
+    build_chrome,
+    kraken_args,
+)
+from repro.workloads.cves import CVE_CASES
+from repro.workloads.juliet import SIZES, generate_cases
+from repro.workloads.registry import anti_idiom_block
+
+
+class TestSpecRegistry:
+    def test_twenty_nine_benchmarks(self):
+        assert len(SPEC_BENCHMARKS) == 29
+        assert len({b.name for b in SPEC_BENCHMARKS}) == 29
+
+    def test_language_mix_matches_paper(self):
+        languages = [b.language for b in SPEC_BENCHMARKS]
+        assert languages.count("Fortran") == 10
+        assert languages.count("C++") == 7
+        assert languages.count("C") == 12
+
+    def test_paper_fp_totals(self):
+        by_name = {b.name: b.paper_fp_sites for b in SPEC_BENCHMARKS}
+        assert by_name["gcc"] == 14
+        assert by_name["GemsFDTD"] == 32
+        assert by_name["wrf"] == 26
+        assert sum(by_name.values()) == 1 + 14 + 1 + 1 + 5 + 3 + 32 + 26 + 2
+
+    def test_memcheck_nr_set(self):
+        nr = {b.name for b in SPEC_BENCHMARKS if b.memcheck_nr}
+        assert nr == {"dealII", "zeusmp"}
+
+    def test_real_bug_annotations(self):
+        bugs = {b.name: b.paper_real_bugs for b in SPEC_BENCHMARKS if b.paper_real_bugs}
+        assert bugs == {"calculix": 4, "wrf": 1}
+
+    def test_get_benchmark_unknown(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nope")
+
+    @pytest.mark.parametrize("bench", SPEC_BENCHMARKS, ids=lambda b: b.name)
+    def test_runs_deterministically(self, bench):
+        program = bench.compile()
+        first = program.run(args=bench.train_args, max_instructions=3_000_000)
+        second = program.run(args=bench.train_args, max_instructions=3_000_000)
+        assert first.status == second.status
+        assert first.output == second.output
+        assert first.instructions == second.instructions
+        assert first.output  # every kernel prints a checksum
+
+    @pytest.mark.parametrize("bench", SPEC_BENCHMARKS, ids=lambda b: b.name)
+    def test_train_smaller_than_ref(self, bench):
+        program = bench.compile()
+        train = program.run(args=bench.train_args, max_instructions=5_000_000)
+        ref = program.run(args=bench.ref_args, max_instructions=5_000_000)
+        assert train.instructions < ref.instructions
+
+
+class TestAntiIdiomGenerator:
+    def test_block_counts(self):
+        functions, calls = anti_idiom_block("probe", 6, offset=4)
+        assert functions.count("int probe_") == 6
+        assert calls.count("probe_") == 6
+
+    def test_distinct_names(self):
+        functions, _ = anti_idiom_block("x", 3)
+        for index in range(3):
+            assert f"x_{index}" in functions
+
+
+class TestCVEs:
+    def test_four_cases(self):
+        assert len(CVE_CASES) == 4
+        assert {case.cve for case in CVE_CASES} == {
+            "CVE-2012-4295", "CVE-2007-3476", "CVE-2016-1903", "CVE-2016-2335",
+        }
+
+    @pytest.mark.parametrize("case", CVE_CASES, ids=lambda c: c.cve)
+    def test_benign_runs_clean_unprotected(self, case):
+        program = case.compile()
+        result = program.run(args=case.benign_args)
+        assert result.status == 0
+        assert "-1" not in result.output  # no corruption marker
+
+
+class TestJuliet:
+    def test_exactly_480_cases(self):
+        cases = generate_cases()
+        assert len(cases) == 480
+        assert len({case.case_id for case in cases}) == 480
+
+    def test_structure(self):
+        cases = generate_cases()
+        shapes = {case.shape for case in cases}
+        assert len(shapes) == 6
+        assert {case.victim_size for case in cases} == set(SIZES)
+        # 24 distinct programs, 20 variants each.
+        assert len({case.source for case in cases}) == 24
+
+    def test_truncated_generation(self):
+        assert len(generate_cases(100)) == 100
+
+    def test_offsets_skip_the_redzone(self):
+        for case in generate_cases(48):
+            rounded = (case.victim_size + 15) & ~15
+            if case.shape == "byte_write":
+                assert case.malicious_args[0] >= rounded + 16
+
+    def test_benign_case_runs_clean(self):
+        case = generate_cases(1)[0]
+        result = case.compile().run(args=case.benign_args)
+        assert result.status == 0
+
+
+class TestChrome:
+    def test_fourteen_kraken_benchmarks(self):
+        assert len(KRAKEN_BENCHMARKS) == 14
+        assert set(KERNEL_WORK) == set(KRAKEN_BENCHMARKS)
+
+    def test_build_is_cached(self):
+        assert build_chrome(60) is build_chrome(60)
+
+    def test_filler_count_scales_binary(self):
+        small = build_chrome(40).binary.segment(".text")
+        large = build_chrome(80).binary.segment(".text")
+        assert len(large.data) > len(small.data)
+
+    @pytest.mark.parametrize("name", KRAKEN_BENCHMARKS)
+    def test_kernels_deterministic(self, name):
+        program = build_chrome(40)
+        args = kraken_args(name)
+        first = program.run(args=args, max_instructions=3_000_000)
+        second = program.run(args=args, max_instructions=3_000_000)
+        assert first.status == second.status
+        assert first.instructions == second.instructions
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            kraken_args("nope")
