@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.memcheck import MemcheckVM
+from repro.errors import ReproError, VMTimeoutError
 from repro.cc import CompiledProgram
 from repro.core import Profiler, RedFat, RedFatOptions
 from repro.core.redfat_tool import PROT_LOWFAT, PROT_NONE
@@ -35,6 +36,26 @@ CONFIG_COLUMNS: List[Tuple[str, object]] = [
     ("-reads", lambda allow: RedFatOptions(allowlist=allow, size_hardening=False,
                                            check_reads=False)),
 ]
+
+
+#: When a guest exhausts its fuel budget the watchdog retries once with
+#: this multiplier — a slow-but-finishing guest gets a second chance, a
+#: genuinely hung one is killed twice and declared dead.
+WATCHDOG_RETRY_FACTOR = 4
+
+
+def run_with_watchdog(
+    thunk: Callable[[int], object],
+    fuel: int,
+    retry_factor: int = WATCHDOG_RETRY_FACTOR,
+):
+    """Call ``thunk(fuel)``; on :class:`VMTimeoutError`, retry once with
+    ``fuel * retry_factor``.  A second timeout propagates — the guest is
+    hung, not slow."""
+    try:
+        return thunk(fuel)
+    except VMTimeoutError:
+        return thunk(fuel * retry_factor)
 
 
 def geometric_mean(values: Sequence[float]) -> float:
@@ -58,6 +79,10 @@ class SpecMeasurement:
     outputs_match: bool = True
     allowlist_size: int = 0
     eligible_sites: int = 0
+    #: A hung or faulting guest marks the measurement failed instead of
+    #: killing the whole sweep; ``failure`` names what went wrong.
+    failed: bool = False
+    failure: str = ""
 
 
 def _run_config(
@@ -65,17 +90,32 @@ def _run_config(
     harden_result,
     args: Sequence[int],
     mode: str = "log",
+    fuel: int = 2_000_000_000,
 ) -> Tuple[int, List[str], RedFatRuntime]:
     runtime = harden_result.create_runtime(mode=mode)
-    result = program.run(args=args, binary=harden_result.binary, runtime=runtime)
+    result = run_with_watchdog(
+        lambda budget: program.run(
+            args=args, binary=harden_result.binary, runtime=runtime,
+            max_instructions=budget,
+        ),
+        fuel,
+    )
     return result.instructions, result.output, runtime
 
 
-def measure_memcheck(program: CompiledProgram, args: Sequence[int]):
+def measure_memcheck(
+    program: CompiledProgram,
+    args: Sequence[int],
+    fuel: int = 2_000_000_000,
+):
     """One Memcheck run with workload inputs poked."""
     vm = MemcheckVM()
-    return vm.run(
-        program.binary, setup=lambda cpu: program.poke_args(cpu, args)
+    return run_with_watchdog(
+        lambda budget: vm.run(
+            program.binary, max_instructions=budget,
+            setup=lambda cpu: program.poke_args(cpu, args),
+        ),
+        fuel,
     )
 
 
@@ -84,6 +124,7 @@ def measure_coverage(
     production,
     ref_args: Sequence[int],
     base_options: RedFatOptions,
+    fuel: int = 2_000_000_000,
 ) -> float:
     """Fraction of dynamically reached sites carrying the full check.
 
@@ -102,7 +143,13 @@ def measure_coverage(
 
     runtime = RedFatRuntime(mode="log")
     runtime.profile_callback = callback
-    program.run(args=ref_args, binary=profile.binary, runtime=runtime)
+    run_with_watchdog(
+        lambda budget: program.run(
+            args=ref_args, binary=profile.binary, runtime=runtime,
+            max_instructions=budget,
+        ),
+        fuel,
+    )
 
     instrumented = [
         site for site in executed
@@ -121,21 +168,47 @@ def measure_spec(
     quick: bool = False,
     max_instructions: int = 50_000_000,
 ) -> SpecMeasurement:
-    """Measure one Table 1 row."""
+    """Measure one Table 1 row.
+
+    A hung guest (watchdog timeout after one retry) or any other typed
+    pipeline failure marks the measurement ``failed`` rather than
+    propagating, so one sick benchmark cannot kill a whole sweep.
+    """
+    measurement = SpecMeasurement(name=benchmark.name)
+    try:
+        _measure_spec_into(measurement, benchmark, quick, max_instructions)
+    except ReproError as error:
+        measurement.failed = True
+        measurement.failure = f"{type(error).__name__}: {error}"
+    return measurement
+
+
+def _measure_spec_into(
+    measurement: SpecMeasurement,
+    benchmark: SpecBenchmark,
+    quick: bool,
+    max_instructions: int,
+) -> None:
     program = benchmark.compile()
     stripped = program.binary.strip()
     train_args = benchmark.train_args
     ref_args = benchmark.train_args if quick else benchmark.ref_args
-    measurement = SpecMeasurement(name=benchmark.name)
+    # Instrumented and Memcheck runs legitimately execute a multiple of
+    # the baseline's instructions; give them headroom before the watchdog
+    # (which retries once more at a larger budget) calls them hung.
+    instrumented_fuel = max_instructions * 8
 
     # Phase 1: allow-list from the train workload (paper §7.1 methodology).
     profiler = Profiler(RedFatOptions())
     report = profiler.profile(
         stripped,
         executions=[
-            lambda binary, runtime: program.run(
-                args=train_args, binary=binary, runtime=runtime,
-                max_instructions=max_instructions,
+            lambda binary, runtime: run_with_watchdog(
+                lambda budget: program.run(
+                    args=train_args, binary=binary, runtime=runtime,
+                    max_instructions=budget,
+                ),
+                instrumented_fuel,
             )
         ],
     )
@@ -144,15 +217,21 @@ def measure_spec(
     measurement.eligible_sites = len(report.eligible_sites)
 
     # Baseline (uninstrumented, default allocator).
-    baseline = program.run(args=ref_args, max_instructions=max_instructions)
+    baseline = run_with_watchdog(
+        lambda budget: program.run(args=ref_args, max_instructions=budget),
+        max_instructions,
+    )
     measurement.baseline_instructions = baseline.instructions
 
     # Reference output: the uninstrumented binary under the redfat
     # allocator (pure LD_PRELOAD) — benchmarks with real bugs read heap
     # metadata, so output depends on the allocator, not on instrumentation.
-    reference = program.run(
-        args=ref_args, runtime=RedFatRuntime(mode="log"),
-        max_instructions=max_instructions,
+    reference = run_with_watchdog(
+        lambda budget: program.run(
+            args=ref_args, runtime=RedFatRuntime(mode="log"),
+            max_instructions=budget,
+        ),
+        max_instructions,
     )
 
     production = None
@@ -160,7 +239,9 @@ def measure_spec(
     for label, make_options in CONFIG_COLUMNS:
         options = make_options(allowlist)
         harden = RedFat(options).instrument(stripped)
-        instructions, output, runtime = _run_config(program, harden, ref_args)
+        instructions, output, runtime = _run_config(
+            program, harden, ref_args, fuel=instrumented_fuel
+        )
         measurement.slowdowns[label] = instructions / baseline.instructions
         if output != reference.output:
             measurement.outputs_match = False
@@ -174,19 +255,20 @@ def measure_spec(
     # under full checking but not by the profile-hardened production
     # binary (whose reports are the genuine errors).
     full = RedFat(RedFatOptions()).instrument(stripped)
-    _, _, full_runtime = _run_config(program, full, ref_args)
+    _, _, full_runtime = _run_config(
+        program, full, ref_args, fuel=instrumented_fuel
+    )
     full_reported = {report_.site for report_ in full_runtime.errors}
     measurement.false_positive_sites = len(full_reported - production_reported)
 
     # Memcheck comparator.
     if not benchmark.memcheck_nr:
-        memcheck = measure_memcheck(program, ref_args)
+        memcheck = measure_memcheck(program, ref_args, fuel=instrumented_fuel)
         measurement.memcheck_slowdown = (
             memcheck.effective_instructions / baseline.instructions
         )
 
     # Coverage column.
     measurement.coverage = measure_coverage(
-        program, production, ref_args, RedFatOptions()
+        program, production, ref_args, RedFatOptions(), fuel=instrumented_fuel
     )
-    return measurement

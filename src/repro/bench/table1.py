@@ -27,19 +27,24 @@ class Table1Result:
     measurements: List[SpecMeasurement] = field(default_factory=list)
     elapsed_seconds: float = 0.0
 
+    def healthy(self) -> List[SpecMeasurement]:
+        """Measurements that completed; failed rows carry no numbers."""
+        return [m for m in self.measurements if not m.failed]
+
     def geomeans(self) -> Dict[str, float]:
+        healthy = self.healthy()
         means: Dict[str, float] = {}
         for label, _ in CONFIG_COLUMNS:
             means[label] = geometric_mean(
-                [m.slowdowns.get(label, 0.0) for m in self.measurements]
+                [m.slowdowns.get(label, 0.0) for m in healthy]
             )
         means["memcheck"] = geometric_mean(
-            [m.memcheck_slowdown for m in self.measurements
+            [m.memcheck_slowdown for m in healthy
              if m.memcheck_slowdown is not None]
         )
         means["coverage"] = (
-            sum(m.coverage for m in self.measurements) / len(self.measurements)
-            if self.measurements else 0.0
+            sum(m.coverage for m in healthy) / len(healthy)
+            if healthy else 0.0
         )
         return means
 
@@ -51,6 +56,10 @@ class Table1Result:
         )
         rows = []
         for m in self.measurements:
+            if m.failed:
+                blank = [""] * (len(CONFIG_COLUMNS) + 4)
+                rows.append([m.name, "FAILED", m.failure] + blank)
+                continue
             rows.append(
                 [m.name, percent(m.coverage), m.baseline_instructions]
                 + [factor(m.slowdowns.get(label)) for label, _ in CONFIG_COLUMNS]
@@ -67,6 +76,12 @@ class Table1Result:
             + [factor(means[label]) for label, _ in CONFIG_COLUMNS]
             + [factor(means["memcheck"]), "", "", ""]
         )
+        failed = [m for m in self.measurements if m.failed]
+        if failed:
+            rows.append(
+                [f"({len(failed)} failed, excluded from means)", "", ""]
+                + [""] * (len(CONFIG_COLUMNS) + 4)
+            )
         notes = (
             "\nNotes: slow-downs are executed-instruction ratios vs. the\n"
             "uninstrumented binary; coverage is the fraction of dynamically\n"
@@ -97,12 +112,19 @@ def run(
         measurement = measure_spec(benchmark, quick=quick)
         result.measurements.append(measurement)
         if verbose:
-            print(
-                f"  measured {benchmark.name:12s} "
-                f"merge={measurement.slowdowns.get('+merge', 0):.2f}x "
-                f"({time.time() - bench_start:.1f}s)",
-                file=sys.stderr,
-            )
+            if measurement.failed:
+                print(
+                    f"  FAILED   {benchmark.name:12s} {measurement.failure} "
+                    f"({time.time() - bench_start:.1f}s)",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"  measured {benchmark.name:12s} "
+                    f"merge={measurement.slowdowns.get('+merge', 0):.2f}x "
+                    f"({time.time() - bench_start:.1f}s)",
+                    file=sys.stderr,
+                )
     result.elapsed_seconds = time.time() - start
     return result
 

@@ -171,8 +171,12 @@ class Binary:
         if has_symbols:
             symbols = SymbolTable()
             for _ in range(nsymbols):
+                if offset + 2 > len(blob):
+                    raise BinaryFormatError("truncated symbol table")
                 (name_len,) = struct.unpack_from("<H", blob, offset)
                 offset += 2
+                if offset + name_len + 8 > len(blob):
+                    raise BinaryFormatError("truncated symbol table")
                 name = blob[offset : offset + name_len].decode()
                 offset += name_len
                 (address,) = struct.unpack_from("<Q", blob, offset)

@@ -23,7 +23,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.errors import GuestMemoryError, ReproError
+from repro.errors import GuestMemoryError, ReproError, VMTimeoutError
 from repro.binfmt.binary import Binary
 from repro.cc import compile_source
 from repro.core import AllowList, Profiler, RedFat, RedFatOptions
@@ -63,6 +63,7 @@ def _cmd_harden(arguments) -> int:
         size_hardening=not arguments.no_size,
         check_reads=not arguments.no_reads,
         allowlist=allowlist,
+        keep_going=arguments.keep_going,
     )
     result = RedFat(options).instrument(binary)
     result.binary.save(arguments.output)
@@ -72,6 +73,8 @@ def _cmd_harden(arguments) -> int:
           f"({lowfat_sites} lowfat+redzone, {redzone_sites} redzone-only, "
           f"{len(result.rewrite.skipped)} skipped), "
           f"+{result.rewrite.trampoline_bytes} trampoline bytes")
+    if result.quarantine or result.stats.degraded_sites:
+        print(result.quarantine_report(), file=sys.stderr)
     return 0
 
 
@@ -112,10 +115,14 @@ def _cmd_run(arguments) -> int:
     cpu = load_binary(binary, runtime)
     _poke_args(cpu, arguments.args)
     try:
-        status = cpu.run()
+        status = cpu.run(arguments.fuel)
     except GuestMemoryError as error:
         print(f"MEMORY ERROR: {error}", file=sys.stderr)
         return 139
+    except VMTimeoutError as error:
+        # Same convention as timeout(1): the guest was killed, not crashed.
+        print(f"TIMEOUT: {error}", file=sys.stderr)
+        return 124
     for line in runtime.output:
         print(line)
     if arguments.runtime == "redfat" and runtime.errors:
@@ -156,6 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
     harden_cmd.add_argument("--allowlist")
     for flag in ("lowfat", "elim", "batch", "merge", "size", "reads"):
         harden_cmd.add_argument(f"--no-{flag}", action="store_true")
+    harden_cmd.add_argument(
+        "--keep-going", action="store_true",
+        help="quarantine sites whose instrumentation fails instead of "
+             "aborting (a report of skipped sites goes to stderr)")
     harden_cmd.set_defaults(handler=_cmd_harden)
 
     profile_cmd = commands.add_parser("profile",
@@ -171,6 +182,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--runtime", choices=("glibc", "redfat"),
                          default="glibc")
     run_cmd.add_argument("--mode", choices=("abort", "log"), default="abort")
+    run_cmd.add_argument(
+        "--fuel", type=int, default=2_000_000_000,
+        help="watchdog instruction budget before a hung guest is killed")
     run_cmd.set_defaults(handler=_cmd_run)
 
     disasm_cmd = commands.add_parser("disasm", help="disassemble text segments")

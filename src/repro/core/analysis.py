@@ -65,6 +65,12 @@ class AnalysisStats:
     skipped_reads: int = 0
     eliminated: int = 0
     candidates: int = 0
+    #: Sites that fell from lowfat+redzone to redzone-only because full
+    #: check generation failed (the graceful-degradation ladder).
+    degraded_sites: int = 0
+    #: Sites left entirely uninstrumented after the ladder bottomed out
+    #: (generation and encoding both failed under ``keep_going``).
+    quarantined_sites: int = 0
 
 
 def can_eliminate(mem: Mem) -> bool:

@@ -58,6 +58,13 @@ class RedFatOptions:
     #: "additional low-level optimizations").
     specialize_registers: bool = True
 
+    #: Keep instrumenting when a site exhausts the protection ladder
+    #: (lowfat+redzone -> redzone -> none): quarantine the site and
+    #: continue instead of aborting the pipeline.  Off by default so a
+    #: silent coverage loss never goes unnoticed; the CLI exposes it as
+    #: ``--keep-going``.
+    keep_going: bool = False
+
     # -- presets -----------------------------------------------------------
 
     @classmethod

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.errors import InstrumentationError
+from repro.faults.injector import fault_point
 from repro.binfmt.binary import Binary
 from repro.binfmt.sections import SEG_READ, Segment
 from repro.isa.instructions import Instruction
@@ -55,6 +57,11 @@ class HardenResult:
     #: profile mode only: group head -> the sites it profiles.
     site_table: Dict[int, List[CheckSite]] = field(default_factory=dict)
     groups: int = 0
+    #: (head address, reason) for every group left uninstrumented because
+    #: the protection ladder bottomed out — check generation and the
+    #: redzone-only fallback both failed, or the trampoline would not
+    #: encode.  Empty on a healthy run.
+    quarantine: List[Tuple[int, str]] = field(default_factory=list)
 
     def create_runtime(self, mode: str = "abort", **kw) -> RedFatRuntime:
         """A ``libredfat`` runtime wired for precise error attribution."""
@@ -71,6 +78,19 @@ class HardenResult:
         if not instrumented:
             return 0.0
         return sum(1 for p in instrumented if p == PROT_LOWFAT) / len(instrumented)
+
+    def quarantine_report(self) -> str:
+        """Human-readable account of sites skipped by the ladder."""
+        if not self.quarantine:
+            return "quarantine: no sites skipped"
+        lines = [f"quarantine: {len(self.quarantine)} site(s) left uninstrumented"]
+        for head, reason in self.quarantine:
+            lines.append(f"  {head:#x}: {reason}")
+        if self.stats.degraded_sites:
+            lines.append(
+                f"  (+{self.stats.degraded_sites} site(s) degraded to redzone-only)"
+            )
+        return "\n".join(lines)
 
 
 class RedFat:
@@ -90,13 +110,14 @@ class RedFat:
         sites, stats = find_candidate_sites(control_flow, options)
         groups = build_groups(control_flow, sites, options)
 
-        rewriter = Rewriter(binary, control_flow)
+        rewriter = Rewriter(binary, control_flow, keep_going=options.keep_going)
         if not binary.has_segment(SIZES_SEGMENT):
             rewriter.add_segment(sizes_table_segment())
 
         protection: Dict[int, str] = {}
         site_table: Dict[int, List[CheckSite]] = {}
         group_sites: Dict[int, List[CheckSite]] = {}
+        quarantine: List[Tuple[int, str]] = []
 
         for group in groups:
             head = group.head_address
@@ -111,20 +132,22 @@ class RedFat:
                 for site in group.sites:
                     protection[site.address] = PROT_REDZONE
             else:
-                ranges = merge_group(group, options)
-                items = self._generate_items(
-                    control_flow, group, ranges, binary.is_pic
+                items = self._generate_group(
+                    control_flow, group, binary.is_pic, protection, stats,
+                    quarantine,
                 )
-                for access_range in ranges:
-                    kind = PROT_LOWFAT if access_range.use_lowfat else PROT_REDZONE
-                    for site in access_range.sites:
-                        protection[site.address] = kind
+                if items is None:
+                    continue  # quarantined: no patch request at all
             rewriter.request(PatchRequest(head, items))
 
         result = rewriter.finalize()
+        encode_failed = {head for head, _reason in result.encode_failures}
         for head, _reason in result.skipped:
             for site in group_sites.get(head, ()):
                 protection[site.address] = PROT_NONE
+                if head in encode_failed:
+                    stats.quarantined_sites += 1
+        quarantine.extend(result.encode_failures)
         return HardenResult(
             binary=result.binary,
             rewrite=result,
@@ -133,12 +156,55 @@ class RedFat:
             protection=protection,
             site_table=site_table,
             groups=len(groups),
+            quarantine=quarantine,
         )
 
     # -- internals ----------------------------------------------------------
 
-    def _generate_items(self, control_flow, group, ranges, pic: bool):
+    def _generate_group(
+        self, control_flow, group, pic: bool, protection, stats, quarantine
+    ):
+        """Generate one group's check items, degrading on failure.
+
+        The protection ladder (paper §6): full lowfat+redzone checks
+        first; if generation fails (no scratch registers, injected
+        encoding fault), retry redzone-only; if that fails too, the group
+        is quarantined (``keep_going``) or the error propagates.  Returns
+        the item list, or None when the group was quarantined.
+        """
         options = self.options
+        try:
+            ranges = merge_group(group, options)
+            items = self._generate_items(
+                control_flow, group, ranges, pic, options
+            )
+        except InstrumentationError:
+            degraded = options.with_(lowfat=False)
+            try:
+                ranges = merge_group(group, degraded)
+                items = self._generate_items(
+                    control_flow, group, ranges, pic, degraded
+                )
+            except InstrumentationError as secondary:
+                if not options.keep_going:
+                    raise
+                quarantine.append((group.head_address, str(secondary)))
+                for site in group.sites:
+                    protection[site.address] = PROT_NONE
+                stats.quarantined_sites += len(group.sites)
+                return None
+            for site in group.sites:
+                protection[site.address] = PROT_REDZONE
+            stats.degraded_sites += len(group.sites)
+            return items
+        for access_range in ranges:
+            kind = PROT_LOWFAT if access_range.use_lowfat else PROT_REDZONE
+            for site in access_range.sites:
+                protection[site.address] = kind
+        return items
+
+    def _generate_items(self, control_flow, group, ranges, pic: bool, options=None):
+        options = options or self.options
         head = group.head_address
         block = control_flow.block_of[head]
         index = next(
@@ -151,9 +217,16 @@ class RedFat:
         else:
             dead = frozenset()
             flags_dead = False
-        scratch = pick_scratch_registers(
-            group.operand_registers(), dead, SCRATCH_COUNT
-        )
+        if fault_point("checkgen.scratch"):
+            raise InstrumentationError(
+                f"site {head:#x}: injected scratch-register exhaustion"
+            )
+        try:
+            scratch = pick_scratch_registers(
+                group.operand_registers(), dead, SCRATCH_COUNT
+            )
+        except ValueError as error:
+            raise InstrumentationError(f"site {head:#x}: {error}") from error
         save_registers = [register for register in scratch if register not in dead]
         context = CheckContext(
             options=options,

@@ -34,6 +34,21 @@ class VMError(ReproError):
     """The VM reached an unrecoverable state (bad opcode, wild fetch...)."""
 
 
+class VMTimeoutError(VMError):
+    """The watchdog fuel budget was exhausted before the guest exited.
+
+    Raised by :meth:`repro.vm.cpu.CPU.run` when a guest retires more
+    instructions than its budget allows — the deterministic stand-in for
+    a wall-clock timeout killing a hung process.  ``fuel`` records the
+    budget that ran out so callers (e.g. the benchmark harness) can retry
+    with a larger one.
+    """
+
+    def __init__(self, fuel: int, message: str = "") -> None:
+        super().__init__(message or f"instruction budget exhausted ({fuel})")
+        self.fuel = fuel
+
+
 class VMFault(VMError):
     """The guest accessed unmapped memory (a segmentation fault)."""
 
@@ -69,6 +84,17 @@ class AllocatorError(ReproError):
 
 class RewriteError(ReproError):
     """Static binary rewriting failed (unpatchable site, overlap...)."""
+
+
+class InstrumentationError(RewriteError):
+    """One site's instrumentation could not be generated or encoded.
+
+    Raised when check generation runs out of scratch registers or a
+    trampoline fails to encode.  The tool catches it per-site and walks
+    down the protection ladder (lowfat+redzone -> redzone -> none); it
+    only escapes to callers when ``keep_going`` is disabled and a site
+    cannot be instrumented at all.
+    """
 
 
 class CompileError(ReproError):

@@ -1,0 +1,36 @@
+"""Fault injection: prove the hardening pipeline degrades, never dies.
+
+``repro.faults`` provides a seeded, deterministic fault injector
+(:mod:`~repro.faults.injector`), a registry of named fault points wired
+across the pipeline (:mod:`~repro.faults.points`), and a campaign runner
+(:mod:`~repro.faults.campaign`, also ``python -m repro.faults.campaign``)
+that sweeps seeded faults and asserts every run ends *detected*,
+*degraded* or *clean* — never in an uncaught exception.
+
+This package must stay import-light: the VM and runtime import
+:func:`fault_point` at module load, so importing anything heavy here
+(the campaign pulls in the compiler) would create a cycle.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    active,
+    fault_point,
+    injection,
+    install,
+    uninstall,
+)
+from repro.faults.points import FAULT_POINTS, FaultPoint, point_names, register
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultInjector",
+    "FaultPoint",
+    "active",
+    "fault_point",
+    "injection",
+    "install",
+    "point_names",
+    "register",
+    "uninstall",
+]

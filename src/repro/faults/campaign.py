@@ -1,0 +1,265 @@
+"""The fault-injection campaign: sweep seeded faults, account every run.
+
+Run: ``python -m repro.faults.campaign --seeds 50``
+
+Each seed arms one :class:`~repro.faults.injector.FaultInjector` and
+drives the full pipeline — strip, harden (``keep_going``), load, run
+under the VM watchdog — against a heap-heavy guest program.  Every run
+must end in one of three accounted outcomes:
+
+``detected``
+    A defense fired: a :class:`~repro.errors.GuestMemoryError` /
+    logged :class:`~repro.runtime.reporting.MemoryErrorReport`, or a
+    *typed* :class:`~repro.errors.ReproError` diagnosed at a layer
+    boundary (watchdog timeout, VM fault on a truncated image, loader
+    rejection, ...).  Typed errors are the accounted failure channel —
+    the pipeline named what the corruption broke.
+
+``degraded``
+    The pipeline completed but one or more sites fell down the
+    protection ladder (``AnalysisStats.degraded_sites`` /
+    ``quarantined_sites`` / ``HardenResult.quarantine``).
+
+``clean``
+    Nothing fired — typically the fault point was never reached, or the
+    flipped bit landed in unchecked state.  Silent output corruption is
+    flagged (``output_mismatch``) but still counts as clean: redzone and
+    low-fat checks make no promise about arbitrary data bits.
+
+Anything else — an ``AttributeError``, a ``KeyError``, any non-
+:class:`~repro.errors.ReproError` escaping the pipeline — is recorded as
+``uncaught`` and fails the campaign.  That is the property this module
+exists to enforce: hostile state may *degrade* the tool, never crash it.
+
+Faults are assigned round-robin over the registry so a sweep covers
+every point evenly; the trigger hit and corruption payloads come from
+the per-seed RNG.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cc import CompiledProgram, compile_source
+from repro.core import RedFat, RedFatOptions
+from repro.errors import GuestMemoryError, ReproError, VMTimeoutError
+from repro.faults.injector import FaultInjector, injection
+from repro.faults.points import point_names
+
+#: Outcome labels (the complete, closed set).
+DETECTED = "detected"
+DEGRADED = "degraded"
+CLEAN = "clean"
+UNCAUGHT = "uncaught"
+
+#: Watchdog fuel for one campaign run; the clean guest needs ~20k
+#: instructions, so a hung guest burns this budget in well under a second.
+DEFAULT_FUEL = 1_000_000
+
+#: Problem size handed to the guest via ``arg(0)``.
+DEFAULT_ARG = 24
+
+#: The campaign guest: heap-heavy on purpose so allocator faults are
+#: reached, with enough loop structure that every instrumentation
+#: configuration emits real trampolines.
+CAMPAIGN_SOURCE = """
+int main() {
+    int n = arg(0);
+    int *a = malloc(8 * n);
+    int *b = malloc(8 * n);
+    char *t = malloc(n + 3);
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) { a[i] = i * 3 + 1; t[i] = i & 0x7f; }
+    for (int r = 0; r < 3; r = r + 1) {
+        for (int i = 0; i < n; i = i + 1) b[i] = a[i] + r;
+        for (int i = 0; i < n; i = i + 1) s = (s + b[i] + t[i]) & 0xffffff;
+    }
+    free(b);
+    int *c = malloc(8 * (n + 5));
+    for (int i = 0; i < n; i = i + 1) c[i] = s + i;
+    s = s + c[n - 1];
+    free(c);
+    free(a);
+    free(t);
+    print(s);
+    return 0;
+}
+"""
+
+
+@dataclass
+class FaultRunRecord:
+    """The accounted outcome of one seeded run."""
+
+    seed: int
+    point: str
+    fired: bool
+    outcome: str
+    detail: str = ""
+    reports: int = 0
+    degraded_sites: int = 0
+    quarantined_sites: int = 0
+    output_mismatch: bool = False
+
+
+@dataclass
+class CampaignResult:
+    """All records of one sweep plus the tallies the asserts run on."""
+
+    records: List[FaultRunRecord] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def outcomes(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {DETECTED: 0, DEGRADED: 0, CLEAN: 0, UNCAUGHT: 0}
+        for record in self.records:
+            tally[record.outcome] += 1
+        return tally
+
+    def uncaught(self) -> List[FaultRunRecord]:
+        return [r for r in self.records if r.outcome == UNCAUGHT]
+
+    def by_point(self) -> Dict[str, Dict[str, int]]:
+        table: Dict[str, Dict[str, int]] = {}
+        for record in self.records:
+            row = table.setdefault(
+                record.point, {DETECTED: 0, DEGRADED: 0, CLEAN: 0, UNCAUGHT: 0}
+            )
+            row[record.outcome] += 1
+        return table
+
+    def render(self) -> str:
+        tally = self.outcomes()
+        lines = [
+            f"fault campaign: {len(self.records)} runs — "
+            f"{tally[DETECTED]} detected, {tally[DEGRADED]} degraded, "
+            f"{tally[CLEAN]} clean, {tally[UNCAUGHT]} UNCAUGHT"
+        ]
+        for point, row in sorted(self.by_point().items()):
+            total = sum(row.values())
+            lines.append(
+                f"  {point:18s} {total:3d} runs: "
+                f"{row[DETECTED]:3d} detected {row[DEGRADED]:3d} degraded "
+                f"{row[CLEAN]:3d} clean"
+                + (f" {row[UNCAUGHT]} UNCAUGHT" if row[UNCAUGHT] else "")
+            )
+        mismatches = sum(1 for r in self.records if r.output_mismatch)
+        if mismatches:
+            lines.append(f"  ({mismatches} clean run(s) with silent output corruption)")
+        for record in self.uncaught():
+            lines.append(f"  UNCAUGHT seed={record.seed} {record.point}: {record.detail}")
+        lines.append(f"(completed in {self.elapsed_seconds:.1f}s)")
+        return "\n".join(lines)
+
+
+def compile_campaign_program() -> CompiledProgram:
+    return compile_source(CAMPAIGN_SOURCE)
+
+
+def run_one(
+    seed: int,
+    program: CompiledProgram,
+    reference_output: List[str],
+    point: Optional[str] = None,
+    fuel: int = DEFAULT_FUEL,
+    guest_arg: int = DEFAULT_ARG,
+) -> FaultRunRecord:
+    """One seeded fault run through the full pipeline; never raises for
+    pipeline failures — an escaping exception is recorded as UNCAUGHT."""
+    injector = FaultInjector(seed, point=point)
+    record = FaultRunRecord(seed=seed, point=injector.point, fired=False,
+                            outcome=CLEAN)
+    harden = None
+    with injection(injector):
+        try:
+            stripped = program.binary.strip()
+            harden = RedFat(RedFatOptions(keep_going=True)).instrument(stripped)
+            runtime = harden.create_runtime(mode="log")
+            result = program.run(
+                args=[guest_arg], binary=harden.binary, runtime=runtime,
+                max_instructions=fuel,
+            )
+        except VMTimeoutError as error:
+            record.outcome = DETECTED
+            record.detail = f"watchdog: {error}"
+        except GuestMemoryError as error:
+            record.outcome = DETECTED
+            record.detail = f"memory error: {error}"
+        except ReproError as error:
+            record.outcome = DETECTED
+            record.detail = f"{type(error).__name__}: {error}"
+        except Exception as error:  # the campaign's whole point
+            record.outcome = UNCAUGHT
+            record.detail = f"{type(error).__name__}: {error}"
+        else:
+            record.reports = len(runtime.errors)
+            record.output_mismatch = result.output != reference_output
+            if runtime.errors:
+                record.outcome = DETECTED
+                record.detail = str(runtime.errors.reports[0])
+            elif (
+                harden.stats.degraded_sites
+                or harden.stats.quarantined_sites
+                or harden.quarantine
+            ):
+                record.outcome = DEGRADED
+                record.detail = (
+                    f"{harden.stats.degraded_sites} degraded, "
+                    f"{harden.stats.quarantined_sites} quarantined"
+                )
+    record.fired = injector.fired
+    if harden is not None:
+        record.degraded_sites = harden.stats.degraded_sites
+        record.quarantined_sites = harden.stats.quarantined_sites
+    return record
+
+
+def run_campaign(
+    seeds: int = 50,
+    base_seed: int = 0,
+    fuel: int = DEFAULT_FUEL,
+    point: Optional[str] = None,
+    guest_arg: int = DEFAULT_ARG,
+) -> CampaignResult:
+    """Sweep *seeds* runs; faults round-robin over the registry unless
+    *point* pins every run to one fault point."""
+    import time
+
+    start = time.time()
+    program = compile_campaign_program()
+    reference = program.run(args=[guest_arg])
+    names = point_names()
+    result = CampaignResult()
+    for index in range(seeds):
+        assigned = point if point is not None else names[index % len(names)]
+        result.records.append(
+            run_one(
+                base_seed + index, program, reference.output,
+                point=assigned, fuel=fuel, guest_arg=guest_arg,
+            )
+        )
+    result.elapsed_seconds = time.time() - start
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--seeds", type=int, default=50,
+                        help="number of seeded fault runs (default 50)")
+    parser.add_argument("--base-seed", type=int, default=0)
+    parser.add_argument("--point", choices=point_names(), default=None,
+                        help="pin every run to one fault point")
+    parser.add_argument("--fuel", type=int, default=DEFAULT_FUEL,
+                        help="watchdog instruction budget per run")
+    arguments = parser.parse_args(argv)
+    result = run_campaign(
+        seeds=arguments.seeds, base_seed=arguments.base_seed,
+        fuel=arguments.fuel, point=arguments.point,
+    )
+    print(result.render())
+    return 1 if result.uncaught() else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,148 @@
+"""Seeded, deterministic fault injection.
+
+The engine is a single module-global injector slot plus a cheap guard:
+production code asks ``fault_point("name")`` at each registered site and
+gets ``False`` at near-zero cost when no injector is installed.  An
+installed :class:`FaultInjector` derives everything from its seed — which
+point fires, on which dynamic *hit* (the N-th time execution reaches the
+point), and the corruption payloads — so a campaign run is reproducible
+from ``(seed, registry)`` alone.
+
+The single-shot model mirrors classic fault-injection campaigns: one
+run, one fault.  Sticky points (see :mod:`repro.faults.points`) keep
+firing after the trigger so persistent failures like a hung guest cannot
+un-happen.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+from repro.faults.points import FAULT_POINTS, point_names
+
+#: Default ceiling for the randomly chosen trigger hit.  Small on
+#: purpose: most points are reached only a handful of times per run, and
+#: a trigger index past the last hit yields a (legitimate) clean run.
+DEFAULT_MAX_HIT = 4
+
+_ACTIVE: Optional["FaultInjector"] = None
+
+
+class FaultInjector:
+    """Decides, deterministically from a seed, where one fault fires."""
+
+    def __init__(
+        self,
+        seed: int,
+        point: Optional[str] = None,
+        trigger_hit: Optional[int] = None,
+        max_hit: int = DEFAULT_MAX_HIT,
+    ) -> None:
+        if point is not None and point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {point!r}; registered: {point_names()}"
+            )
+        rng = random.Random(seed)
+        self.seed = seed
+        self.point = point if point is not None else rng.choice(point_names())
+        self.trigger_hit = (
+            trigger_hit if trigger_hit is not None else rng.randrange(max_hit)
+        )
+        #: Deterministic source for corruption payloads at the fired site.
+        self.payload_rng = random.Random(rng.getrandbits(64))
+        self.sticky = FAULT_POINTS[self.point].sticky
+        self.hits: Dict[str, int] = {}
+        self.fired = False
+        #: The hit index at which the fault actually fired, if it did.
+        self.fired_at: Optional[int] = None
+
+    def check(self, name: str) -> bool:
+        """One dynamic hit of fault point *name*; True means: inject now."""
+        hit = self.hits.get(name, 0)
+        self.hits[name] = hit + 1
+        if name != self.point:
+            return False
+        if self.fired:
+            return self.sticky
+        if hit == self.trigger_hit:
+            self.fired = True
+            self.fired_at = hit
+            return True
+        return False
+
+    def describe(self) -> str:
+        state = f"fired at hit {self.fired_at}" if self.fired else "never fired"
+        return f"seed={self.seed} point={self.point} ({state})"
+
+
+# -- the global slot -------------------------------------------------------
+
+
+def install(injector: FaultInjector) -> None:
+    """Arm *injector*; refuses to stack (nested campaigns are a bug)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a fault injector is already installed")
+    _ACTIVE = injector
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[FaultInjector]:
+    return _ACTIVE
+
+
+@contextmanager
+def injection(injector: FaultInjector):
+    """``with injection(FaultInjector(seed)):`` — arm for one run."""
+    install(injector)
+    try:
+        yield injector
+    finally:
+        uninstall()
+
+
+def fault_point(name: str) -> bool:
+    """The guard production code calls at each registered site.
+
+    Costs one global read when no injector is armed, so it is safe on
+    warm paths (allocation, rtcall dispatch, per-patch encoding); it is
+    deliberately kept off the per-instruction hot path.
+    """
+    injector = _ACTIVE
+    if injector is None:
+        return False
+    return injector.check(name)
+
+
+def payload_rng() -> random.Random:
+    """The armed injector's payload RNG (only valid while injecting)."""
+    if _ACTIVE is None:
+        raise RuntimeError("no fault injector installed")
+    return _ACTIVE.payload_rng
+
+
+def flip_random_bit(memory) -> Optional[int]:
+    """Flip one deterministic bit in a mapped guest page.
+
+    Returns the corrupted address, or None when nothing is mapped.  Used
+    by the ``vm.bitflip`` fault point; lives here so the VM layer carries
+    only the guard, not the corruption logic.
+    """
+    pages = memory.mapped_page_indices()
+    if not pages:
+        return None
+    rng = payload_rng()
+    from repro.vm.memory import PAGE_SIZE
+
+    page = pages[rng.randrange(len(pages))]
+    offset = rng.randrange(PAGE_SIZE)
+    address = (page * PAGE_SIZE) + offset
+    byte = memory.read(address, 1)[0]
+    memory.write(address, bytes([byte ^ (1 << rng.randrange(8))]))
+    return address

@@ -1,0 +1,94 @@
+"""The registry of named fault points.
+
+A *fault point* is a place in the pipeline where the fault injector may
+deliberately corrupt state or force a failure.  Every point a subsystem
+guards with :func:`repro.faults.injector.fault_point` must be registered
+here: the registry is the campaign's sampling universe, and an injector
+armed with an unknown name is rejected up front (a silent typo would
+otherwise make a whole campaign vacuously "clean").
+
+Points marked *sticky* keep firing once triggered — used for persistent
+failure modes such as a hung guest, where a single nudge must not let the
+run recover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One registered injection site."""
+
+    name: str
+    description: str
+    #: Once fired, keep firing on every subsequent hit.
+    sticky: bool = False
+
+
+FAULT_POINTS: Dict[str, FaultPoint] = {}
+
+
+def register(name: str, description: str, sticky: bool = False) -> FaultPoint:
+    """Register a fault point; duplicate names are a programming error."""
+    if name in FAULT_POINTS:
+        raise ValueError(f"fault point {name!r} registered twice")
+    point = FaultPoint(name, description, sticky)
+    FAULT_POINTS[name] = point
+    return point
+
+
+def point_names() -> list:
+    """All registered names, sorted (the deterministic sampling order)."""
+    return sorted(FAULT_POINTS)
+
+
+# -- the pipeline's fault points ------------------------------------------
+#
+# Hit sites live next to the code they corrupt; each entry documents where.
+
+register(
+    "alloc.metadata",
+    "corrupt the redzone SIZE word of a fresh allocation past the "
+    "immutable class size (runtime/redfat.py malloc) — metadata "
+    "hardening must report METADATA",
+)
+register(
+    "alloc.redzone",
+    "overwrite a fresh allocation's redzone with zeroes, simulating a "
+    "guest underflow (runtime/redfat.py malloc) — the object reads as "
+    "Free, so checks report USE_AFTER_FREE and free() a double free",
+)
+register(
+    "loader.truncate",
+    "truncate one segment's bytes while mapping a binary "
+    "(vm/loader.py) — execution must end in a typed VM diagnosis, "
+    "never a naked decoder exception",
+)
+register(
+    "rewriter.encode",
+    "fail the trampoline encoding of one patch (rewriter/rewriter.py "
+    "finalize) — with keep_going the site is quarantined, without it a "
+    "typed RewriteError aborts the rewrite",
+)
+register(
+    "checkgen.scratch",
+    "pretend scratch-register selection failed for one group "
+    "(core/redfat_tool.py) — the site must fall down the protection "
+    "ladder to redzone-only",
+)
+register(
+    "vm.bitflip",
+    "flip one bit in a mapped guest page at an rtcall boundary "
+    "(vm/runtime_iface.py) — detected when it lands in checked state, "
+    "accounted as clean/silent otherwise",
+)
+register(
+    "vm.hang",
+    "re-execute the current rtcall forever (vm/runtime_iface.py), "
+    "simulating an infinite loop — the watchdog fuel budget must "
+    "terminate the run",
+    sticky=True,
+)

@@ -26,7 +26,8 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import RewriteError
+from repro.errors import AssemblyError, EncodingError, InstrumentationError, RewriteError
+from repro.faults.injector import fault_point
 from repro.binfmt.binary import Binary
 from repro.binfmt.sections import SEG_EXEC, SEG_READ, Segment
 from repro.isa.assembler import Item, assemble
@@ -74,6 +75,10 @@ class RewriteResult:
     trampoline_ranges: List[Tuple[int, int, int]]  # (start, end, head)
     tag_map: Dict[int, object]
     trampoline_bytes: int = 0
+    #: Subset of ``skipped`` dropped because their trampoline failed to
+    #: encode (as opposed to being unplannable); only populated when the
+    #: rewriter runs with ``keep_going``.
+    encode_failures: List[Tuple[int, str]] = field(default_factory=list)
 
     def resolve_site(self, rip: int) -> Optional[int]:
         """Map a trampoline address back to the original site address.
@@ -121,10 +126,14 @@ class Rewriter:
         binary: Binary,
         control_flow: Optional[ControlFlowInfo] = None,
         trampoline_base: int = TRAMPOLINE_BASE,
+        keep_going: bool = False,
     ) -> None:
         self.binary = binary.copy()
         self.control_flow = control_flow or recover_control_flow(self.binary)
         self.trampoline_base = trampoline_base
+        #: When a trampoline fails to encode: quarantine the patch (the
+        #: original bytes stay untouched) instead of aborting the rewrite.
+        self.keep_going = keep_going
         self._requests: Dict[int, PatchRequest] = {}
 
     def request(self, patch: PatchRequest) -> None:
@@ -194,19 +203,39 @@ class Rewriter:
         trampoline_code = bytearray()
         trampoline_ranges: List[Tuple[int, int, int]] = []
         tag_map: Dict[int, object] = {}
+        encode_failures: List[Tuple[int, str]] = []
 
         for plan in plans:
-            body: List[Item] = list(plan.head_items)
-            for instruction in plan.group:
-                if instruction.address != plan.head:
-                    body.extend(plan.attached.get(instruction.address, ()))
-                body.append(relocate_instruction(instruction))
-            last = plan.group[-1]
-            if last.opcode not in (Opcode.JMP, Opcode.JMPR, Opcode.RET):
-                body.append(
-                    Instruction(Opcode.JMP, (Imm(0),), abs_target=last.end_address)
-                )
-            code = assemble(body, cursor)
+            try:
+                body: List[Item] = list(plan.head_items)
+                for instruction in plan.group:
+                    if instruction.address != plan.head:
+                        body.extend(plan.attached.get(instruction.address, ()))
+                    body.append(relocate_instruction(instruction))
+                last = plan.group[-1]
+                if last.opcode not in (Opcode.JMP, Opcode.JMPR, Opcode.RET):
+                    body.append(
+                        Instruction(Opcode.JMP, (Imm(0),), abs_target=last.end_address)
+                    )
+                if fault_point("rewriter.encode"):
+                    raise InstrumentationError(
+                        "injected trampoline-encoding failure"
+                    )
+                code = assemble(body, cursor)
+            except (AssemblyError, EncodingError, InstrumentationError) as error:
+                reason = f"trampoline encoding failed: {error}"
+                if not self.keep_going:
+                    raise RewriteError(
+                        f"patch at {plan.head:#x}: {reason}"
+                    ) from error
+                # Quarantine the whole plan: the original bytes are left
+                # untouched, so the site (and any requests spliced into
+                # this trampoline) runs uninstrumented but correct.
+                for head in [plan.head, *sorted(plan.attached)]:
+                    patched.remove(head)
+                    skipped.append((head, reason))
+                    encode_failures.append((head, reason))
+                continue
             for item in body:
                 if isinstance(item, Instruction) and item.tag is not None:
                     tag_map[item.address] = item.tag
@@ -240,4 +269,5 @@ class Rewriter:
             trampoline_ranges=trampoline_ranges,
             tag_map=tag_map,
             trampoline_bytes=len(trampoline_code),
+            encode_failures=encode_failures,
         )

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.errors import AllocatorError, GuestMemoryError
+from repro.faults.injector import fault_point, payload_rng
 from repro.layout import REDZONE_SIZE, lowfat_base, lowfat_size
 from repro.runtime.lowfat import LowFatAllocator
 from repro.runtime.reporting import ErrorKind, ErrorLog, MemoryErrorReport
@@ -81,14 +82,40 @@ class RedFatRuntime(RuntimeEnvironment):
         memory = self.cpu.memory
         memory.write_int(base + META_SIZE_OFFSET, size, 8)
         memory.write_int(base + META_RESERVED_OFFSET, 0, 8)
+        if fault_point("alloc.metadata"):
+            # Corrupt SIZE past the immutable class size: the metadata
+            # hardening comparison (Fig. 4 lines 23-24) must catch it.
+            bogus = lowfat_size(base) + payload_rng().randrange(1, 1 << 16)
+            memory.write_int(base + META_SIZE_OFFSET, bogus, 8)
+        if fault_point("alloc.redzone"):
+            # Simulated guest underflow clobbering the redzone: SIZE
+            # reads 0 ⇔ Free, so checks and free() must both report.
+            memory.write(base, b"\0" * REDZONE_SIZE)
         return base + REDZONE_SIZE
 
     def free(self, address: int) -> None:
+        """Release *address*; misuse is reported, never an allocator crash.
+
+        A hostile or buggy guest can feed ``free`` anything — an interior
+        pointer, a wild low-fat address, an already-freed object.  Each
+        case is delivered through the error channel (``abort`` raises
+        :class:`GuestMemoryError`, ``log`` records and resumes) so the
+        tool itself survives the input it is supposed to harden against.
+        """
         if address == 0:
             return
         base = lowfat_base(address)
-        if base == 0 or address != base + REDZONE_SIZE:
-            raise AllocatorError(f"free of invalid pointer {address:#x}")
+        if (
+            base == 0
+            or address != base + REDZONE_SIZE
+            or not self.cpu.memory.is_mapped(base, REDZONE_SIZE)
+        ):
+            report = MemoryErrorReport(
+                ErrorKind.INVALID_FREE, site=0, address=address,
+                detail="not an allocation base",
+            )
+            self._deliver(report)
+            return
         stored_size = self.cpu.memory.read_int(base + META_SIZE_OFFSET, 8)
         if stored_size == 0:
             report = MemoryErrorReport(
@@ -99,7 +126,15 @@ class RedFatRuntime(RuntimeEnvironment):
         # Merged state encoding: SIZE = 0 marks the object Free, which the
         # bounds check rejects without a dedicated UaF branch (paper §4.2).
         self.cpu.memory.write_int(base + META_SIZE_OFFSET, 0, 8)
-        self.allocator.free(base)
+        try:
+            self.allocator.free(base)
+        except AllocatorError as error:
+            # Wild pointer into a low-fat region that was never handed
+            # out: metadata looked plausible but the allocator disagrees.
+            report = MemoryErrorReport(
+                ErrorKind.INVALID_FREE, site=0, address=address, detail=str(error)
+            )
+            self._deliver(report)
 
     def usable_size(self, address: int) -> int:
         base = lowfat_base(address)

@@ -15,6 +15,7 @@ class ErrorKind(enum.Enum):
     OOB_LOWER = "out-of-bounds (lower)"
     OOB_UPPER = "out-of-bounds (upper)"
     USE_AFTER_FREE = "use-after-free"
+    INVALID_FREE = "invalid free"
     METADATA = "corrupted metadata"
     REDZONE = "redzone access"
     UNADDRESSABLE = "unaddressable access"

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.errors import GuestExit, VMError, VMFault
+from repro.errors import EncodingError, GuestExit, VMError, VMFault, VMTimeoutError
 from repro.isa.encoding import decode
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode
@@ -88,7 +88,14 @@ class CPU:
         window = self.memory.read_upto(address, 16)
         if not window:
             raise VMFault(address, f"wild fetch at {address:#x}")
-        instruction = decode(window, 0, address)
+        try:
+            instruction = decode(window, 0, address)
+        except EncodingError as error:
+            # A truncated or corrupted text segment must surface as a
+            # typed VM diagnosis, not a naked decoder exception.
+            raise VMError(
+                f"undecodable instruction at {address:#x}: {error}"
+            ) from error
         self.icache[address] = instruction
         return instruction
 
@@ -399,8 +406,11 @@ class CPU:
     def run(self, max_instructions: int = 2_000_000_000) -> int:
         """Run until the guest exits; returns the exit status.
 
-        Raises :class:`VMError` if the instruction budget is exhausted
-        (runaway guest) and propagates faults/memory errors.
+        ``max_instructions`` is the watchdog *fuel* budget: a guest that
+        retires that many instructions without exiting is presumed hung
+        and terminated with :class:`VMTimeoutError` (a deterministic
+        stand-in for a wall-clock timeout).  Faults and memory errors
+        propagate as their own :class:`VMError` subclasses.
         """
         icache = self.icache
         dispatch = self._dispatch
@@ -420,4 +430,4 @@ class CPU:
             return exit_signal.status
         finally:
             self.instructions_executed += executed
-        raise VMError(f"instruction budget exhausted ({max_instructions})")
+        raise VMTimeoutError(max_instructions)

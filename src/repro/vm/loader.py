@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.errors import LoaderError
+from repro.faults.injector import fault_point
 from repro.binfmt.binary import Binary
 from repro.isa.assembler import assemble
 from repro.isa.instructions import Instruction
@@ -42,8 +43,11 @@ def _map_image(memory: Memory, binary: Binary, rebase: int) -> None:
     for segment in binary.segments:
         vaddr = segment.vaddr + rebase
         memory.map_range(vaddr, max(segment.mem_size, 1))
-        if segment.data:
-            memory.write(vaddr, segment.data)
+        data = segment.data
+        if data and fault_point("loader.truncate"):
+            data = data[: len(data) // 2]
+        if data:
+            memory.write(vaddr, data)
 
 
 def load_binary(

@@ -57,6 +57,10 @@ class Memory:
         """Total mapped memory in bytes (for memory-overhead reporting)."""
         return len(self._pages) * PAGE_SIZE
 
+    def mapped_page_indices(self) -> list:
+        """Sorted indices of all mapped pages (introspection/injection)."""
+        return sorted(self._pages)
+
     # -- byte access -----------------------------------------------------------
 
     def read(self, address: int, size: int) -> bytes:

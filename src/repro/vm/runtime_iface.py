@@ -15,6 +15,8 @@ from __future__ import annotations
 import enum
 from typing import List
 
+from repro.faults import injector as _faults
+
 
 class Service(enum.IntEnum):
     """Runtime services reachable via ``rtcall``."""
@@ -59,6 +61,17 @@ class RuntimeEnvironment:
         """Handle one ``rtcall``; may modify CPU registers/memory."""
         from repro.errors import GuestExit, VMError
         from repro.isa.registers import RAX, RDI, RSI
+
+        if _faults.active() is not None:
+            # The rtcall boundary is the VM's fault-injection seam: low
+            # frequency, deterministic ordering, full machine visibility.
+            if _faults.fault_point("vm.bitflip"):
+                _faults.flip_random_bit(cpu.memory)
+            if _faults.fault_point("vm.hang"):
+                # Re-execute this rtcall forever (sticky point): the
+                # guest is now an infinite loop only the watchdog ends.
+                cpu.rip = instruction.address
+                return
 
         regs = cpu.regs
         if service == Service.EXIT:
