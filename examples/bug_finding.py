@@ -14,8 +14,8 @@ Run:  python examples/bug_finding.py
 
 from collections import Counter
 
+import repro.api as redfat
 from repro.cc import compile_source
-from repro.core import RedFat, RedFatOptions
 
 #: A record parser with several input-dependent bugs.
 SOURCE = """
@@ -45,7 +45,7 @@ int main() {
 
 def main() -> None:
     program = compile_source(SOURCE)
-    hardened = RedFat(RedFatOptions()).instrument(program.binary.strip())
+    hardened = redfat.harden(program.binary.strip(), options="fully")
 
     print("sweeping 64 inputs over the instrumented binary (log mode)...")
     site_hits = Counter()

@@ -1,0 +1,32 @@
+// A small heap-heavy MiniC program used by the CI metrics job and the
+// README quick-start: enough loads/stores that every pipeline phase has
+// real work (candidates to analyse, groups to batch, checks to merge).
+//
+//   redfat harden examples/demo.c -o demo.hard.melf --metrics out.json
+//   python -m repro.telemetry.validate out.json
+//   python -m repro.telemetry.report out.json
+
+int checksum(int *data, char *tag, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1)
+        s = (s + data[i] * 7 + tag[i]) & 0xffffff;
+    return s;
+}
+
+int main() {
+    int n = 32;
+    int *data = malloc(8 * n);
+    char *tag = malloc(n);
+    for (int i = 0; i < n; i = i + 1) {
+        data[i] = i * i + 3;
+        tag[i] = 'a' + i % 26;
+    }
+    int *copy = malloc(8 * n);
+    memcpy(copy, data, 8 * n);
+    int s = checksum(copy, tag, n);
+    free(copy);
+    free(data);
+    free(tag);
+    print(s);
+    return 0;
+}

@@ -13,14 +13,13 @@ For each of the four CVEs the paper evaluates, this example:
 Run:  python examples/harden_cve.py
 """
 
+import repro.api as redfat
 from repro.baselines import MemcheckVM
-from repro.core import RedFat, RedFatOptions
 from repro.errors import GuestMemoryError
 from repro.workloads.cves import CVE_CASES
 
 
 def main() -> None:
-    tool = RedFat(RedFatOptions())
     for case in CVE_CASES:
         print(f"=== {case.cve} ({case.program_name}) ===")
         print(f"    {case.description}")
@@ -37,7 +36,7 @@ def main() -> None:
         verdict = "DETECTED" if memcheck.detected else "missed (redzone skipped)"
         print(f"  memcheck    : {verdict}")
 
-        hardened = tool.instrument(program.binary.strip())
+        hardened = redfat.harden(program.binary.strip(), options="fully")
         try:
             program.run(
                 args=case.malicious_args, binary=hardened.binary,

@@ -19,8 +19,9 @@ Run:  python examples/profile_workflow.py
 import tempfile
 from pathlib import Path
 
+import repro.api as redfat
 from repro.cc import compile_source
-from repro.core import AllowList, Profiler, RedFat, RedFatOptions
+from repro.core import AllowList, Profiler, RedFatOptions
 from repro.core.redfat_tool import PROT_LOWFAT, PROT_REDZONE
 from repro.errors import GuestMemoryError
 
@@ -53,7 +54,7 @@ def main() -> None:
     stripped = program.binary.strip()
 
     print("== phase 0: full checking, no allow-list ==")
-    naive = RedFat(RedFatOptions()).instrument(stripped)
+    naive = redfat.harden(stripped, options="fully")
     try:
         program.run(args=[0], binary=naive.binary,
                     runtime=naive.create_runtime(mode="abort"))

@@ -14,9 +14,10 @@ Walks the library's core loop end-to-end:
 Run:  python examples/quickstart.py
 """
 
+import repro.api as redfat
 from repro.cc import compile_source
-from repro.core import RedFat, RedFatOptions
 from repro.errors import GuestMemoryError
+from repro.telemetry import Telemetry
 
 SOURCE = """
 // A web-server-ish request handler with an unvalidated length field.
@@ -50,11 +51,15 @@ def main() -> None:
 
     print("\n== harden the stripped binary ==")
     stripped = program.binary.strip()
-    tool = RedFat(RedFatOptions())  # all optimizations, full checks
-    hardened = tool.instrument(stripped)
+    telemetry = Telemetry(meta={"kind": "harden", "input": "quickstart"})
+    # The facade: "fully" is the all-optimizations preset (Table 1 +merge).
+    hardened = redfat.harden(stripped, options="fully", telemetry=telemetry)
     print(f"patched {len(hardened.rewrite.patched)} instrumentation sites, "
           f"skipped {len(hardened.rewrite.skipped)}; "
           f"+{hardened.rewrite.trampoline_bytes} trampoline bytes")
+    phases = [record.name for record in telemetry.spans
+              if record.depth == 1]
+    print(f"phases timed: {', '.join(phases)}")
 
     print("\n== benign input (length=48) ==")
     baseline = program.run(args=[48])

@@ -2,6 +2,10 @@
 
 Public API quick map:
 
+- stable facade:          :mod:`repro.api` —
+                          ``harden(...)``, ``profile(...)``, ``run(...)``
+- telemetry:              :class:`repro.telemetry.Telemetry`
+                          (``--metrics`` on the CLI)
 - compile a workload:     :func:`repro.cc.compile_source`
 - harden a binary:        :class:`repro.core.RedFat`,
                           :class:`repro.core.RedFatOptions`
@@ -31,7 +35,9 @@ from repro.binfmt import Binary, BinaryBuilder, BinaryType
 from repro.cc import CompiledProgram, compile_source
 from repro.core import AllowList, Profiler, RedFat, RedFatOptions
 from repro.runtime import GlibcRuntime, LowFatAllocator, RedFatRuntime
+from repro.telemetry import Telemetry
 from repro.vm import run_binary
+from repro import api
 
 __version__ = "1.0.0"
 
@@ -59,6 +65,8 @@ __all__ = [
     "GlibcRuntime",
     "LowFatAllocator",
     "RedFatRuntime",
+    "Telemetry",
     "run_binary",
+    "api",
     "__version__",
 ]

@@ -23,18 +23,22 @@ from repro.cc import CompiledProgram
 from repro.core import Profiler, RedFat, RedFatOptions
 from repro.core.redfat_tool import PROT_LOWFAT, PROT_NONE
 from repro.runtime.redfat import RedFatRuntime
+from repro.telemetry.hub import coerce
 from repro.workloads.registry import SpecBenchmark
 
+
+def _preset_factory(label: str):
+    def make_options(allow) -> RedFatOptions:
+        return RedFatOptions.preset(label, allowlist=allow)
+
+    return make_options
+
+
 #: Table 1 column order: (label, options factory given an allow-list).
+#: Labels double as preset-registry keys (:meth:`RedFatOptions.preset`).
 CONFIG_COLUMNS: List[Tuple[str, object]] = [
-    ("unoptimized", lambda allow: RedFatOptions.unoptimized(allowlist=allow)),
-    ("+elim", lambda allow: RedFatOptions.unoptimized(elim=True, allowlist=allow)),
-    ("+batch", lambda allow: RedFatOptions.unoptimized(elim=True, batch=True,
-                                                       allowlist=allow)),
-    ("+merge", lambda allow: RedFatOptions(allowlist=allow)),
-    ("-size", lambda allow: RedFatOptions(allowlist=allow, size_hardening=False)),
-    ("-reads", lambda allow: RedFatOptions(allowlist=allow, size_hardening=False,
-                                           check_reads=False)),
+    (label, _preset_factory(label))
+    for label in ("unoptimized", "+elim", "+batch", "+merge", "-size", "-reads")
 ]
 
 
@@ -167,19 +171,37 @@ def measure_spec(
     benchmark: SpecBenchmark,
     quick: bool = False,
     max_instructions: int = 50_000_000,
+    telemetry=None,
 ) -> SpecMeasurement:
     """Measure one Table 1 row.
 
     A hung guest (watchdog timeout after one retry) or any other typed
     pipeline failure marks the measurement ``failed`` rather than
     propagating, so one sick benchmark cannot kill a whole sweep.
+
+    With a *telemetry* hub, each benchmark runs under a
+    ``bench/<phase>`` span tree and its per-configuration slowdowns are
+    exported as ``bench.<name>.<label>.slowdown`` gauges — the
+    per-benchmark overhead breakdown of the ``--metrics`` report.
     """
     measurement = SpecMeasurement(name=benchmark.name)
+    tele = coerce(telemetry)
     try:
-        _measure_spec_into(measurement, benchmark, quick, max_instructions)
+        with tele.span("bench", benchmark=benchmark.name):
+            _measure_spec_into(
+                measurement, benchmark, quick, max_instructions, tele
+            )
     except ReproError as error:
         measurement.failed = True
         measurement.failure = f"{type(error).__name__}: {error}"
+        tele.count("bench.failed")
+        tele.event("bench_failed", benchmark=benchmark.name,
+                   failure=measurement.failure)
+    else:
+        tele.count("bench.measured")
+        for label, slowdown in measurement.slowdowns.items():
+            tele.gauge(f"bench.{benchmark.name}.{label}.slowdown", slowdown)
+        tele.gauge(f"bench.{benchmark.name}.coverage", measurement.coverage)
     return measurement
 
 
@@ -188,6 +210,7 @@ def _measure_spec_into(
     benchmark: SpecBenchmark,
     quick: bool,
     max_instructions: int,
+    tele,
 ) -> None:
     program = benchmark.compile()
     stripped = program.binary.strip()
@@ -199,28 +222,30 @@ def _measure_spec_into(
     instrumented_fuel = max_instructions * 8
 
     # Phase 1: allow-list from the train workload (paper §7.1 methodology).
-    profiler = Profiler(RedFatOptions())
-    report = profiler.profile(
-        stripped,
-        executions=[
-            lambda binary, runtime: run_with_watchdog(
-                lambda budget: program.run(
-                    args=train_args, binary=binary, runtime=runtime,
-                    max_instructions=budget,
-                ),
-                instrumented_fuel,
-            )
-        ],
-    )
+    with tele.span("profile"):
+        profiler = Profiler(RedFatOptions())
+        report = profiler.profile(
+            stripped,
+            executions=[
+                lambda binary, runtime: run_with_watchdog(
+                    lambda budget: program.run(
+                        args=train_args, binary=binary, runtime=runtime,
+                        max_instructions=budget,
+                    ),
+                    instrumented_fuel,
+                )
+            ],
+        )
     allowlist = report.allowlist
     measurement.allowlist_size = len(allowlist)
     measurement.eligible_sites = len(report.eligible_sites)
 
     # Baseline (uninstrumented, default allocator).
-    baseline = run_with_watchdog(
-        lambda budget: program.run(args=ref_args, max_instructions=budget),
-        max_instructions,
-    )
+    with tele.span("baseline"):
+        baseline = run_with_watchdog(
+            lambda budget: program.run(args=ref_args, max_instructions=budget),
+            max_instructions,
+        )
     measurement.baseline_instructions = baseline.instructions
 
     # Reference output: the uninstrumented binary under the redfat
@@ -238,10 +263,11 @@ def _measure_spec_into(
     production_reported: set = set()
     for label, make_options in CONFIG_COLUMNS:
         options = make_options(allowlist)
-        harden = RedFat(options).instrument(stripped)
-        instructions, output, runtime = _run_config(
-            program, harden, ref_args, fuel=instrumented_fuel
-        )
+        with tele.span("config", label=label):
+            harden = RedFat(options).instrument(stripped)
+            instructions, output, runtime = _run_config(
+                program, harden, ref_args, fuel=instrumented_fuel
+            )
         measurement.slowdowns[label] = instructions / baseline.instructions
         if output != reference.output:
             measurement.outputs_match = False
@@ -254,21 +280,27 @@ def _measure_spec_into(
     # "False positives").  A site is a false positive if it is reported
     # under full checking but not by the profile-hardened production
     # binary (whose reports are the genuine errors).
-    full = RedFat(RedFatOptions()).instrument(stripped)
-    _, _, full_runtime = _run_config(
-        program, full, ref_args, fuel=instrumented_fuel
-    )
+    with tele.span("falsepos"):
+        full = RedFat(RedFatOptions()).instrument(stripped)
+        _, _, full_runtime = _run_config(
+            program, full, ref_args, fuel=instrumented_fuel
+        )
     full_reported = {report_.site for report_ in full_runtime.errors}
     measurement.false_positive_sites = len(full_reported - production_reported)
 
     # Memcheck comparator.
     if not benchmark.memcheck_nr:
-        memcheck = measure_memcheck(program, ref_args, fuel=instrumented_fuel)
+        with tele.span("memcheck"):
+            memcheck = measure_memcheck(
+                program, ref_args, fuel=instrumented_fuel
+            )
         measurement.memcheck_slowdown = (
             memcheck.effective_instructions / baseline.instructions
         )
 
     # Coverage column.
-    measurement.coverage = measure_coverage(
-        program, production, ref_args, RedFatOptions(), fuel=instrumented_fuel
-    )
+    with tele.span("coverage"):
+        measurement.coverage = measure_coverage(
+            program, production, ref_args, RedFatOptions(),
+            fuel=instrumented_fuel,
+        )

@@ -101,6 +101,7 @@ def run(
     names: Optional[List[str]] = None,
     quick: bool = False,
     verbose: bool = True,
+    telemetry=None,
 ) -> Table1Result:
     benchmarks = (
         [get_benchmark(name) for name in names] if names else SPEC_BENCHMARKS
@@ -109,7 +110,7 @@ def run(
     start = time.time()
     for benchmark in benchmarks:
         bench_start = time.time()
-        measurement = measure_spec(benchmark, quick=quick)
+        measurement = measure_spec(benchmark, quick=quick, telemetry=telemetry)
         result.measurements.append(measurement)
         if verbose:
             if measurement.failed:
@@ -135,9 +136,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="use train-sized inputs (fast smoke run)")
     parser.add_argument("--bench", nargs="*", default=None,
                         help="benchmark names (default: all 29)")
+    parser.add_argument("--metrics", metavar="OUT.json", default=None,
+                        help="export the telemetry report (per-benchmark "
+                             "spans and slowdown gauges)")
     arguments = parser.parse_args(argv)
-    result = run(names=arguments.bench, quick=arguments.quick)
+    telemetry = None
+    if arguments.metrics:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(meta={"kind": "bench", "table": "table1"})
+    result = run(names=arguments.bench, quick=arguments.quick,
+                 telemetry=telemetry)
     print(result.render())
+    if telemetry is not None and telemetry.write_json(arguments.metrics):
+        print(f"wrote {arguments.metrics} (telemetry)", file=sys.stderr)
     return 0
 
 

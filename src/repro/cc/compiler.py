@@ -57,19 +57,21 @@ class CompiledProgram:
         binary: Optional[Binary] = None,
         rebase: int = 0,
         max_instructions: int = 2_000_000_000,
+        telemetry=None,
     ) -> RunResult:
         """Run this program (or a hardened *binary* of it) with inputs.
 
         *args* are written into the ``__args`` global before execution and
         read by the guest via ``arg(i)`` — the stand-in for command-line
-        inputs/workload files.
+        inputs/workload files.  *telemetry* switches the VM onto its
+        traced loop (retired instructions, checks executed, fuel).
         """
         if runtime is None:
             from repro.runtime.glibc import GlibcRuntime
 
             runtime = GlibcRuntime()
         image = binary if binary is not None else self.binary
-        cpu = load_binary(image, runtime, rebase=rebase)
+        cpu = load_binary(image, runtime, rebase=rebase, telemetry=telemetry)
         self.poke_args(cpu, args, rebase=rebase)
         status = cpu.run(max_instructions)
         return RunResult(status, cpu.instructions_executed, runtime.output, runtime, cpu)

@@ -5,37 +5,39 @@ Subcommands::
     redfat compile  prog.c -o prog.melf [--pic]      MiniC -> binary image
     redfat strip    prog.melf -o prog.stripped
     redfat harden   prog.melf -o prog.hard [--allowlist allow.lst]
+                    [--preset NAME] [--metrics out.json]
                     [--no-lowfat|--no-elim|--no-batch|--no-merge]
                     [--no-size] [--no-reads]
     redfat profile  prog.melf -o allow.lst [--args N ...]
     redfat run      prog.melf [--args N ...] [--runtime glibc|redfat]
-                    [--mode abort|log]
+                    [--mode abort|log] [--metrics out.json]
     redfat disasm   prog.melf
 
 Binaries are the library's on-disk images; ``harden`` consumes and
-produces files, exactly like the paper's Fig. 5 pipeline.
+produces files, exactly like the paper's Fig. 5 pipeline.  ``harden``
+and ``run`` also accept ``.c`` MiniC source directly (compiled on the
+fly via :mod:`repro.api`).  ``--metrics`` exports the telemetry report
+(spans, Table-1 counters) as JSON — validate it with
+``python -m repro.telemetry.validate`` or render it with
+``python -m repro.telemetry.report``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 from typing import List, Optional
 
+from repro import api
 from repro.errors import GuestMemoryError, ReproError, VMTimeoutError
 from repro.binfmt.binary import Binary
-from repro.cc import compile_source
-from repro.core import AllowList, Profiler, RedFat, RedFatOptions
+from repro.core import AllowList, RedFatOptions
 from repro.isa.disassembler import disassemble
-from repro.runtime.glibc import GlibcRuntime
-from repro.runtime.redfat import RedFatRuntime
-from repro.vm.loader import load_binary
+from repro.telemetry.hub import Telemetry
 
 
 def _cmd_compile(arguments) -> int:
-    source = Path(arguments.source).read_text()
-    program = compile_source(source, pic=arguments.pic)
+    program = api.load(arguments.source, pic=arguments.pic)
     program.binary.save(arguments.output)
     text = program.binary.segment(".text")
     print(f"wrote {arguments.output} ({len(text.data)} code bytes, "
@@ -50,23 +52,50 @@ def _cmd_strip(arguments) -> int:
     return 0
 
 
+def _make_metrics_hub(arguments, kind: str) -> Optional[Telemetry]:
+    if not getattr(arguments, "metrics", None):
+        return None
+    return Telemetry(meta={
+        "kind": kind,
+        "input": str(arguments.binary),
+        "command": arguments.command,
+    })
+
+
+def _flush_metrics(telemetry: Optional[Telemetry], arguments) -> None:
+    if telemetry is None:
+        return
+    if telemetry.write_json(arguments.metrics):
+        print(f"wrote {arguments.metrics} (telemetry)", file=sys.stderr)
+    else:
+        print(f"redfat: could not write {arguments.metrics}", file=sys.stderr)
+
+
 def _cmd_harden(arguments) -> int:
-    binary = Binary.load(arguments.binary)
+    if not arguments.output:
+        from pathlib import Path
+
+        arguments.output = str(Path(arguments.binary).with_suffix(".hard.melf"))
     allowlist = None
     if arguments.allowlist:
         allowlist = AllowList.load(arguments.allowlist)
-    options = RedFatOptions(
-        lowfat=not arguments.no_lowfat,
-        elim=not arguments.no_elim,
-        batch=not arguments.no_batch,
-        merge=not arguments.no_merge,
-        size_hardening=not arguments.no_size,
-        check_reads=not arguments.no_reads,
-        allowlist=allowlist,
-        keep_going=arguments.keep_going,
+    if arguments.preset:
+        options = RedFatOptions.preset(arguments.preset)
+    else:
+        options = RedFatOptions(
+            lowfat=not arguments.no_lowfat,
+            elim=not arguments.no_elim,
+            batch=not arguments.no_batch,
+            merge=not arguments.no_merge,
+            size_hardening=not arguments.no_size,
+            check_reads=not arguments.no_reads,
+        )
+    options = options.with_(keep_going=arguments.keep_going)
+    telemetry = _make_metrics_hub(arguments, kind="harden")
+    result = api.harden(
+        arguments.binary, options=options, telemetry=telemetry,
+        allowlist=allowlist, output=arguments.output,
     )
-    result = RedFat(options).instrument(binary)
-    result.binary.save(arguments.output)
     lowfat_sites = len(result.protected_sites("lowfat+redzone"))
     redzone_sites = len(result.protected_sites("redzone"))
     print(f"wrote {arguments.output}: {len(result.rewrite.patched)} patches "
@@ -75,31 +104,14 @@ def _cmd_harden(arguments) -> int:
           f"+{result.rewrite.trampoline_bytes} trampoline bytes")
     if result.quarantine or result.stats.degraded_sites:
         print(result.quarantine_report(), file=sys.stderr)
+    _flush_metrics(telemetry, arguments)
     return 0
 
 
-def _poke_args(cpu, values: List[int]) -> None:
-    # The __args block is a compiler convention; poke it if present.
-    if not values:
-        return
-    from repro.cc.codegen import ARGS_SLOTS
-    from repro.binfmt.builder import BSS_BASE
-
-    for index, value in enumerate(values[:ARGS_SLOTS]):
-        cpu.memory.write_int(BSS_BASE + index * 8, value & ((1 << 64) - 1), 8)
-
-
 def _cmd_profile(arguments) -> int:
-    binary = Binary.load(arguments.binary)
-    profiler = Profiler(RedFatOptions())
-
-    def execute(hardened, runtime) -> None:
-        cpu = load_binary(hardened, runtime)
-        _poke_args(cpu, arguments.args)
-        cpu.run()
-
-    report = profiler.profile(binary, executions=[execute])
-    report.allowlist.save(arguments.output)
+    report = api.profile(
+        arguments.binary, args=arguments.args, output=arguments.output
+    )
     print(f"wrote {arguments.output}: {len(report.allowlist)} allow-listed "
           f"sites of {len(report.eligible_sites)} eligible; "
           f"{len(report.observed_false_positive_sites())} always-failing")
@@ -107,30 +119,31 @@ def _cmd_profile(arguments) -> int:
 
 
 def _cmd_run(arguments) -> int:
-    binary = Binary.load(arguments.binary)
-    if arguments.runtime == "redfat":
-        runtime = RedFatRuntime(mode=arguments.mode)
-    else:
-        runtime = GlibcRuntime()
-    cpu = load_binary(binary, runtime)
-    _poke_args(cpu, arguments.args)
+    telemetry = _make_metrics_hub(arguments, kind="run")
     try:
-        status = cpu.run(arguments.fuel)
+        result = api.run(
+            arguments.binary, args=arguments.args, runtime=arguments.runtime,
+            mode=arguments.mode, max_instructions=arguments.fuel,
+            telemetry=telemetry,
+        )
     except GuestMemoryError as error:
         print(f"MEMORY ERROR: {error}", file=sys.stderr)
+        _flush_metrics(telemetry, arguments)
         return 139
     except VMTimeoutError as error:
         # Same convention as timeout(1): the guest was killed, not crashed.
         print(f"TIMEOUT: {error}", file=sys.stderr)
+        _flush_metrics(telemetry, arguments)
         return 124
-    for line in runtime.output:
+    for line in result.output:
         print(line)
-    if arguments.runtime == "redfat" and runtime.errors:
-        for report in runtime.errors:
+    if arguments.runtime == "redfat" and result.runtime.errors:
+        for report in result.runtime.errors:
             print(f"detected: {report}", file=sys.stderr)
-    print(f"(exit status {status}, "
-          f"{cpu.instructions_executed} instructions)", file=sys.stderr)
-    return status
+    print(f"(exit status {result.status}, "
+          f"{result.instructions} instructions)", file=sys.stderr)
+    _flush_metrics(telemetry, arguments)
+    return result.status
 
 
 def _cmd_disasm(arguments) -> int:
@@ -159,14 +172,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     harden_cmd = commands.add_parser("harden", help="instrument a binary")
     harden_cmd.add_argument("binary")
-    harden_cmd.add_argument("-o", "--output", required=True)
+    harden_cmd.add_argument(
+        "-o", "--output",
+        help="hardened image path (default: <input>.hard.melf)")
     harden_cmd.add_argument("--allowlist")
+    harden_cmd.add_argument(
+        "--preset", choices=RedFatOptions.preset_names(),
+        help="named configuration (Table-1 column); overrides --no-* flags")
     for flag in ("lowfat", "elim", "batch", "merge", "size", "reads"):
         harden_cmd.add_argument(f"--no-{flag}", action="store_true")
     harden_cmd.add_argument(
         "--keep-going", action="store_true",
         help="quarantine sites whose instrumentation fails instead of "
              "aborting (a report of skipped sites goes to stderr)")
+    harden_cmd.add_argument(
+        "--metrics", metavar="OUT.json",
+        help="export the telemetry report (phase spans, Table-1 counters)")
     harden_cmd.set_defaults(handler=_cmd_harden)
 
     profile_cmd = commands.add_parser("profile",
@@ -185,6 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument(
         "--fuel", type=int, default=2_000_000_000,
         help="watchdog instruction budget before a hung guest is killed")
+    run_cmd.add_argument(
+        "--metrics", metavar="OUT.json",
+        help="export the VM telemetry report (instructions, checks, fuel)")
     run_cmd.set_defaults(handler=_cmd_run)
 
     disasm_cmd = commands.add_parser("disasm", help="disassemble text segments")

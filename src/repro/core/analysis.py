@@ -72,6 +72,17 @@ class AnalysisStats:
     #: (generation and encoding both failed under ``keep_going``).
     quarantined_sites: int = 0
 
+    def as_dict(self) -> "dict[str, int]":
+        """The common stats protocol (telemetry export / ``--metrics``)."""
+        return {
+            "memory_operands": self.memory_operands,
+            "skipped_reads": self.skipped_reads,
+            "eliminated": self.eliminated,
+            "candidates": self.candidates,
+            "degraded_sites": self.degraded_sites,
+            "quarantined_sites": self.quarantined_sites,
+        }
+
 
 def can_eliminate(mem: Mem) -> bool:
     """Check elimination rule: the operand can never reach heap memory."""

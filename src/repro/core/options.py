@@ -2,10 +2,28 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.core.allowlist import AllowList
+
+#: The named preset registry (see :meth:`RedFatOptions.preset`).  Keys
+#: are the Table-1 column labels; values are the field overrides applied
+#: on top of the defaults.  ``"+merge"`` / ``"fully"`` are the fully
+#: optimized configuration under two names (the paper uses both).
+PRESETS: Dict[str, Dict[str, object]] = {
+    "unoptimized": dict(
+        elim=False, batch=False, merge=False, specialize_registers=False
+    ),
+    "+elim": dict(batch=False, merge=False, specialize_registers=False),
+    "+batch": dict(merge=False, specialize_registers=False),
+    "+merge": {},
+    "fully": {},
+    "-size": dict(size_hardening=False),
+    "-reads": dict(size_hardening=False, check_reads=False),
+    "profile": dict(profile_mode=True),
+}
 
 
 @dataclass(frozen=True)
@@ -68,23 +86,59 @@ class RedFatOptions:
     # -- presets -----------------------------------------------------------
 
     @classmethod
-    def unoptimized(cls, **overrides) -> "RedFatOptions":
-        base = cls(elim=False, batch=False, merge=False, specialize_registers=False)
-        return replace(base, **overrides)
+    def preset(cls, name: str, **overrides) -> "RedFatOptions":
+        """Construct the named configuration from the registry.
+
+        ``name`` is a Table-1 column label (``"unoptimized"``,
+        ``"+elim"``, ``"+batch"``, ``"+merge"``/``"fully"``, ``"-size"``,
+        ``"-reads"``) or ``"profile"``; *overrides* are applied on top
+        (most commonly ``allowlist=...``).
+        """
+        try:
+            fields = PRESETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown preset {name!r}; registered: {cls.preset_names()}"
+            ) from None
+        return replace(cls(**fields), **overrides)
 
     @classmethod
-    def fully_optimized(cls, **overrides) -> "RedFatOptions":
-        return replace(cls(), **overrides)
+    def preset_names(cls) -> List[str]:
+        return sorted(PRESETS)
 
     @classmethod
     def production(cls, allowlist: AllowList, **overrides) -> "RedFatOptions":
         """The deployment configuration of Fig. 5, step (2)."""
         return replace(cls(allowlist=allowlist), **overrides)
 
+    # -- deprecated constructor aliases (use :meth:`preset`) ---------------
+
+    @classmethod
+    def unoptimized(cls, **overrides) -> "RedFatOptions":
+        warnings.warn(
+            "RedFatOptions.unoptimized() is deprecated; use "
+            "RedFatOptions.preset('unoptimized', ...)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return cls.preset("unoptimized", **overrides)
+
+    @classmethod
+    def fully_optimized(cls, **overrides) -> "RedFatOptions":
+        warnings.warn(
+            "RedFatOptions.fully_optimized() is deprecated; use "
+            "RedFatOptions.preset('fully', ...)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return cls.preset("fully", **overrides)
+
     @classmethod
     def profile(cls, **overrides) -> "RedFatOptions":
-        """The profiling configuration of Fig. 5, step (1)."""
-        return replace(cls(profile_mode=True), **overrides)
+        warnings.warn(
+            "RedFatOptions.profile() is deprecated; use "
+            "RedFatOptions.preset('profile', ...)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return cls.preset("profile", **overrides)
 
     def with_(self, **overrides) -> "RedFatOptions":
         return replace(self, **overrides)

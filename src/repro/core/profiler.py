@@ -63,8 +63,13 @@ class ProfileReport:
 class Profiler:
     """Drives the two-phase workflow of Fig. 5."""
 
-    def __init__(self, options: Optional[RedFatOptions] = None) -> None:
+    def __init__(
+        self,
+        options: Optional[RedFatOptions] = None,
+        telemetry=None,
+    ) -> None:
         self.options = options or RedFatOptions()
+        self.telemetry = telemetry
 
     # -- phase 1 -------------------------------------------------------------
 
@@ -74,7 +79,9 @@ class Profiler:
         executions: Optional[Sequence[Execution]] = None,
     ) -> ProfileReport:
         """Run the profile binary over the test suite; returns the report."""
-        profile_tool = RedFat(self.options.with_(profile_mode=True))
+        profile_tool = RedFat(
+            self.options.with_(profile_mode=True), telemetry=self.telemetry
+        )
         harden = profile_tool.instrument(binary)
         report = ProfileReport(
             eligible_sites=[
@@ -104,7 +111,10 @@ class Profiler:
 
     def harden(self, binary: Binary, report: ProfileReport) -> HardenResult:
         """Produce the production binary using the profiled allow-list."""
-        production = RedFat(self.options.with_(allowlist=report.allowlist))
+        production = RedFat(
+            self.options.with_(allowlist=report.allowlist),
+            telemetry=self.telemetry,
+        )
         return production.instrument(binary)
 
     def run_workflow(

@@ -21,6 +21,7 @@ from repro.rewriter.regusage import (
 )
 from repro.rewriter.rewriter import PatchRequest, RewriteResult, Rewriter
 from repro.runtime.redfat import RedFatRuntime
+from repro.telemetry.hub import Telemetry, coerce
 from repro.vm.runtime_iface import Service
 from repro.core.analysis import AnalysisStats, CheckSite, find_candidate_sites
 from repro.core.batching import SCRATCH_COUNT, build_groups
@@ -63,11 +64,40 @@ class HardenResult:
     #: encode.  Empty on a healthy run.
     quarantine: List[Tuple[int, str]] = field(default_factory=list)
 
-    def create_runtime(self, mode: str = "abort", **kw) -> RedFatRuntime:
-        """A ``libredfat`` runtime wired for precise error attribution."""
-        runtime = RedFatRuntime(mode=mode, **kw)
+    def create_runtime(
+        self,
+        mode: str = "abort",
+        randomize: bool = False,
+        seed: int = 1,
+        telemetry: Optional[Telemetry] = None,
+    ) -> RedFatRuntime:
+        """A ``libredfat`` runtime wired for precise error attribution.
+
+        *mode* is ``"abort"`` (hardening) or ``"log"`` (bug finding);
+        *randomize*/*seed* control free-list randomization of the
+        underlying low-fat allocator; *telemetry* threads a hub through
+        the runtime's allocator and error-report counters.
+        """
+        runtime = RedFatRuntime(
+            mode=mode, randomize=randomize, seed=seed, telemetry=telemetry
+        )
         runtime.site_resolver = lambda rip: self.rewrite.resolve_site(rip) or rip
         return runtime
+
+    def as_dict(self) -> Dict[str, object]:
+        """The common stats protocol (telemetry export / ``--metrics``)."""
+        return {
+            "stats": self.stats.as_dict(),
+            "rewrite": self.rewrite.as_dict(),
+            "groups": self.groups,
+            "sites": {
+                "lowfat": len(self.protected_sites(PROT_LOWFAT)),
+                "redzone": len(self.protected_sites(PROT_REDZONE)),
+                "unprotected": len(self.protected_sites(PROT_NONE)),
+            },
+            "quarantined": len(self.quarantine),
+            "static_coverage": self.static_coverage(),
+        }
 
     def protected_sites(self, kind: str) -> List[int]:
         return sorted(site for site, prot in self.protection.items() if prot == kind)
@@ -96,51 +126,84 @@ class HardenResult:
 class RedFat:
     """The instrumentation tool (paper §7: ``redfat prog.orig``)."""
 
-    def __init__(self, options: Optional[RedFatOptions] = None) -> None:
+    def __init__(
+        self,
+        options: Optional[RedFatOptions] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.options = options or RedFatOptions()
+        self.telemetry = coerce(telemetry)
 
     def instrument(self, binary: Binary) -> HardenResult:
         """Produce the hardened (or profiling) version of *binary*.
 
         The input image is never modified.  Works identically on stripped
         binaries: nothing here consults the symbol table.
+
+        When the tool carries a :class:`~repro.telemetry.Telemetry` hub,
+        each phase runs under a span (``disasm``, ``cfg``, ``analysis``,
+        ``batching``, ``checkgen``, ``patching``) and the Table-1
+        counters (``checks.inserted/eliminated/batched/merged``) are
+        recorded as the phases produce them.
         """
         options = self.options
-        control_flow = recover_control_flow(binary)
-        sites, stats = find_candidate_sites(control_flow, options)
-        groups = build_groups(control_flow, sites, options)
+        tele = self.telemetry
+        with tele.span("instrument", profile=options.profile_mode):
+            control_flow = recover_control_flow(binary, telemetry=tele)
+            with tele.span("analysis"):
+                sites, stats = find_candidate_sites(control_flow, options)
+            with tele.span("batching"):
+                groups = build_groups(control_flow, sites, options)
+            # Pre-seed the Table-1 counters so even a site-free binary
+            # exports the full counter set (the --metrics contract).
+            tele.count("checks.inserted", 0)
+            tele.count("checks.merged", 0)
+            tele.count("checks.eliminated", stats.eliminated)
+            tele.count("checks.batched",
+                       sum(len(group) - 1 for group in groups))
+            tele.count("analysis.memory_operands", stats.memory_operands)
+            tele.count("analysis.candidates", stats.candidates)
+            tele.count("analysis.skipped_reads", stats.skipped_reads)
+            tele.count("batching.groups", len(groups))
 
-        rewriter = Rewriter(binary, control_flow, keep_going=options.keep_going)
-        if not binary.has_segment(SIZES_SEGMENT):
-            rewriter.add_segment(sizes_table_segment())
+            rewriter = Rewriter(
+                binary, control_flow, keep_going=options.keep_going,
+                telemetry=tele,
+            )
+            if not binary.has_segment(SIZES_SEGMENT):
+                rewriter.add_segment(sizes_table_segment())
 
-        protection: Dict[int, str] = {}
-        site_table: Dict[int, List[CheckSite]] = {}
-        group_sites: Dict[int, List[CheckSite]] = {}
-        quarantine: List[Tuple[int, str]] = []
+            protection: Dict[int, str] = {}
+            site_table: Dict[int, List[CheckSite]] = {}
+            group_sites: Dict[int, List[CheckSite]] = {}
+            quarantine: List[Tuple[int, str]] = []
 
-        for group in groups:
-            head = group.head_address
-            group_sites[head] = group.sites
-            if options.profile_mode:
-                items = [
-                    Instruction(
-                        Opcode.RTCALL, (Imm(int(Service.PROFILE)),), tag=head
-                    )
-                ]
-                site_table[head] = list(group.sites)
-                for site in group.sites:
-                    protection[site.address] = PROT_REDZONE
-            else:
-                items = self._generate_group(
-                    control_flow, group, binary.is_pic, protection, stats,
-                    quarantine,
-                )
-                if items is None:
-                    continue  # quarantined: no patch request at all
-            rewriter.request(PatchRequest(head, items))
+            with tele.span("checkgen"):
+                for group in groups:
+                    head = group.head_address
+                    group_sites[head] = group.sites
+                    if options.profile_mode:
+                        items = [
+                            Instruction(
+                                Opcode.RTCALL, (Imm(int(Service.PROFILE)),),
+                                tag=head,
+                            )
+                        ]
+                        site_table[head] = list(group.sites)
+                        for site in group.sites:
+                            protection[site.address] = PROT_REDZONE
+                        tele.count("checks.inserted")
+                    else:
+                        items = self._generate_group(
+                            control_flow, group, binary.is_pic, protection,
+                            stats, quarantine,
+                        )
+                        if items is None:
+                            continue  # quarantined: no patch request at all
+                    rewriter.request(PatchRequest(head, items))
 
-        result = rewriter.finalize()
+            with tele.span("patching"):
+                result = rewriter.finalize()
         encode_failed = {head for head, _reason in result.encode_failures}
         for head, _reason in result.skipped:
             for site in group_sites.get(head, ()):
@@ -148,7 +211,7 @@ class RedFat:
                 if head in encode_failed:
                     stats.quarantined_sites += 1
         quarantine.extend(result.encode_failures)
-        return HardenResult(
+        harden = HardenResult(
             binary=result.binary,
             rewrite=result,
             options=options,
@@ -158,6 +221,12 @@ class RedFat:
             groups=len(groups),
             quarantine=quarantine,
         )
+        tele.count("sites.lowfat", len(harden.protected_sites(PROT_LOWFAT)))
+        tele.count("sites.redzone", len(harden.protected_sites(PROT_REDZONE)))
+        tele.count("sites.unprotected", len(harden.protected_sites(PROT_NONE)))
+        tele.count("sites.degraded", stats.degraded_sites)
+        tele.count("sites.quarantined", stats.quarantined_sites)
+        return harden
 
     # -- internals ----------------------------------------------------------
 
@@ -173,6 +242,7 @@ class RedFat:
         the item list, or None when the group was quarantined.
         """
         options = self.options
+        tele = self.telemetry
         try:
             ranges = merge_group(group, options)
             items = self._generate_items(
@@ -192,15 +262,22 @@ class RedFat:
                 for site in group.sites:
                     protection[site.address] = PROT_NONE
                 stats.quarantined_sites += len(group.sites)
+                tele.event("quarantine", head=group.head_address,
+                           reason=str(secondary))
                 return None
             for site in group.sites:
                 protection[site.address] = PROT_REDZONE
             stats.degraded_sites += len(group.sites)
+            tele.count("checks.inserted", len(ranges))
+            tele.count("checks.merged", len(group.sites) - len(ranges))
+            tele.event("degraded", head=group.head_address)
             return items
         for access_range in ranges:
             kind = PROT_LOWFAT if access_range.use_lowfat else PROT_REDZONE
             for site in access_range.sites:
                 protection[site.address] = kind
+        tele.count("checks.inserted", len(ranges))
+        tele.count("checks.merged", len(group.sites) - len(ranges))
         return items
 
     def _generate_items(self, control_flow, group, ranges, pic: bool, options=None):

@@ -47,6 +47,7 @@ from repro.core import RedFat, RedFatOptions
 from repro.errors import GuestMemoryError, ReproError, VMTimeoutError
 from repro.faults.injector import FaultInjector, injection
 from repro.faults.points import point_names
+from repro.telemetry.hub import Telemetry, coerce
 
 #: Outcome labels (the complete, closed set).
 DETECTED = "detected"
@@ -102,6 +103,10 @@ class FaultRunRecord:
     degraded_sites: int = 0
     quarantined_sites: int = 0
     output_mismatch: bool = False
+    #: The run's telemetry hub absorbed a sink/export fault and kept
+    #: going with partial data (the accounted survival of the
+    #: ``telemetry.*`` fault points).
+    telemetry_degraded: bool = False
 
 
 @dataclass
@@ -171,15 +176,23 @@ def run_one(
     record = FaultRunRecord(seed=seed, point=injector.point, fired=False,
                             outcome=CLEAN)
     harden = None
+    # A per-run hub rides the whole pipeline so the telemetry.* fault
+    # points are on the campaign's attack surface: sink corruption fires
+    # while spans/events record, export corruption when the report
+    # serialises.  Either must degrade the hub, never the run.
+    tele = Telemetry(max_events=64, meta={"kind": "fault_run", "seed": seed})
     with injection(injector):
         try:
             stripped = program.binary.strip()
-            harden = RedFat(RedFatOptions(keep_going=True)).instrument(stripped)
-            runtime = harden.create_runtime(mode="log")
+            harden = RedFat(
+                RedFatOptions(keep_going=True), telemetry=tele
+            ).instrument(stripped)
+            runtime = harden.create_runtime(mode="log", telemetry=tele)
             result = program.run(
                 args=[guest_arg], binary=harden.binary, runtime=runtime,
-                max_instructions=fuel,
+                max_instructions=fuel, telemetry=tele,
             )
+            tele.to_json(indent=None)  # the export sink, under injection
         except VMTimeoutError as error:
             record.outcome = DETECTED
             record.detail = f"watchdog: {error}"
@@ -208,7 +221,11 @@ def run_one(
                     f"{harden.stats.degraded_sites} degraded, "
                     f"{harden.stats.quarantined_sites} quarantined"
                 )
+            elif tele.degraded:
+                record.outcome = DEGRADED
+                record.detail = f"telemetry: {tele.degraded_reason}"
     record.fired = injector.fired
+    record.telemetry_degraded = tele.degraded
     if harden is not None:
         record.degraded_sites = harden.stats.degraded_sites
         record.quarantined_sites = harden.stats.quarantined_sites
@@ -221,24 +238,38 @@ def run_campaign(
     fuel: int = DEFAULT_FUEL,
     point: Optional[str] = None,
     guest_arg: int = DEFAULT_ARG,
+    telemetry=None,
 ) -> CampaignResult:
     """Sweep *seeds* runs; faults round-robin over the registry unless
-    *point* pins every run to one fault point."""
+    *point* pins every run to one fault point.  A campaign-level
+    *telemetry* hub (outside the injection scope, so never itself
+    faulted) aggregates outcome counters per fault point."""
     import time
 
+    tele = coerce(telemetry)
     start = time.time()
     program = compile_campaign_program()
     reference = program.run(args=[guest_arg])
     names = point_names()
     result = CampaignResult()
-    for index in range(seeds):
-        assigned = point if point is not None else names[index % len(names)]
-        result.records.append(
-            run_one(
+    with tele.span("campaign", seeds=seeds):
+        for index in range(seeds):
+            assigned = point if point is not None else names[index % len(names)]
+            record = run_one(
                 base_seed + index, program, reference.output,
                 point=assigned, fuel=fuel, guest_arg=guest_arg,
             )
-        )
+            result.records.append(record)
+            tele.count("campaign.runs")
+            tele.count(f"campaign.outcome.{record.outcome}")
+            tele.count(f"campaign.point.{record.point}.{record.outcome}")
+            if record.fired:
+                tele.count("campaign.fired")
+            if record.telemetry_degraded:
+                tele.count("campaign.telemetry_degraded")
+            if record.outcome == UNCAUGHT:
+                tele.event("uncaught", seed=record.seed, point=record.point,
+                           detail=record.detail)
     result.elapsed_seconds = time.time() - start
     return result
 
@@ -252,12 +283,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="pin every run to one fault point")
     parser.add_argument("--fuel", type=int, default=DEFAULT_FUEL,
                         help="watchdog instruction budget per run")
+    parser.add_argument("--metrics", metavar="OUT.json", default=None,
+                        help="export campaign outcome counters as telemetry")
     arguments = parser.parse_args(argv)
+    telemetry = None
+    if arguments.metrics:
+        telemetry = Telemetry(meta={"kind": "campaign"})
     result = run_campaign(
         seeds=arguments.seeds, base_seed=arguments.base_seed,
-        fuel=arguments.fuel, point=arguments.point,
+        fuel=arguments.fuel, point=arguments.point, telemetry=telemetry,
     )
     print(result.render())
+    if telemetry is not None:
+        telemetry.write_json(arguments.metrics)
     return 1 if result.uncaught() else 0
 
 

@@ -92,3 +92,15 @@ register(
     "terminate the run",
     sticky=True,
 )
+register(
+    "telemetry.sink",
+    "corrupt the telemetry event/span sink (telemetry/hub.py) — the hub "
+    "must degrade (stop recording, count drops, flag itself) instead of "
+    "raising into the pipeline it observes",
+)
+register(
+    "telemetry.export",
+    "fail the JSON serialisation of a telemetry report "
+    "(telemetry/hub.py to_json) — export must fall back to a minimal "
+    "schema-valid document, never crash the caller",
+)

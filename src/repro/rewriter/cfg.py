@@ -63,11 +63,23 @@ class ControlFlowInfo:
         return address in self.targets
 
 
-def recover_control_flow(binary: Binary) -> ControlFlowInfo:
+def recover_control_flow(binary: Binary, telemetry=None) -> ControlFlowInfo:
     """Decode all executable segments and recover blocks/targets."""
-    instructions: List[Instruction] = []
-    for segment in binary.text_segments():
-        instructions.extend(decode_all(segment.data, segment.vaddr))
+    from repro.telemetry.hub import coerce
+
+    tele = coerce(telemetry)
+    with tele.span("disasm"):
+        instructions: List[Instruction] = []
+        for segment in binary.text_segments():
+            instructions.extend(decode_all(segment.data, segment.vaddr))
+    tele.count("cfg.instructions_decoded", len(instructions))
+    with tele.span("cfg"):
+        return _build_control_flow(binary, instructions, tele)
+
+
+def _build_control_flow(
+    binary: Binary, instructions: List[Instruction], tele
+) -> ControlFlowInfo:
     by_address = {instruction.address: instruction for instruction in instructions}
 
     targets: Set[int] = {binary.entry}
@@ -96,4 +108,6 @@ def recover_control_flow(binary: Binary) -> ControlFlowInfo:
         if _ends_block(instruction):
             current = None
     blocks = [block for block in blocks if block.instructions]
+    tele.count("cfg.basic_blocks", len(blocks))
+    tele.count("cfg.jump_targets", len(targets))
     return ControlFlowInfo(instructions, by_address, targets, blocks, block_of)

@@ -80,6 +80,17 @@ class RewriteResult:
     #: rewriter runs with ``keep_going``.
     encode_failures: List[Tuple[int, str]] = field(default_factory=list)
 
+    def as_dict(self) -> Dict[str, object]:
+        """The common stats protocol (telemetry export / ``--metrics``)."""
+        return {
+            "patched": len(self.patched),
+            "skipped": len(self.skipped),
+            "trampolines": len(self.trampoline_ranges),
+            "trampoline_bytes": self.trampoline_bytes,
+            "encode_failures": len(self.encode_failures),
+            "image_bytes": self.binary.total_size(),
+        }
+
     def resolve_site(self, rip: int) -> Optional[int]:
         """Map a trampoline address back to the original site address.
 
@@ -127,13 +138,17 @@ class Rewriter:
         control_flow: Optional[ControlFlowInfo] = None,
         trampoline_base: int = TRAMPOLINE_BASE,
         keep_going: bool = False,
+        telemetry=None,
     ) -> None:
+        from repro.telemetry.hub import coerce
+
         self.binary = binary.copy()
         self.control_flow = control_flow or recover_control_flow(self.binary)
         self.trampoline_base = trampoline_base
         #: When a trampoline fails to encode: quarantine the patch (the
         #: original bytes stay untouched) instead of aborting the rewrite.
         self.keep_going = keep_going
+        self.telemetry = coerce(telemetry)
         self._requests: Dict[int, PatchRequest] = {}
 
     def request(self, patch: PatchRequest) -> None:
@@ -262,7 +277,7 @@ class Rewriter:
                     SEG_READ | SEG_EXEC,
                 )
             )
-        return RewriteResult(
+        result = RewriteResult(
             binary=self.binary,
             patched=sorted(patched),
             skipped=skipped,
@@ -271,3 +286,13 @@ class Rewriter:
             trampoline_bytes=len(trampoline_code),
             encode_failures=encode_failures,
         )
+        tele = self.telemetry
+        tele.count("rewrite.patched", len(result.patched))
+        tele.count("rewrite.skipped", len(result.skipped))
+        tele.count("rewrite.trampolines", len(trampoline_ranges))
+        tele.count("rewrite.trampoline_bytes", result.trampoline_bytes)
+        for start, end, _head in trampoline_ranges:
+            tele.observe("rewrite.trampoline_size", end - start)
+        for head, reason in encode_failures:
+            tele.event("encode_failure", head=head, reason=reason)
+        return result

@@ -36,8 +36,18 @@ class LowFatAllocator:
     it can be unit-tested without a VM.
     """
 
-    def __init__(self, map_callback=None, randomize: bool = False, seed: int = 1) -> None:
+    def __init__(
+        self,
+        map_callback=None,
+        randomize: bool = False,
+        seed: int = 1,
+        telemetry=None,
+    ) -> None:
+        from repro.telemetry.hub import coerce
+
         self._map = map_callback
+        self.telemetry = coerce(telemetry)
+        self._class_live: Dict[int, int] = {}  # class size -> live objects
         # Objects must sit at *global* multiples of their class size so
         # that base(ptr) = ptr - ptr % size rounds correctly; for classes
         # that do not divide the region base (48, 96, ...) the first slot
@@ -114,6 +124,14 @@ class LowFatAllocator:
                     self._map(region_base(region) - 4096, 2 * 4096)
         self._live[address] = size
         self.allocations += 1
+        tele = self.telemetry
+        tele.count("alloc.malloc")
+        tele.count(f"alloc.class_{class_size}.allocs")
+        tele.observe("alloc.request_bytes", size)
+        live = self._class_live.get(class_size, 0) + 1
+        self._class_live[class_size] = live
+        tele.gauge(f"alloc.class_{class_size}.live", live)
+        tele.gauge("alloc.live", len(self._live))
         return address
 
     def free(self, address: int) -> None:
@@ -129,6 +147,13 @@ class LowFatAllocator:
         region = address >> 35
         self._free_lists.setdefault(region, []).append(address)
         self.frees += 1
+        tele = self.telemetry
+        class_size = lowfat_size(address)
+        tele.count("alloc.free")
+        live = max(self._class_live.get(class_size, 1) - 1, 0)
+        self._class_live[class_size] = live
+        tele.gauge(f"alloc.class_{class_size}.live", live)
+        tele.gauge("alloc.live", len(self._live))
 
     def requested_size(self, address: int) -> Optional[int]:
         """The original malloc request for a live object base, if any."""

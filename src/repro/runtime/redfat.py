@@ -42,8 +42,11 @@ class RedFatRuntime(RuntimeEnvironment):
         mode: str = "abort",
         randomize: bool = False,
         seed: int = 1,
+        telemetry=None,
     ) -> None:
         super().__init__()
+        from repro.telemetry.hub import coerce
+
         if mode not in ("abort", "log"):
             raise ValueError(f"mode must be 'abort' or 'log', not {mode!r}")
         self.mode = mode
@@ -51,6 +54,7 @@ class RedFatRuntime(RuntimeEnvironment):
         self._allocator: Optional[LowFatAllocator] = None
         self._randomize = randomize
         self._seed = seed
+        self.telemetry = coerce(telemetry)
         #: Installed by the profiler when running a profile-phase binary.
         self.profile_callback: Optional[Callable] = None
         #: Installed by the rewriter metadata: maps trampoline rip -> the
@@ -63,6 +67,7 @@ class RedFatRuntime(RuntimeEnvironment):
             map_callback=cpu.memory.map_range,
             randomize=self._randomize,
             seed=self._seed,
+            telemetry=self.telemetry,
         )
 
     @property
@@ -180,6 +185,17 @@ class RedFatRuntime(RuntimeEnvironment):
 
     def _deliver(self, report: MemoryErrorReport) -> None:
         self.errors.record(report)
+        tele = self.telemetry
+        tele.count("runtime.reports")
+        tele.count(f"runtime.report.{report.kind.name.lower()}")
+        if report.kind in (
+            ErrorKind.OOB_LOWER, ErrorKind.OOB_UPPER, ErrorKind.USE_AFTER_FREE
+        ):
+            tele.count("alloc.redzone_hits")
+        tele.event(
+            "memory_error", kind=report.kind.name, site=report.site,
+            address=report.address,
+        )
         if self.mode == "abort":
             raise GuestMemoryError(report)
 

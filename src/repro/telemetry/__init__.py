@@ -1,0 +1,68 @@
+"""Pipeline-wide telemetry: counters, gauges, histograms, spans, events.
+
+Quick map:
+
+- :class:`Telemetry` — the hub one run threads through every layer
+  (``RedFat(options, telemetry=tele)``, ``create_runtime(telemetry=...)``,
+  ``api.run(..., telemetry=...)``);
+- :data:`NULL` — the shared no-op hub call sites fall back to;
+- :mod:`repro.telemetry.report` — ``python -m repro.telemetry.report``
+  renders an export document;
+- :mod:`repro.telemetry.validate` — ``python -m repro.telemetry.validate``
+  checks one against the checked-in ``schema.json``.
+"""
+
+from repro.telemetry.hub import (
+    COUNTER_MAX,
+    Histogram,
+    NULL,
+    NullTelemetry,
+    SCHEMA_VERSION,
+    SpanRecord,
+    Telemetry,
+    coerce,
+)
+
+_VALIDATE_NAMES = (
+    "HARDEN_COUNTERS",
+    "HARDEN_PHASES",
+    "validate",
+    "validate_document",
+    "validate_harden_report",
+)
+
+
+def __getattr__(name):
+    # Lazy so ``python -m repro.telemetry.validate`` does not import the
+    # submodule twice (runpy's found-in-sys.modules warning).  Must use
+    # importlib: ``validate`` names both the submodule and its function,
+    # so a ``from repro.telemetry import validate`` here would re-enter
+    # this hook through the fromlist lookup.
+    if name in _VALIDATE_NAMES:
+        import importlib
+
+        module = importlib.import_module("repro.telemetry.validate")
+        # Bind the functions into the package namespace, overwriting the
+        # submodule binding the import machinery just made (``validate``
+        # the function wins over ``validate`` the module).
+        for attr in _VALIDATE_NAMES:
+            globals()[attr] = getattr(module, attr)
+        return globals()[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "COUNTER_MAX",
+    "SCHEMA_VERSION",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL",
+    "coerce",
+    "Histogram",
+    "SpanRecord",
+    "HARDEN_PHASES",
+    "HARDEN_COUNTERS",
+    "validate",
+    "validate_document",
+    "validate_harden_report",
+]

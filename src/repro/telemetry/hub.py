@@ -1,0 +1,393 @@
+"""The telemetry hub: one sink for everything the pipeline measures.
+
+The paper's evaluation is driven by *counts* — checks inserted,
+eliminated, batched, merged (Table 1), errors the runtime caught — and
+this module gives every layer of the reproduction one place to put them:
+
+- **counters**: monotonic event tallies (``tele.count("checks.inserted")``),
+  saturating at ``COUNTER_MAX`` instead of growing without bound;
+- **gauges**: last-value measurements (live allocations, fuel budgets);
+- **histograms**: power-of-two bucketed distributions (trampoline sizes);
+- **spans**: phase-scoped wall-time timers
+  (``with tele.span("cfg"): ...``), nesting tracked so a report can show
+  ``instrument/checkgen`` as a child of ``instrument``;
+- **events**: a bounded structured log (oldest entries are evicted and
+  *accounted* — ``dropped_events`` — never silently lost).
+
+Everything exports through :meth:`Telemetry.as_dict` — a plain-JSON
+document validated by :mod:`repro.telemetry.validate` and rendered by
+:mod:`repro.telemetry.report` — so the CLI, the bench harnesses, and the
+fault campaign all speak one format.
+
+The hub itself is a hardened subsystem: the ``telemetry.sink`` and
+``telemetry.export`` fault points (see :mod:`repro.faults.points`) model
+a corrupted metrics sink, and the hub responds by *degrading* — it stops
+recording, counts what it dropped, flags ``degraded`` — rather than ever
+raising into the pipeline it observes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.faults.injector import fault_point
+
+#: Counters saturate here instead of growing without bound (the value is
+#: also the largest integer the export schema guarantees round-trips).
+COUNTER_MAX = (1 << 63) - 1
+
+#: Default bound on the structured event log.
+DEFAULT_MAX_EVENTS = 4096
+
+#: Version stamp of the export document (see ``schema.json``).
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class SpanRecord:
+    """One finished phase timer."""
+
+    name: str
+    #: Slash-joined nesting path, e.g. ``instrument/checkgen``.
+    path: str
+    start_s: float
+    duration_s: float
+    depth: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "depth": self.depth,
+            "attrs": dict(self.attrs),
+        }
+
+
+@dataclass
+class Histogram:
+    """Power-of-two bucketed distribution of observed values."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    #: bucket upper bound (power of two) -> observation count.
+    buckets: Dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        bound = 1
+        magnitude = abs(value)
+        while bound < magnitude:
+            bound <<= 1
+        self.buckets[bound] = self.buckets.get(bound, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.minimum is not None else 0,
+            "max": self.maximum if self.maximum is not None else 0,
+            "mean": self.mean,
+            "buckets": {str(bound): n for bound, n in sorted(self.buckets.items())},
+        }
+
+
+class _ActiveSpan:
+    """Context manager for one running span (exception-safe)."""
+
+    __slots__ = ("_hub", "name", "attrs", "_start", "path", "depth")
+
+    def __init__(self, hub: "Telemetry", name: str, attrs: Dict[str, Any]) -> None:
+        self._hub = hub
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+        self.path = name
+        self.depth = 0
+
+    def __enter__(self) -> "_ActiveSpan":
+        hub = self._hub
+        stack = hub._span_stack
+        self.depth = len(stack)
+        self.path = (
+            f"{stack[-1].path}/{self.name}" if stack else self.name
+        )
+        stack.append(self)
+        self._start = hub._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        hub = self._hub
+        end = hub._clock()
+        if hub._span_stack and hub._span_stack[-1] is self:
+            hub._span_stack.pop()
+        duration = end - self._start
+        if duration < 0:
+            # A misbehaving clock must not poison monotonicity guarantees.
+            duration = 0.0
+            hub.count("telemetry.clock_skew")
+        hub._record_span(
+            SpanRecord(self.name, self.path, self._start, duration,
+                       self.depth, self.attrs)
+        )
+        return False
+
+
+class Telemetry:
+    """One instrumentation hub, threaded through a whole pipeline run."""
+
+    def __init__(
+        self,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        clock: Callable[[], float] = time.perf_counter,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.spans: List[SpanRecord] = []
+        self.events: List[Dict[str, Any]] = []
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self.max_events = max_events
+        self.dropped_events = 0
+        #: Set when a sink/export corruption made the hub stop recording
+        #: richly; counters stay live so the run is still accounted.
+        self.degraded = False
+        self.degraded_reason = ""
+        self._clock = clock
+        self._epoch = clock()
+        self._span_stack: List[_ActiveSpan] = []
+
+    # -- scalar instruments --------------------------------------------------
+
+    def count(self, name: str, delta: int = 1) -> int:
+        """Add *delta* to counter *name*; saturates at :data:`COUNTER_MAX`."""
+        value = self.counters.get(name, 0) + delta
+        if value > COUNTER_MAX:
+            value = COUNTER_MAX
+        self.counters[name] = value
+        return value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # -- spans ----------------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> _ActiveSpan:
+        """Phase timer: ``with tele.span("cfg_recovery"): ...``."""
+        return _ActiveSpan(self, name, attrs)
+
+    def span_names(self) -> List[str]:
+        return [record.name for record in self.spans]
+
+    def span_paths(self) -> List[str]:
+        return [record.path for record in self.spans]
+
+    def _record_span(self, record: SpanRecord) -> None:
+        if self.degraded:
+            self.dropped_events += 1
+            return
+        if fault_point("telemetry.sink"):
+            self._degrade("injected span-sink corruption")
+            self.dropped_events += 1
+            return
+        self.spans.append(record)
+
+    # -- structured events ----------------------------------------------------
+
+    def event(self, name: str, **fields) -> None:
+        """Append one structured record to the bounded event log."""
+        if self.degraded:
+            self.dropped_events += 1
+            return
+        if fault_point("telemetry.sink"):
+            self._degrade("injected event-sink corruption")
+            self.dropped_events += 1
+            return
+        if self.max_events <= 0:
+            self.dropped_events += 1
+            return
+        if len(self.events) >= self.max_events:
+            # Bounded memory: evict the oldest entry, account the loss.
+            self.events.pop(0)
+            self.dropped_events += 1
+        self.events.append(
+            {"name": name, "t_s": self._clock() - self._epoch, "fields": fields}
+        )
+
+    # -- bulk ingestion -------------------------------------------------------
+
+    def record_stats(self, prefix: str, stats: Any) -> None:
+        """Fold an ``as_dict()``-protocol stats object into the gauges.
+
+        Numeric leaves become ``<prefix>.<key>`` gauges (nested dicts are
+        flattened with dots); everything else is skipped.  This is the
+        bridge between the pipeline's dataclass stats surfaces
+        (``AnalysisStats``, ``RewriteResult``, ``HardenResult``) and the
+        export document.
+        """
+        payload = stats.as_dict() if hasattr(stats, "as_dict") else stats
+        self._flatten_into_gauges(prefix, payload)
+
+    def _flatten_into_gauges(self, prefix: str, payload: Any) -> None:
+        if isinstance(payload, bool):
+            self.gauge(prefix, int(payload))
+        elif isinstance(payload, (int, float)):
+            self.gauge(prefix, payload)
+        elif isinstance(payload, dict):
+            for key, value in payload.items():
+                self._flatten_into_gauges(f"{prefix}.{key}", value)
+
+    # -- degradation (the fault-point contract) -------------------------------
+
+    def _degrade(self, reason: str) -> None:
+        self.degraded = True
+        if not self.degraded_reason:
+            self.degraded_reason = reason
+
+    # -- export ---------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "meta": dict(self.meta),
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in self.histograms.items()
+            },
+            "spans": [record.as_dict() for record in self.spans],
+            "events": list(self.events),
+            "dropped_events": self.dropped_events,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialise the report; a corrupted export degrades, never raises."""
+        if fault_point("telemetry.export"):
+            self._degrade("injected export corruption")
+        if not self.degraded:
+            try:
+                return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+            except (TypeError, ValueError) as error:
+                self._degrade(f"unserialisable telemetry payload: {error}")
+        # Degraded fallback: a minimal, schema-valid document that keeps
+        # the scalar accounting and names what was lost.
+        fallback = {
+            "schema_version": SCHEMA_VERSION,
+            "meta": dict(self.meta),
+            "counters": {
+                name: value for name, value in self.counters.items()
+                if isinstance(value, int)
+            },
+            "gauges": {},
+            "histograms": {},
+            "spans": [],
+            "events": [],
+            "dropped_events": self.dropped_events + len(self.events),
+            "degraded": True,
+            "degraded_reason": self.degraded_reason,
+        }
+        return json.dumps(fallback, indent=indent, sort_keys=True)
+
+    def write_json(self, path) -> bool:
+        """Write the JSON report to *path*; False (never an exception) on
+        a failed sink."""
+        try:
+            with open(path, "w") as sink:
+                sink.write(self.to_json())
+                sink.write("\n")
+            return True
+        except OSError as error:
+            self._degrade(f"metrics sink unwritable: {error}")
+            return False
+
+    def write_jsonl(self, path) -> bool:
+        """Write the event log as JSON-lines to *path*."""
+        try:
+            with open(path, "w") as sink:
+                for record in self.events:
+                    sink.write(json.dumps(record, sort_keys=True))
+                    sink.write("\n")
+            return True
+        except (OSError, TypeError, ValueError) as error:
+            self._degrade(f"event sink unwritable: {error}")
+            return False
+
+
+class _NullSpan:
+    """Reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry(Telemetry):
+    """A do-nothing hub so call sites never test for ``None``.
+
+    Every pipeline entry point accepts ``telemetry=None`` and swaps in
+    the shared :data:`NULL` instance; the cost of un-requested telemetry
+    is then one attribute load and a no-op call.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(max_events=0)
+
+    def count(self, name: str, delta: int = 1) -> int:
+        return 0
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    def record_stats(self, prefix: str, stats: Any) -> None:
+        pass
+
+
+#: The shared no-op hub (see :class:`NullTelemetry`).
+NULL = NullTelemetry()
+
+
+def coerce(telemetry: Optional[Telemetry]) -> Telemetry:
+    """``telemetry or NULL`` with the type spelled out."""
+    return telemetry if telemetry is not None else NULL

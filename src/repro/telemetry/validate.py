@@ -1,0 +1,159 @@
+"""Validate telemetry export documents against the checked-in schema.
+
+Run: ``python -m repro.telemetry.validate out.json``
+
+The container ships no third-party ``jsonschema``, so this module
+interprets the subset of JSON Schema the checked-in ``schema.json``
+actually uses: ``type``, ``required``, ``properties``,
+``additionalProperties`` (as a schema applied to every value), ``items``,
+``minimum`` and ``enum``.  On top of the structural schema, documents
+whose ``meta.kind`` is ``"harden"`` must additionally carry the
+instrumentation phase spans and the Table-1 counters — the contract
+behind ``redfat harden --metrics``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: The per-phase spans ``RedFat.instrument`` guarantees (ISSUE/Table 1).
+HARDEN_PHASES = (
+    "disasm",
+    "cfg",
+    "analysis",
+    "batching",
+    "checkgen",
+    "patching",
+)
+
+#: The Table-1 counters a harden report must contain.
+HARDEN_COUNTERS = (
+    "checks.inserted",
+    "checks.eliminated",
+    "checks.batched",
+    "checks.merged",
+)
+
+_SCHEMA_PATH = Path(__file__).with_name("schema.json")
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def load_schema() -> Dict[str, Any]:
+    return json.loads(_SCHEMA_PATH.read_text())
+
+
+def _check(value: Any, schema: Dict[str, Any], where: str, errors: List[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        matches = isinstance(value, python_type)
+        if matches and expected in ("integer", "number") and isinstance(value, bool):
+            matches = False  # bool is an int subclass; schemas mean numbers
+        if not matches:
+            errors.append(f"{where}: expected {expected}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{where}: {value!r} not one of {schema['enum']}")
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if value < schema["minimum"]:
+            errors.append(f"{where}: {value} below minimum {schema['minimum']}")
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{where}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, subschema in properties.items():
+            if key in value:
+                _check(value[key], subschema, f"{where}.{key}", errors)
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for key, item in value.items():
+                if key not in properties:
+                    _check(item, extra, f"{where}.{key}", errors)
+    elif isinstance(value, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for index, item in enumerate(value):
+                _check(item, items, f"{where}[{index}]", errors)
+
+
+def validate(data: Any, schema: Optional[Dict[str, Any]] = None) -> List[str]:
+    """Structural validation; returns the (possibly empty) error list."""
+    errors: List[str] = []
+    _check(data, schema or load_schema(), "$", errors)
+    return errors
+
+
+def validate_harden_report(data: Any) -> List[str]:
+    """Structural validation plus the ``redfat harden`` contract."""
+    errors = validate(data)
+    if errors:
+        return errors
+    if data.get("degraded"):
+        # A degraded sink legitimately drops spans; the structural check
+        # above is the whole contract then.
+        return errors
+    span_names = {span["name"] for span in data["spans"]}
+    for phase in HARDEN_PHASES:
+        if phase not in span_names:
+            errors.append(f"$.spans: missing phase span {phase!r}")
+    for counter in HARDEN_COUNTERS:
+        if counter not in data["counters"]:
+            errors.append(f"$.counters: missing Table-1 counter {counter!r}")
+    return errors
+
+
+def validate_document(data: Any) -> List[str]:
+    """Dispatch on ``meta.kind``: harden reports get the stricter check."""
+    kind = None
+    if isinstance(data, dict):
+        kind = data.get("meta", {}).get("kind")
+    if kind == "harden":
+        return validate_harden_report(data)
+    return validate(data)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("report", help="telemetry JSON document to validate")
+    parser.add_argument(
+        "--kind", choices=("auto", "generic", "harden"), default="auto",
+        help="contract to enforce (default: dispatch on meta.kind)")
+    arguments = parser.parse_args(argv)
+    try:
+        data = json.loads(Path(arguments.report).read_text())
+    except (OSError, ValueError) as error:
+        print(f"validate: cannot read {arguments.report}: {error}",
+              file=sys.stderr)
+        return 2
+    if arguments.kind == "harden":
+        errors = validate_harden_report(data)
+    elif arguments.kind == "generic":
+        errors = validate(data)
+    else:
+        errors = validate_document(data)
+    if errors:
+        for error in errors:
+            print(f"validate: {error}", file=sys.stderr)
+        print(f"{arguments.report}: INVALID ({len(errors)} error(s))",
+              file=sys.stderr)
+        return 1
+    print(f"{arguments.report}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

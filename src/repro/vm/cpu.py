@@ -79,6 +79,13 @@ class CPU:
         self.icache: Dict[int, Instruction] = {}
         #: Optional observer: fn(address, size, is_read, is_write, instruction).
         self.access_hook = None
+        #: Optional telemetry hub; when set, :meth:`run` uses the traced
+        #: loop (retired-instruction and check-execution counters).  The
+        #: default loop carries zero extra cost.
+        self.telemetry = None
+        #: ``(start, end)`` of the ``.tramp`` segment, installed by the
+        #: loader so the traced loop can attribute "checks executed".
+        self.trampoline_span: Optional[tuple] = None
         self._dispatch = self._build_dispatch()
         runtime.attach(self)
 
@@ -412,6 +419,8 @@ class CPU:
         stand-in for a wall-clock timeout).  Faults and memory errors
         propagate as their own :class:`VMError` subclasses.
         """
+        if self.telemetry is not None:
+            return self._run_traced(max_instructions)
         icache = self.icache
         dispatch = self._dispatch
         executed = 0
@@ -430,4 +439,43 @@ class CPU:
             return exit_signal.status
         finally:
             self.instructions_executed += executed
+        raise VMTimeoutError(max_instructions)
+
+    def _run_traced(self, max_instructions: int) -> int:
+        """The telemetry variant of :meth:`run`.
+
+        Identical semantics, plus per-run accounting: instructions
+        retired, instructions retired inside the ``.tramp`` segment
+        ("checks executed"), and fuel consumption.  Kept as a separate
+        loop so un-instrumented runs pay nothing.
+        """
+        tele = self.telemetry
+        span = self.trampoline_span
+        tramp_start, tramp_end = span if span is not None else (0, 0)
+        icache = self.icache
+        dispatch = self._dispatch
+        executed = 0
+        in_trampoline = 0
+        try:
+            while executed < max_instructions:
+                rip = self.rip
+                instruction = icache.get(rip)
+                if instruction is None:
+                    instruction = self._decode_at(rip)
+                if tramp_start <= rip < tramp_end:
+                    in_trampoline += 1
+                self.rip = rip + instruction.length
+                dispatch[instruction.opcode](instruction)
+                executed += 1
+        except GuestExit as exit_signal:
+            executed += 1
+            self.exit_status = exit_signal.status
+            return exit_signal.status
+        finally:
+            self.instructions_executed += executed
+            tele.count("vm.instructions_retired", executed)
+            tele.count("vm.checks_executed", in_trampoline)
+            tele.count("vm.fuel_consumed", executed)
+            tele.gauge("vm.fuel_budget", max_instructions)
+        tele.event("vm_timeout", fuel=max_instructions)
         raise VMTimeoutError(max_instructions)

@@ -55,6 +55,7 @@ def load_binary(
     runtime: RuntimeEnvironment,
     rebase: int = 0,
     libraries: Optional[List[Tuple[Binary, int]]] = None,
+    telemetry=None,
 ) -> CPU:
     """Map *binary* (rebased by *rebase* if PIC) and return a ready CPU.
 
@@ -73,6 +74,13 @@ def load_binary(
     memory.write(EXIT_STUB_ADDR, stub)
     memory.map_range(STACK_TOP - STACK_SIZE, STACK_SIZE)
     cpu = CPU(memory, runtime)
+    if telemetry is not None:
+        cpu.telemetry = telemetry
+        if binary.has_segment(".tramp"):
+            tramp = binary.segment(".tramp")
+            cpu.trampoline_span = (
+                tramp.vaddr + rebase, tramp.vaddr + rebase + len(tramp.data)
+            )
     cpu.rip = binary.entry + rebase
     stack_pointer = (STACK_TOP - 64) & ~0xF
     cpu.regs[RSP] = stack_pointer - 8
@@ -100,6 +108,7 @@ def run_binary(
     runtime: Optional[RuntimeEnvironment] = None,
     rebase: int = 0,
     max_instructions: int = 2_000_000_000,
+    telemetry=None,
 ) -> RunResult:
     """Load and run *binary* to completion under *runtime*.
 
@@ -110,6 +119,6 @@ def run_binary(
         from repro.runtime.glibc import GlibcRuntime
 
         runtime = GlibcRuntime()
-    cpu = load_binary(binary, runtime, rebase)
+    cpu = load_binary(binary, runtime, rebase, telemetry=telemetry)
     status = cpu.run(max_instructions)
     return RunResult(status, cpu.instructions_executed, runtime.output, runtime, cpu)

@@ -48,6 +48,10 @@ class RuntimeEnvironment:
     #: Human-readable name used in reports.
     name = "runtime"
 
+    #: Optional telemetry hub; subclasses that accept one overwrite this
+    #: (see :class:`repro.runtime.redfat.RedFatRuntime`).
+    telemetry = None
+
     def __init__(self) -> None:
         self.output: List[str] = []
 
@@ -72,6 +76,9 @@ class RuntimeEnvironment:
                 # guest is now an infinite loop only the watchdog ends.
                 cpu.rip = instruction.address
                 return
+
+        if self.telemetry is not None:
+            self.telemetry.count("vm.rtcalls")
 
         regs = cpu.regs
         if service == Service.EXIT:

@@ -19,9 +19,9 @@ from repro.core import Profiler, RedFat, RedFatOptions
 from repro.vm.loader import run_binary
 
 CONFIGS = {
-    "unoptimized": RedFatOptions.unoptimized(),
-    "+elim": RedFatOptions.unoptimized(elim=True),
-    "+batch": RedFatOptions.unoptimized(elim=True, batch=True),
+    "unoptimized": RedFatOptions.preset("unoptimized"),
+    "+elim": RedFatOptions.preset("+elim"),
+    "+batch": RedFatOptions.preset("+batch"),
     "+merge": RedFatOptions(),
     "-size": RedFatOptions(size_hardening=False),
     "-reads": RedFatOptions(size_hardening=False, check_reads=False),

@@ -57,9 +57,9 @@ class TestBehaviourPreservation:
         program = compile_source(self.SOURCE)
         baseline = program.run(args=[2])
         configs = [
-            RedFatOptions.unoptimized(),
-            RedFatOptions.unoptimized(elim=True),
-            RedFatOptions.unoptimized(elim=True, batch=True),
+            RedFatOptions.preset("unoptimized"),
+            RedFatOptions.preset("+elim"),
+            RedFatOptions.preset("+batch"),
             RedFatOptions(),
             RedFatOptions(size_hardening=False),
             RedFatOptions(size_hardening=False, check_reads=False),

@@ -15,7 +15,7 @@ from repro.core import RedFat, RedFatOptions
 from repro.runtime.redfat import RedFatRuntime
 
 CONFIGS = [
-    RedFatOptions.unoptimized(),
+    RedFatOptions.preset("unoptimized"),
     RedFatOptions(),
     RedFatOptions(size_hardening=False, check_reads=False),
 ]

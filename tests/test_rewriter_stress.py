@@ -67,7 +67,7 @@ class TestDensePatching:
             """
         )
         baseline = program.run()
-        options = RedFatOptions.unoptimized()  # no elim: stack ops included
+        options = RedFatOptions.preset("unoptimized")  # no elim: stack ops included
         harden = RedFat(options).instrument(program.binary.strip())
         rerun = program.run(
             binary=harden.binary, runtime=harden.create_runtime(mode="abort")
