@@ -1,0 +1,144 @@
+"""Print per-block dataflow facts for a binary (debugging aid).
+
+Run: ``python -m repro.analysis.dump prog.melf`` (or ``prog.c``; MiniC
+source is compiled on the fly).  The same report backs the ``redfat
+analyze`` CLI subcommand.
+
+For every basic block: its address range, successors/predecessors,
+immediate dominator set, the provenance facts at block entry, and the
+effective live-out.  ``--sites`` additionally classifies every memory
+operand the way the instrumentation pipeline would (checked, or
+eliminated and by which rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.engine import DataflowInfo
+from repro.analysis.liveness import FLAGS
+from repro.isa.registers import Register
+
+
+def _render_facts(facts) -> str:
+    if facts is None:
+        return "(unreached)"
+    parts = []
+    for register in sorted(facts, key=int):
+        kind, bound = facts[register]
+        rendered = kind.name if hasattr(kind, "name") else str(kind)
+        if bound:
+            rendered += f"+{bound:#x}"
+        parts.append(f"{register.att_name}={rendered}")
+    return " ".join(parts) if parts else "(nothing known)"
+
+
+def _render_live(live) -> str:
+    if live is None:
+        return "(unknown: everything assumed live)"
+    registers = sorted(
+        (r for r in live if isinstance(r, Register)), key=int
+    )
+    parts = [register.att_name for register in registers]
+    if FLAGS in live:
+        parts.append("flags")
+    if len(registers) == 16:
+        return "all registers" + (" + flags" if FLAGS in live else "")
+    return " ".join(parts) if parts else "(nothing)"
+
+
+def render_dataflow(info: DataflowInfo, sites: bool = False) -> List[str]:
+    """The per-block fact report as lines of text."""
+    lines: List[str] = []
+    graph = info.graph
+    if info.fallback:
+        lines.append(f"!! analysis fell back: {info.fallback_reason}")
+        lines.append("   (facts below are the conservative defaults)")
+    lines.append(
+        f"{len(graph.blocks)} blocks, {len(graph.roots)} roots"
+        + (f", {len(graph.leaky)} leaky" if graph.leaky else "")
+    )
+    classifications = {}
+    if sites:
+        classifications = _classify_sites(info)
+    for block in graph.blocks:
+        start = block.start
+        flags = []
+        if start in graph.roots:
+            flags.append("root")
+        if start in graph.leaky:
+            flags.append("leaky")
+        suffix = f"  [{' '.join(flags)}]" if flags else ""
+        lines.append(f"block {start:#x}..{block.end:#x} "
+                     f"({len(block.instructions)} instructions){suffix}")
+        succs = ", ".join(f"{s:#x}" for s in graph.succs.get(start, ()))
+        preds = ", ".join(f"{p:#x}" for p in graph.preds.get(start, ()))
+        lines.append(f"  succs: {succs or '(none)'}   preds: {preds or '(none)'}")
+        dom = info.dominators.get(start)
+        if dom is not None:
+            others = sorted(d for d in dom if d != start)
+            lines.append(
+                "  dominators: "
+                + (", ".join(f"{d:#x}" for d in others) or "(entry)")
+            )
+        lines.append(f"  entry facts: "
+                     f"{_render_facts(None if info.fallback else info.entry_facts.get(start))}")
+        lines.append(f"  live-out: "
+                     f"{_render_live(None if info.fallback else info.live_out.get(start))}")
+        if sites:
+            for instruction in block.instructions:
+                verdict = classifications.get(instruction.address)
+                if verdict is not None:
+                    lines.append(f"    {instruction.address:#x}: {verdict}")
+    return lines
+
+
+def _classify_sites(info: DataflowInfo) -> dict:
+    """site address -> how the default pipeline treats its operand."""
+    from repro.core.analysis import find_candidate_sites
+    from repro.core.options import RedFatOptions
+
+    sites, stats = find_candidate_sites(
+        info.graph.control_flow, RedFatOptions(), dataflow=info
+    )
+    checked = {site.address: "checked" for site in sites}
+    classification = dict(checked)
+    for instruction in info.graph.control_flow.instructions:
+        access = instruction.memory_access()
+        if access is None or instruction.address in classification:
+            continue
+        classification[instruction.address] = "eliminated"
+    return classification
+
+
+def analyze_target(target, telemetry=None) -> DataflowInfo:
+    """Load *target* (path/Binary/CompiledProgram) and run the analyses."""
+    from repro import api
+    from repro.analysis.engine import analyze_control_flow
+    from repro.rewriter.cfg import recover_control_flow
+
+    program = api.load(target)
+    control_flow = recover_control_flow(program.binary, telemetry=telemetry)
+    return analyze_control_flow(control_flow, telemetry=telemetry)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("binary", help="binary image or MiniC source (.c)")
+    parser.add_argument("--sites", action="store_true",
+                        help="also classify every memory operand")
+    arguments = parser.parse_args(argv)
+    try:
+        info = analyze_target(arguments.binary)
+    except FileNotFoundError as error:
+        print(f"dump: {error}", file=sys.stderr)
+        return 2
+    for line in render_dataflow(info, sites=arguments.sites):
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

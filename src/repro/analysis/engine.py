@@ -1,0 +1,154 @@
+"""The dataflow driver: one call produces every fact the pipeline uses.
+
+:func:`analyze_control_flow` builds the block graph and runs the three
+client analyses (provenance, liveness, dominators) to fixpoint,
+returning a :class:`DataflowInfo` bundle.  The bundle is *optional*
+everywhere it is consumed: when an analysis fails — a genuine solver
+bug, or the ``analysis.fixpoint`` / ``analysis.facts`` fault points
+exercising that path — the bundle degrades to ``fallback=True`` and the
+pipeline silently reverts to the syntactic elimination rule and
+block-local liveness.  A corrupted analysis may cost precision, never
+soundness, and the fallback is accounted (``analysis.fallbacks``
+telemetry, ``AnalysisStats.analysis_fallbacks``) so the fault campaign
+classifies such runs as DEGRADED rather than silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from repro.errors import InstrumentationError
+from repro.faults.injector import fault_point, payload_rng
+from repro.isa.registers import RSP
+from repro.rewriter.cfg import BasicBlock, ControlFlowInfo
+from repro.analysis import dominators as dominators_mod
+from repro.analysis import liveness as liveness_mod
+from repro.analysis import provenance as provenance_mod
+from repro.analysis.graph import BlockGraph, build_block_graph
+
+
+@dataclass
+class DataflowInfo:
+    """Everything the fixpoint analyses proved about one binary."""
+
+    graph: BlockGraph
+    #: block start -> register provenance facts at block entry.
+    entry_facts: Dict[int, provenance_mod.RegFacts] = field(default_factory=dict)
+    #: block start -> effective live-out (registers + FLAGS sentinel).
+    live_out: Dict[int, FrozenSet] = field(default_factory=dict)
+    #: block start -> dominating block starts (reflexive).
+    dominators: Dict[int, FrozenSet[int]] = field(default_factory=dict)
+    #: True when the analyses failed and consumers must use the
+    #: syntactic/block-local fallbacks.
+    fallback: bool = False
+    fallback_reason: str = ""
+
+    # -- per-site queries ---------------------------------------------------
+
+    def iter_block_facts(self, block: BasicBlock):
+        """Yield ``(instruction, facts-before-it)`` walking *block*.
+
+        Yields ``(instruction, None)`` for every instruction when the
+        block was never reached by the solver (or after a fallback) —
+        the conservative "know nothing" answer.
+        """
+        entry = None if self.fallback else self.entry_facts.get(block.start)
+        if entry is None:
+            for instruction in block.instructions:
+                yield instruction, None
+            return
+        facts = dict(entry)
+        for instruction in block.instructions:
+            yield instruction, facts
+            provenance_mod.apply_instruction(facts, instruction)
+
+    def facts_before(self, address: int) -> Optional[provenance_mod.RegFacts]:
+        """Provenance facts immediately before the instruction at *address*."""
+        block = self.graph.control_flow.block_of.get(address)
+        if block is None:
+            return None
+        for instruction, facts in self.iter_block_facts(block):
+            if instruction.address == address:
+                return facts
+        return None
+
+    def dead_registers_after(self, block: BasicBlock, index: int) -> Optional[FrozenSet]:
+        """Globally-informed replacement for ``regusage.dead_registers_after``.
+
+        None when liveness is unavailable (callers then use the
+        block-local rule).
+        """
+        if self.fallback:
+            return None
+        live_out = self.live_out.get(block.start)
+        if live_out is None:
+            return None
+        return liveness_mod.dead_registers_at(block.instructions, index, live_out)
+
+    def flags_dead_after(self, block: BasicBlock, index: int) -> Optional[bool]:
+        if self.fallback:
+            return None
+        live_out = self.live_out.get(block.start)
+        if live_out is None:
+            return None
+        return liveness_mod.flags_dead_at(block.instructions, index, live_out)
+
+    def dominated_redundant(self, sites: List) -> Set[int]:
+        """Addresses of candidate sites whose check a dominating,
+        identical, kept check already performs."""
+        if self.fallback or not self.dominators:
+            return set()
+        return dominators_mod.find_dominated_redundant(
+            self.graph, self.dominators, sites
+        )
+
+
+def _corrupt_facts(entry_facts: Dict[int, provenance_mod.RegFacts]) -> None:
+    """The ``analysis.facts`` payload: smash one block's solution.
+
+    Un-pins the RSP invariant (or plants a non-lattice value) so the
+    validation pass must catch it before any elimination trusts it.
+    """
+    if not entry_facts:
+        return
+    rng = payload_rng()
+    block = sorted(entry_facts)[rng.randrange(len(entry_facts))]
+    if rng.random() < 0.5:
+        entry_facts[block][RSP] = provenance_mod.TOP
+    else:
+        entry_facts[block][RSP] = ("corrupt", rng.randrange(1 << 16))
+
+
+def analyze_control_flow(
+    control_flow: ControlFlowInfo, telemetry=None
+) -> DataflowInfo:
+    """Run the fixpoint analyses; degrade to a fallback bundle on failure."""
+    from repro.telemetry.hub import coerce
+
+    tele = coerce(telemetry)
+    graph = build_block_graph(control_flow)
+    with tele.span("dataflow", blocks=len(graph.blocks)):
+        try:
+            entry_facts = provenance_mod.compute_entry_facts(graph)
+            if fault_point("analysis.facts"):
+                _corrupt_facts(entry_facts)
+            if not provenance_mod.validate_facts(entry_facts):
+                raise InstrumentationError(
+                    "provenance facts failed validation (corrupted solution)"
+                )
+            live_out = liveness_mod.compute_live_out(graph)
+            dominators = dominators_mod.compute_dominators(graph)
+        except InstrumentationError as error:
+            tele.count("analysis.fallbacks")
+            tele.event("analysis_fallback", reason=str(error))
+            return DataflowInfo(
+                graph=graph, fallback=True, fallback_reason=str(error)
+            )
+    tele.count("analysis.dataflow_blocks", len(graph.blocks))
+    return DataflowInfo(
+        graph=graph,
+        entry_facts=entry_facts,
+        live_out=live_out,
+        dominators=dominators,
+    )

@@ -1,0 +1,289 @@
+"""Pointer-provenance analysis: which registers provably avoid the heap.
+
+Per-register lattice (the flow-sensitive generalisation of the syntactic
+``can_eliminate`` rule)::
+
+                      TOP  (unknown: may be a low-fat heap pointer)
+                     /   \\
+               NONHEAP    HEAP   (HEAP: derived from a loaded value or a
+              /   |   \\          runtime-call result — *maybe* low-fat)
+         STACK  GLOBAL  CONST
+              \\   |   /
+                BOTTOM   (unreachable; represented as a missing state)
+
+Every non-heap element carries an *offset bound*: the largest absolute
+constant displacement accumulated since the value left its anchor (RSP,
+RIP, or an absolute immediate).  The anchor lives in non-fat region 0 of
+the layout, and region 0 is 32 GB wide, so ``anchor ± bound ± disp``
+stays non-fat as long as ``bound + |disp|`` fits in a signed 32-bit
+offset — the same ±2 GB argument the syntactic rule uses for bare
+RSP/RIP/absolute operands (see ``repro/layout.py``).
+
+Transfer functions cover exactly the value flows MiniC-grade code
+generators emit — ``mov`` register copies, ``lea``, add/sub of a
+constant — and send everything else to TOP/HEAP.  Precision lost here
+only costs a check, never a missed error.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode, SETCC_CONDITIONS
+from repro.isa.operands import INT32_MAX, Imm, Mem, Reg
+from repro.isa.registers import GPRS, RAX, RSP, Register
+
+
+class Kind(enum.IntEnum):
+    """Lattice element kinds (BOTTOM is the absent whole-block state)."""
+
+    STACK = 1    # derived from RSP
+    GLOBAL = 2   # derived from RIP (PIC data access)
+    CONST = 3    # derived from a 32-bit absolute address/immediate
+    NONHEAP = 4  # join of distinct non-heap anchors: still provably safe
+    HEAP = 5     # loaded / allocator-returned: may point into a region
+    TOP = 6      # no information
+
+    @property
+    def is_nonheap(self) -> bool:
+        return self in (Kind.STACK, Kind.GLOBAL, Kind.CONST, Kind.NONHEAP)
+
+
+#: One lattice value: ``(kind, offset bound)``.  The bound is meaningful
+#: only for non-heap kinds and saturates to TOP past INT32_MAX.
+Prov = Tuple[Kind, int]
+
+TOP: Prov = (Kind.TOP, 0)
+HEAP: Prov = (Kind.HEAP, 0)
+STACK0: Prov = (Kind.STACK, 0)
+
+#: Register facts at one program point.  A missing key means TOP — the
+#: dict only carries the registers we know something about.  RSP is
+#: always present and always ``STACK0`` (the pinned invariant that
+#: :func:`validate_facts` checks).
+RegFacts = Dict[Register, Prov]
+
+
+def entry_facts() -> RegFacts:
+    """The boundary fact: nothing known except the stack pointer."""
+    return {RSP: STACK0}
+
+
+def _join_bound(a: int, b: int) -> int:
+    """Join offset bounds, *widening* to the next power of two when they
+    differ.  The rounding makes the bound component a finite ascending
+    chain (≤ 32 steps to saturation), so a loop that keeps adding a
+    constant to a pointer converges in a handful of fixpoint rounds
+    instead of creeping toward INT32_MAX eight bytes at a time."""
+    if a == b:
+        return a
+    widened = 1
+    largest = max(a, b)
+    while widened < largest:
+        widened <<= 1
+    return min(widened, INT32_MAX)
+
+
+def join_value(a: Prov, b: Prov) -> Prov:
+    if a == b:
+        return a
+    kind_a, bound_a = a
+    kind_b, bound_b = b
+    if kind_a is Kind.TOP or kind_b is Kind.TOP:
+        return TOP
+    if kind_a.is_nonheap and kind_b.is_nonheap:
+        kind = kind_a if kind_a is kind_b else Kind.NONHEAP
+        return (kind, _join_bound(bound_a, bound_b))
+    if kind_a is Kind.HEAP and kind_b is Kind.HEAP:
+        return HEAP
+    return TOP  # non-heap joined with heap-maybe: nothing provable
+
+
+def join_facts(a: RegFacts, b: RegFacts) -> RegFacts:
+    merged: RegFacts = {}
+    for register, value in a.items():
+        other = b.get(register)
+        if other is None:
+            continue  # missing = TOP, and TOP entries are not stored
+        joined = join_value(value, other)
+        if joined != TOP:
+            merged[register] = joined
+    merged[RSP] = STACK0
+    return merged
+
+
+def _widen(value: Prov, delta: int) -> Prov:
+    """Accumulate a constant offset; saturate past the ±2 GB window."""
+    kind, bound = value
+    if not kind.is_nonheap:
+        return value  # heap ± const is still heap-maybe; TOP stays TOP
+    bound += abs(delta)
+    if bound > INT32_MAX:
+        return TOP
+    return (kind, bound)
+
+
+def _set(facts: RegFacts, register: Register, value: Prov) -> None:
+    if register is RSP:
+        return  # RSP stays pinned to STACK0
+    if value == TOP:
+        facts.pop(register, None)
+    else:
+        facts[register] = value
+
+
+def _mem_value(facts: RegFacts, mem: Mem) -> Prov:
+    """The provenance of ``lea``'s computed address."""
+    if mem.base is Register.RIP:
+        base: Prov = (Kind.GLOBAL, 0)
+    elif mem.base is not None:
+        base = facts.get(mem.base, TOP)
+    else:
+        base = (Kind.CONST, 0)
+    if mem.index is not None:
+        return TOP  # unbounded scaled index: could reach any region
+    return _widen(base, mem.disp)
+
+
+def apply_instruction(facts: RegFacts, instruction: Instruction) -> RegFacts:
+    """Destructively apply one instruction's transfer; returns *facts*.
+
+    Callers walking a block for per-site queries must copy the block
+    entry fact first.
+    """
+    op = instruction.opcode
+    ops = instruction.operands
+
+    if op in (Opcode.MOV, Opcode.MOVS) and len(ops) == 2 and isinstance(ops[0], Reg):
+        destination = ops[0].reg
+        source = ops[1]
+        if isinstance(source, Reg):
+            _set(facts, destination, facts.get(source.reg, TOP))
+        elif isinstance(source, Imm):
+            if abs(source.value) <= INT32_MAX:
+                _set(facts, destination, (Kind.CONST, 0))
+            else:
+                _set(facts, destination, TOP)
+        elif isinstance(source, Mem):
+            _set(facts, destination, HEAP)  # a loaded value may be a heap ptr
+        return facts
+    if op is Opcode.LEA and len(ops) == 2 and isinstance(ops[1], Mem):
+        _set(facts, ops[0].reg, _mem_value(facts, ops[1]))
+        return facts
+    if op in (Opcode.ADD, Opcode.SUB) and len(ops) == 2 and isinstance(ops[0], Reg):
+        destination = ops[0].reg
+        if isinstance(ops[1], Imm):
+            _set(facts, destination, _widen(facts.get(destination, TOP), ops[1].value))
+            return facts
+        # fall through: reg/mem addend destroys the anchor
+    if op is Opcode.XOR and len(ops) == 2 and ops[0] == ops[1]:
+        _set(facts, ops[0].reg, (Kind.CONST, 0))
+        return facts
+    if op in SETCC_CONDITIONS and ops and isinstance(ops[0], Reg):
+        _set(facts, ops[0].reg, (Kind.CONST, 1))
+        return facts
+    if op is Opcode.POP and ops and isinstance(ops[0], Reg):
+        _set(facts, ops[0].reg, HEAP)  # reloaded spill: trust nothing
+        return facts
+    if op is Opcode.RTCALL:
+        for register in instruction.regs_written():
+            _set(facts, register, HEAP if register is RAX else TOP)
+        return facts
+
+    for register in instruction.regs_written():
+        _set(facts, register, TOP)
+    return facts
+
+
+def transfer_block(facts: RegFacts, instructions) -> RegFacts:
+    result = dict(facts)
+    for instruction in instructions:
+        apply_instruction(result, instruction)
+    result[RSP] = STACK0
+    return result
+
+
+def call_edge(facts: RegFacts) -> RegFacts:
+    """Facts on a ``call``/``callr`` fall-through edge: the unknown
+    callee may leave anything in any register; only RSP survives (the
+    matched push/pop of the return address restores it)."""
+    return entry_facts()
+
+
+def operand_provenance(facts: RegFacts, mem: Mem) -> Optional[Prov]:
+    """The provable non-heap provenance of an *accessed* operand, if any.
+
+    Returns the base register's lattice value when it justifies dropping
+    the check — non-heap anchor, no index register, and the accumulated
+    bound plus the operand displacement still inside the ±2 GB window —
+    and None otherwise.
+    """
+    if mem.index is not None:
+        return None
+    if mem.base is None or mem.base is Register.RIP:
+        return None  # already handled by the syntactic rule
+    value = facts.get(mem.base, TOP)
+    kind, bound = value
+    if not kind.is_nonheap:
+        return None
+    if bound + abs(mem.disp) > INT32_MAX:
+        return None
+    return value
+
+
+def compute_entry_facts(graph) -> Dict[int, RegFacts]:
+    """Solve the forward problem: block entry facts per start address.
+
+    Call-terminated blocks propagate the conservative boundary fact over
+    their fall-through edge — an unknown callee may leave anything in
+    any register; only the stack pointer provably survives (the matched
+    ``call``/``ret`` restores it).
+    """
+    from repro.analysis import solver
+
+    def transfer(node, facts: RegFacts) -> RegFacts:
+        return transfer_block(facts, graph.block_at(node).instructions)
+
+    def edge(source, sink, fact: RegFacts) -> RegFacts:
+        last = graph.block_at(source).instructions[-1]
+        if last.opcode in (Opcode.CALL, Opcode.CALLR):
+            return call_edge(fact)
+        return fact
+
+    return solver.solve(
+        graph,
+        direction="forward",
+        boundary=entry_facts(),
+        transfer=transfer,
+        join=join_facts,
+        edge=edge,
+    )
+
+
+def validate_facts(facts_by_block: Dict[int, RegFacts]) -> bool:
+    """Cheap structural invariants over a computed solution.
+
+    The ``analysis.facts`` fault point corrupts solutions to prove the
+    consumer degrades instead of mis-eliminating: every stored value must
+    be a genuine lattice element and RSP must still be pinned to the
+    stack anchor.
+    """
+    for facts in facts_by_block.values():
+        if not isinstance(facts, dict):
+            return False
+        if facts.get(RSP) != STACK0:
+            return False
+        for register, value in facts.items():
+            if register not in GPRS:
+                return False
+            if (
+                not isinstance(value, tuple)
+                or len(value) != 2
+                or not isinstance(value[0], Kind)
+                or not isinstance(value[1], int)
+                or not 0 <= value[1] <= INT32_MAX
+            ):
+                return False
+    return True

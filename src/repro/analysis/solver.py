@@ -1,0 +1,105 @@
+"""A generic worklist fixpoint solver over :class:`BlockGraph` nodes.
+
+One engine serves every client analysis in this package: forward
+(provenance, dominators) and backward (liveness) problems differ only in
+which edge map drives propagation and which side of the block the
+boundary fact seeds.  A client supplies:
+
+``boundary``
+    The fact at the entry (forward) / exit (backward) of root nodes —
+    the most conservative assumption about control arriving from outside
+    the recovered edge set.
+
+``transfer(node, fact)``
+    The whole-block transfer function, applied to the input-side fact.
+
+``join(a, b)``
+    The lattice join.  ``None`` is the universal bottom (unreachable /
+    not-yet-computed); the solver handles it, clients never see it.
+
+``edge(source, sink, fact)``
+    Optional per-edge adjustment of the propagated fact (e.g. modelling
+    an unknown callee's clobbers on a call fall-through edge).
+
+The solver is monotone-framework standard: seed roots, iterate until no
+input fact changes.  A hard iteration budget turns an accidental
+non-monotone transfer into a typed error instead of a hang, and is the
+hook for the ``analysis.fixpoint`` fault point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.errors import InstrumentationError
+from repro.faults.injector import fault_point
+from repro.analysis.graph import BlockGraph
+
+#: Iterations-per-node floor; the effective budget also scales with the
+#: graph (dominator sets shrink element-by-element along long chains).
+#: Exceeding it means a broken (non-monotone or infinite-chain) transfer.
+MAX_VISITS_PER_NODE = 1024
+
+
+class FixpointDiverged(InstrumentationError):
+    """The solver exhausted its iteration budget (or was fault-injected)."""
+
+
+def solve(
+    graph: BlockGraph,
+    *,
+    direction: str,
+    boundary: object,
+    transfer: Callable[[int, object], object],
+    join: Callable[[object, object], object],
+    edge: Optional[Callable[[int, int, object], object]] = None,
+    roots: Optional[Iterable[int]] = None,
+) -> Dict[int, object]:
+    """Run the worklist to fixpoint; return the input-side fact per node.
+
+    *direction* is ``"forward"`` (facts at block entry, propagated along
+    successor edges) or ``"backward"`` (facts at block exit, propagated
+    along predecessor edges).  *roots* overrides the graph's root set —
+    backward problems seed exit-less blocks instead of entry blocks.
+    """
+    if direction == "forward":
+        out_edges = graph.succs
+    elif direction == "backward":
+        out_edges = graph.preds
+    else:
+        raise ValueError(f"unknown direction {direction!r}")
+    if fault_point("analysis.fixpoint"):
+        raise FixpointDiverged("injected fixpoint divergence")
+
+    root_set = set(graph.roots if roots is None else roots)
+    facts: Dict[int, object] = {}
+    for node in root_set:
+        facts[node] = boundary
+
+    worklist = sorted(root_set)
+    queued = set(worklist)
+    visits: Dict[int, int] = {}
+    budget = max(MAX_VISITS_PER_NODE, 2 * len(graph.blocks) + 8)
+    while worklist:
+        node = worklist.pop()
+        queued.discard(node)
+        visits[node] = visits.get(node, 0) + 1
+        if visits[node] > budget:
+            raise FixpointDiverged(
+                f"block {node:#x} revisited {visits[node]} times; "
+                "transfer function is not monotone"
+            )
+        in_fact = facts.get(node)
+        if in_fact is None:
+            continue
+        out_fact = transfer(node, in_fact)
+        for sink in out_edges.get(node, ()):
+            propagated = edge(node, sink, out_fact) if edge else out_fact
+            current = facts.get(sink)
+            merged = propagated if current is None else join(current, propagated)
+            if merged != current:
+                facts[sink] = merged
+                if sink not in queued:
+                    worklist.append(sink)
+                    queued.add(sink)
+    return facts

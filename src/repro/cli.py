@@ -11,6 +11,7 @@ Subcommands::
     redfat profile  prog.melf -o allow.lst [--args N ...]
     redfat run      prog.melf [--args N ...] [--runtime glibc|redfat]
                     [--mode abort|log] [--metrics out.json]
+    redfat analyze  prog.melf [--sites] [--metrics out.json]
     redfat disasm   prog.melf
 
 Binaries are the library's on-disk images; ``harden`` consumes and
@@ -146,6 +147,17 @@ def _cmd_run(arguments) -> int:
     return result.status
 
 
+def _cmd_analyze(arguments) -> int:
+    from repro.analysis.dump import analyze_target, render_dataflow
+
+    telemetry = _make_metrics_hub(arguments, kind="analyze")
+    info = analyze_target(arguments.binary, telemetry=telemetry)
+    for line in render_dataflow(info, sites=arguments.sites):
+        print(line)
+    _flush_metrics(telemetry, arguments)
+    return 0
+
+
 def _cmd_disasm(arguments) -> int:
     binary = Binary.load(arguments.binary)
     for segment in binary.text_segments():
@@ -210,6 +222,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="OUT.json",
         help="export the VM telemetry report (instructions, checks, fuel)")
     run_cmd.set_defaults(handler=_cmd_run)
+
+    analyze_cmd = commands.add_parser(
+        "analyze", help="print per-block dataflow facts (CFG edges, "
+                        "provenance, liveness, dominators)")
+    analyze_cmd.add_argument("binary")
+    analyze_cmd.add_argument(
+        "--sites", action="store_true",
+        help="classify every memory operand (checked vs eliminated)")
+    analyze_cmd.add_argument(
+        "--metrics", metavar="OUT.json",
+        help="export the analysis telemetry (dataflow span, block counts)")
+    analyze_cmd.set_defaults(handler=_cmd_analyze)
 
     disasm_cmd = commands.add_parser("disasm", help="disassemble text segments")
     disasm_cmd.add_argument("binary")

@@ -13,6 +13,15 @@ provably cannot reach the low-fat heap:
 Operands with an index register always survive elimination: the index is
 unbounded and could carry an access anywhere (exactly the attacker-
 controlled non-incremental case).
+
+On top of the syntactic rule, two flow-sensitive elimination passes run
+when a :class:`~repro.analysis.engine.DataflowInfo` bundle is supplied:
+provenance-based elimination (``options.flow_elim``) drops operands whose
+base register provably derives from a non-heap anchor, and
+dominated-redundancy removal (``options.dominated_elim``) drops checks an
+identical dominating check already performs.  Both count separately from
+the syntactic rule (``eliminated_provenance`` / ``eliminated_dominated``)
+so Table 1 can attribute the wins.
 """
 
 from __future__ import annotations
@@ -64,6 +73,13 @@ class AnalysisStats:
     memory_operands: int = 0
     skipped_reads: int = 0
     eliminated: int = 0
+    #: Checks dropped by the flow-sensitive provenance analysis — sites
+    #: the syntactic rule keeps but whose base register provably derives
+    #: from a non-heap anchor.
+    eliminated_provenance: int = 0
+    #: Checks dropped because an identical dominating check (no
+    #: intervening clobber/call) already performs them.
+    eliminated_dominated: int = 0
     candidates: int = 0
     #: Sites that fell from lowfat+redzone to redzone-only because full
     #: check generation failed (the graceful-degradation ladder).
@@ -71,6 +87,12 @@ class AnalysisStats:
     #: Sites left entirely uninstrumented after the ladder bottomed out
     #: (generation and encoding both failed under ``keep_going``).
     quarantined_sites: int = 0
+    #: Save/restore pairs (registers + flags) the global liveness analysis
+    #: avoided beyond what the block-local rule would have saved.
+    liveness_spills_avoided: int = 0
+    #: 1 when the dataflow analyses failed and the pipeline reverted to
+    #: the syntactic/block-local rules for this run.
+    analysis_fallbacks: int = 0
 
     def as_dict(self) -> "dict[str, int]":
         """The common stats protocol (telemetry export / ``--metrics``)."""
@@ -78,9 +100,21 @@ class AnalysisStats:
             "memory_operands": self.memory_operands,
             "skipped_reads": self.skipped_reads,
             "eliminated": self.eliminated,
+            "eliminated_provenance": self.eliminated_provenance,
+            "eliminated_dominated": self.eliminated_dominated,
             "candidates": self.candidates,
             "degraded_sites": self.degraded_sites,
             "quarantined_sites": self.quarantined_sites,
+            "liveness_spills_avoided": self.liveness_spills_avoided,
+            "analysis_fallbacks": self.analysis_fallbacks,
+        }
+
+    def elimination_reasons(self) -> "dict[str, int]":
+        """Elimination counts keyed by the rule that justified them."""
+        return {
+            "syntactic": self.eliminated,
+            "provenance": self.eliminated_provenance,
+            "dominated": self.eliminated_dominated,
         }
 
 
@@ -93,13 +127,34 @@ def can_eliminate(mem: Mem) -> bool:
     return mem.base in (RSP, Register.RIP)
 
 
+def _provenance_eliminable(dataflow, instruction: Instruction, mem: Mem) -> bool:
+    """Does the provenance analysis justify dropping this site's check?"""
+    from repro.analysis import provenance
+
+    facts = dataflow.facts_before(instruction.address)
+    if facts is None:
+        return False
+    return provenance.operand_provenance(facts, mem) is not None
+
+
 def find_candidate_sites(
     control_flow: ControlFlowInfo,
     options: RedFatOptions,
+    dataflow=None,
 ) -> "tuple[List[CheckSite], AnalysisStats]":
-    """Scan decoded text for instrumentable accesses under *options*."""
+    """Scan decoded text for instrumentable accesses under *options*.
+
+    *dataflow* is an optional :class:`~repro.analysis.engine.DataflowInfo`
+    enabling the flow-sensitive passes; without it (or with a fallback
+    bundle) only the syntactic rule applies.
+    """
     sites: List[CheckSite] = []
     stats = AnalysisStats()
+    if dataflow is not None and dataflow.fallback:
+        stats.analysis_fallbacks = 1
+    use_flow = (
+        options.flow_elim and dataflow is not None and not dataflow.fallback
+    )
     for instruction in control_flow.instructions:
         access = instruction.memory_access()
         if access is None:
@@ -112,6 +167,14 @@ def find_candidate_sites(
         if options.elim and can_eliminate(mem):
             stats.eliminated += 1
             continue
+        if use_flow and _provenance_eliminable(dataflow, instruction, mem):
+            stats.eliminated_provenance += 1
+            continue
         sites.append(CheckSite(instruction, mem, is_read, is_write, width))
+    if options.dominated_elim and dataflow is not None:
+        redundant = dataflow.dominated_redundant(sites)
+        if redundant:
+            sites = [site for site in sites if site.address not in redundant]
+            stats.eliminated_dominated = len(redundant)
     stats.candidates = len(sites)
     return sites, stats

@@ -14,10 +14,13 @@ from repro.core.allowlist import AllowList
 #: optimized configuration under two names (the paper uses both).
 PRESETS: Dict[str, Dict[str, object]] = {
     "unoptimized": dict(
-        elim=False, batch=False, merge=False, specialize_registers=False
+        elim=False, batch=False, merge=False, specialize_registers=False,
+        flow_elim=False, dominated_elim=False, global_liveness=False,
     ),
-    "+elim": dict(batch=False, merge=False, specialize_registers=False),
-    "+batch": dict(merge=False, specialize_registers=False),
+    "+elim": dict(batch=False, merge=False, specialize_registers=False,
+                  global_liveness=False),
+    "+batch": dict(merge=False, specialize_registers=False,
+                   global_liveness=False),
     "+merge": {},
     "fully": {},
     "-size": dict(size_hardening=False),
@@ -49,6 +52,17 @@ class RedFatOptions:
     #: low-fat heap (paper §6).
     elim: bool = True
 
+    #: Flow-sensitive check elimination: drop checks whose operand's base
+    #: register provably derives from a non-heap anchor (stack/RIP/
+    #: absolute) per the pointer-provenance dataflow analysis.  A strict
+    #: superset of the syntactic ``elim`` rule; counted separately
+    #: (``checks.eliminated_provenance``).
+    flow_elim: bool = True
+
+    #: Dominated-redundancy removal: drop a check dominated by an
+    #: identical kept check with no intervening operand clobber or call.
+    dominated_elim: bool = True
+
     #: Check batching: one trampoline per reorderable group (paper §6).
     batch: bool = True
 
@@ -75,6 +89,12 @@ class RedFatOptions:
     #: Clobbered-register/flags specialization of trampolines (paper §6,
     #: "additional low-level optimizations").
     specialize_registers: bool = True
+
+    #: Drive specialization with the global (inter-block) liveness
+    #: analysis instead of the block-local everything-live-at-boundary
+    #: rule.  Only meaningful with ``specialize_registers``; the saves it
+    #: adds over the local rule are counted as ``liveness.spills_avoided``.
+    global_liveness: bool = True
 
     #: Keep instrumenting when a site exhausts the protection ladder
     #: (lowfat+redzone -> redzone -> none): quarantine the site and

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis import analyze_control_flow
 from repro.errors import InstrumentationError
 from repro.faults.injector import fault_point
 from repro.binfmt.binary import Binary
@@ -150,8 +151,14 @@ class RedFat:
         tele = self.telemetry
         with tele.span("instrument", profile=options.profile_mode):
             control_flow = recover_control_flow(binary, telemetry=tele)
+            dataflow = None
+            if (options.flow_elim or options.dominated_elim
+                    or options.global_liveness):
+                dataflow = analyze_control_flow(control_flow, telemetry=tele)
             with tele.span("analysis"):
-                sites, stats = find_candidate_sites(control_flow, options)
+                sites, stats = find_candidate_sites(
+                    control_flow, options, dataflow=dataflow
+                )
             with tele.span("batching"):
                 groups = build_groups(control_flow, sites, options)
             # Pre-seed the Table-1 counters so even a site-free binary
@@ -159,6 +166,11 @@ class RedFat:
             tele.count("checks.inserted", 0)
             tele.count("checks.merged", 0)
             tele.count("checks.eliminated", stats.eliminated)
+            tele.count("checks.eliminated_provenance",
+                       stats.eliminated_provenance)
+            tele.count("checks.eliminated_dominated",
+                       stats.eliminated_dominated)
+            tele.count("liveness.spills_avoided", 0)
             tele.count("checks.batched",
                        sum(len(group) - 1 for group in groups))
             tele.count("analysis.memory_operands", stats.memory_operands)
@@ -196,7 +208,7 @@ class RedFat:
                     else:
                         items = self._generate_group(
                             control_flow, group, binary.is_pic, protection,
-                            stats, quarantine,
+                            stats, quarantine, dataflow,
                         )
                         if items is None:
                             continue  # quarantined: no patch request at all
@@ -231,7 +243,8 @@ class RedFat:
     # -- internals ----------------------------------------------------------
 
     def _generate_group(
-        self, control_flow, group, pic: bool, protection, stats, quarantine
+        self, control_flow, group, pic: bool, protection, stats, quarantine,
+        dataflow=None,
     ):
         """Generate one group's check items, degrading on failure.
 
@@ -246,14 +259,14 @@ class RedFat:
         try:
             ranges = merge_group(group, options)
             items = self._generate_items(
-                control_flow, group, ranges, pic, options
+                control_flow, group, ranges, pic, options, stats, dataflow
             )
         except InstrumentationError:
             degraded = options.with_(lowfat=False)
             try:
                 ranges = merge_group(group, degraded)
                 items = self._generate_items(
-                    control_flow, group, ranges, pic, degraded
+                    control_flow, group, ranges, pic, degraded, stats, dataflow
                 )
             except InstrumentationError as secondary:
                 if not options.keep_going:
@@ -280,7 +293,8 @@ class RedFat:
         tele.count("checks.merged", len(group.sites) - len(ranges))
         return items
 
-    def _generate_items(self, control_flow, group, ranges, pic: bool, options=None):
+    def _generate_items(self, control_flow, group, ranges, pic: bool,
+                        options=None, stats=None, dataflow=None):
         options = options or self.options
         head = group.head_address
         block = control_flow.block_of[head]
@@ -288,12 +302,23 @@ class RedFat:
             i for i, instruction in enumerate(block.instructions)
             if instruction.address == head
         )
+        local_dead: frozenset = frozenset()
+        local_flags_dead = False
         if options.specialize_registers:
-            dead = dead_registers_after(block.instructions, index)
-            flags_dead = flags_dead_after(block.instructions, index)
-        else:
-            dead = frozenset()
-            flags_dead = False
+            local_dead = dead_registers_after(block.instructions, index)
+            local_flags_dead = flags_dead_after(block.instructions, index)
+        dead = local_dead
+        flags_dead = local_flags_dead
+        use_global = (
+            options.specialize_registers and options.global_liveness
+            and dataflow is not None
+        )
+        if use_global:
+            global_dead = dataflow.dead_registers_after(block, index)
+            if global_dead is not None:
+                dead = dead | global_dead
+            if dataflow.flags_dead_after(block, index):
+                flags_dead = True
         if fault_point("checkgen.scratch"):
             raise InstrumentationError(
                 f"site {head:#x}: injected scratch-register exhaustion"
@@ -305,6 +330,18 @@ class RedFat:
         except ValueError as error:
             raise InstrumentationError(f"site {head:#x}: {error}") from error
         save_registers = [register for register in scratch if register not in dead]
+        if use_global and stats is not None:
+            # Save/restore pairs the block-local rule would have emitted
+            # for the same scratch set but the global live-out proves dead.
+            avoided = sum(
+                1 for register in scratch
+                if register not in local_dead and register in dead
+            )
+            if flags_dead and not local_flags_dead:
+                avoided += 1
+            if avoided:
+                stats.liveness_spills_avoided += avoided
+                self.telemetry.count("liveness.spills_avoided", avoided)
         context = CheckContext(
             options=options,
             scratch=scratch,

@@ -103,6 +103,9 @@ class FaultRunRecord:
     degraded_sites: int = 0
     quarantined_sites: int = 0
     output_mismatch: bool = False
+    #: The dataflow analyses failed (``analysis.*`` fault points) and the
+    #: pipeline reverted to syntactic elimination + block-local liveness.
+    analysis_fallback: bool = False
     #: The run's telemetry hub absorbed a sink/export fault and kept
     #: going with partial data (the accounted survival of the
     #: ``telemetry.*`` fault points).
@@ -221,6 +224,11 @@ def run_one(
                     f"{harden.stats.degraded_sites} degraded, "
                     f"{harden.stats.quarantined_sites} quarantined"
                 )
+            elif harden.stats.analysis_fallbacks:
+                # Corrupted/diverged dataflow facts: the run kept its
+                # syntactic coverage but lost the flow-sensitive passes.
+                record.outcome = DEGRADED
+                record.detail = "dataflow analysis fell back to syntactic rules"
             elif tele.degraded:
                 record.outcome = DEGRADED
                 record.detail = f"telemetry: {tele.degraded_reason}"
@@ -229,6 +237,7 @@ def run_one(
     if harden is not None:
         record.degraded_sites = harden.stats.degraded_sites
         record.quarantined_sites = harden.stats.quarantined_sites
+        record.analysis_fallback = bool(harden.stats.analysis_fallbacks)
     return record
 
 

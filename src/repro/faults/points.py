@@ -93,6 +93,18 @@ register(
     sticky=True,
 )
 register(
+    "analysis.fixpoint",
+    "force the dataflow worklist solver to report divergence "
+    "(analysis/solver.py) — the pipeline must fall back to syntactic "
+    "elimination and block-local liveness, counted as a DEGRADED run",
+)
+register(
+    "analysis.facts",
+    "corrupt one block's provenance solution after the fixpoint "
+    "converges (analysis/engine.py) — validation must reject the facts "
+    "and degrade rather than let a bogus lattice value eliminate a check",
+)
+register(
     "telemetry.sink",
     "corrupt the telemetry event/span sink (telemetry/hub.py) — the hub "
     "must degrade (stop recording, count drops, flag itself) instead of "

@@ -24,7 +24,7 @@ from repro.isa.opcodes import (
     Opcode,
 )
 from repro.isa.operands import Imm, Label, Mem, Reg
-from repro.isa.registers import RSP, Register
+from repro.isa.registers import ARG_REGS, RSP, Register
 
 
 class Instruction:
@@ -213,6 +213,12 @@ class Instruction:
             regs.add(RSP)
         if op in (Opcode.CALL, Opcode.CALLR):
             regs.add(RSP)
+        if op is Opcode.RTCALL:
+            # The runtime service consumes its arguments from the C ABI
+            # argument registers; without this, a register holding a
+            # pending malloc/free argument could be declared dead (and
+            # clobbered by a trampoline) right before the call.
+            regs.update(ARG_REGS)
         return frozenset(regs)
 
     def regs_written(self) -> frozenset:

@@ -21,7 +21,7 @@ change between check and access), so batching-safe blocks stop at them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.binfmt.binary import Binary
 from repro.isa.encoding import decode_all
@@ -58,6 +58,8 @@ class ControlFlowInfo:
     targets: Set[int]
     blocks: List[BasicBlock]
     block_of: Dict[int, BasicBlock]
+    #: The binary's entry point (a root for the dataflow analyses).
+    entry: Optional[int] = None
 
     def is_possible_target(self, address: int) -> bool:
         return address in self.targets
@@ -110,4 +112,6 @@ def _build_control_flow(
     blocks = [block for block in blocks if block.instructions]
     tele.count("cfg.basic_blocks", len(blocks))
     tele.count("cfg.jump_targets", len(targets))
-    return ControlFlowInfo(instructions, by_address, targets, blocks, block_of)
+    return ControlFlowInfo(
+        instructions, by_address, targets, blocks, block_of, entry=binary.entry
+    )

@@ -60,14 +60,18 @@ def flags_dead_after(block: List[Instruction], index: int) -> bool:
     the block ends in a call/ret (the ABI treats flags as clobbered).
     Ending in a plain jump is conservatively treated as flags-live.
     """
-    for instruction in block[index:]:
+    suffix = block[index:]
+    if not suffix:
+        return False
+    for instruction in suffix:
         if _reads_flags(instruction):
             return False
         if instruction.writes_flags() or instruction.opcode is Opcode.POPF:
             return True
-    if not block[index:]:
-        return False
-    last = block[-1]
+    # The suffix neither reads nor writes the flags: the verdict rests on
+    # its own terminator, not the whole block's (``block[-1]`` would look
+    # past a mid-block *index* into instructions already handled above).
+    last = suffix[-1]
     return last.opcode in (Opcode.CALL, Opcode.CALLR, Opcode.RET, Opcode.RTCALL)
 
 

@@ -18,9 +18,12 @@ from typing import Any, Dict, List, Optional
 #: Counter -> human label for the Table-1 block.
 TABLE1_COUNTERS = [
     ("checks.inserted", "checks inserted"),
-    ("checks.eliminated", "checks eliminated"),
+    ("checks.eliminated", "checks eliminated (syntactic)"),
+    ("checks.eliminated_provenance", "checks eliminated (provenance)"),
+    ("checks.eliminated_dominated", "checks eliminated (dominated)"),
     ("checks.batched", "checks batched away"),
     ("checks.merged", "checks merged away"),
+    ("liveness.spills_avoided", "spills avoided"),
 ]
 
 
@@ -64,7 +67,7 @@ def render_counters(data: Dict[str, Any]) -> List[str]:
     if table1:
         lines.append("Table-1 counters:")
         for label, value in table1:
-            lines.append(f"  {label:<22s} {value:>10}")
+            lines.append(f"  {label:<30s} {value:>10}")
     shown = {name for name, _ in TABLE1_COUNTERS}
     rest = sorted(name for name in counters if name not in shown)
     if rest:

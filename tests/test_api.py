@@ -127,7 +127,8 @@ def test_profile_produces_allowlist(tmp_path):
 
 def test_preset_matches_explicit_construction():
     assert RedFatOptions.preset("unoptimized") == RedFatOptions(
-        elim=False, batch=False, merge=False, specialize_registers=False
+        elim=False, batch=False, merge=False, specialize_registers=False,
+        flow_elim=False, dominated_elim=False, global_liveness=False,
     )
     assert RedFatOptions.preset("fully") == RedFatOptions()
     assert RedFatOptions.preset("+merge") == RedFatOptions()

@@ -117,6 +117,24 @@ class TestRegUsage:
         block = self.block("mov %rax, (%rbx)\nret")
         assert flags_dead_after(block, 0)
 
+    def test_flags_empty_suffix_is_conservative(self):
+        # index == len(block): nothing executes after the site, so there
+        # is no terminator to justify clobbering the flags.
+        block = self.block("mov %rax, (%rbx)\nret")
+        assert flags_dead_after(block, len(block)) is False
+        assert flags_dead_after([], 0) is False
+
+    def test_flags_mid_block_index_uses_suffix_terminator(self):
+        block = self.block("mov %rax, (%rbx)\nmov %rbx, $2\njmp away")
+        # The suffix ends in a plain jump, not the ABI boundary: live.
+        assert flags_dead_after(block, 1) is False
+        ending = self.block("mov %rax, (%rbx)\nret")
+        assert flags_dead_after(ending, 1) is True  # suffix is just ret
+
+    def test_dead_registers_empty_suffix(self):
+        block = self.block("mov %rax, $5\nret")
+        assert dead_registers_after(block, len(block)) == frozenset()
+
 
 class TestRewriterBasics:
     def test_patch_long_instruction_in_place(self):
