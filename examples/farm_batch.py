@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Hardening farm: batch instrumentation with a content-addressed cache.
+
+Hardening a fleet of binaries one ``api.harden`` call at a time wastes
+work twice over: identical inputs are re-instrumented from scratch, and
+independent inputs run one after another.  The farm fixes both:
+
+1. every artifact is cached under ``sha256(binary bytes)`` + the
+   canonical options hash, so byte-identical work happens once — across
+   batches, and across processes when the cache lives on disk;
+2. within a batch, duplicate jobs collapse onto one leader (dedup);
+3. the rest fan out over a crash-isolated worker pool (``--jobs``-style
+   parallelism with per-job timeouts and one retry);
+4. results are byte-identical to serial ``api.harden`` — caching and
+   parallelism are pure mechanism, never policy.
+
+Run:  python examples/farm_batch.py
+"""
+
+import tempfile
+
+import repro.api as redfat
+from repro.cc import compile_source
+from repro.farm import Farm
+from repro.telemetry import Telemetry
+
+# A little fleet: three distinct services plus one byte-identical twin
+# (think: the same library shipped in two images).
+TEMPLATE = """
+int main() {
+    int *buffer = malloc(%d);
+    for (int i = 0; i < 4; i = i + 1) buffer[i] = i + arg(0);
+    print(buffer[0] + buffer[3]);
+    free(buffer);
+    return 0;
+}
+"""
+FLEET = [("alpha", 32), ("beta", 48), ("gamma", 64), ("alpha-copy", 32)]
+
+
+def main() -> None:
+    print("== build the fleet ==")
+    programs = []
+    for name, size in FLEET:
+        program = compile_source(TEMPLATE % size)
+        programs.append(program)
+        text = program.binary.segment(".text")
+        print(f"  {name:10s} {len(text.data)} bytes of code")
+
+    labels = [name for name, _ in FLEET]
+    with tempfile.TemporaryDirectory() as cache_dir:
+        telemetry = Telemetry(meta={"kind": "farm", "example": "farm_batch"})
+
+        print("\n== batch 1: cold cache, 2 workers ==")
+        with Farm(jobs=2, cache_dir=cache_dir, telemetry=telemetry) as farm:
+            report = farm.harden_many(programs, labels=labels)
+            for outcome in report.outcomes:
+                print(f"  {outcome.label:10s} source={outcome.source:6s} "
+                      f"{len(outcome.result.rewrite.patched)} patches")
+            stats = report.as_dict()
+            print(f"  cache: {stats['cache']['hits']} hits, "
+                  f"{stats['cache']['stores']} stores; "
+                  f"dedup: {stats['stats']['dedup']}")
+            assert report.stats.dedup == 1  # alpha-copy rode alpha's job
+
+            print("\n== batch 2: same farm, warm cache ==")
+            again = farm.harden_many(programs, labels=labels)
+            hits = sum(1 for outcome in again.outcomes if outcome.cached)
+            print(f"  {hits}/{len(again.outcomes)} jobs served from cache "
+                  "(zero re-instrumentation)")
+            assert hits == len(again.outcomes)
+
+        print("\n== a fresh process: the disk tier remembers ==")
+        with Farm(jobs=0, cache_dir=cache_dir) as rehydrated:
+            third = rehydrated.harden_many(programs, labels=labels)
+        cached = sum(1 for outcome in third.outcomes if outcome.cached)
+        print(f"  {cached}/{len(third.outcomes)} artifacts rehydrated "
+              f"from {cache_dir.split('/')[-1]}/")
+
+    print("\n== the contract: farm output == serial api.harden ==")
+    serial = redfat.harden(programs[0])
+    farmed = report.outcomes[0].result
+    identical = serial.binary.to_bytes() == farmed.binary.to_bytes()
+    print(f"  byte-identical hardened binaries: {identical}")
+    assert identical
+
+    print(f"\ntelemetry: farm.cache.hits="
+          f"{telemetry.counters.get('farm.cache.hits', 0)} "
+          f"farm.dedup={telemetry.counters.get('farm.dedup', 0)} "
+          f"farm.jobs={telemetry.counters.get('farm.jobs', 0)}")
+    print("done: batch hardening costs one instrumentation per distinct "
+          "(binary, options) pair, ever.")
+
+
+if __name__ == "__main__":
+    main()

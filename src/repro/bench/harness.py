@@ -21,7 +21,8 @@ from repro.baselines.memcheck import MemcheckVM
 from repro.errors import ReproError, VMTimeoutError
 from repro.cc import CompiledProgram
 from repro.core import Profiler, RedFat, RedFatOptions
-from repro.core.redfat_tool import PROT_LOWFAT, PROT_NONE
+from repro.core.redfat_tool import HardenResult, PROT_LOWFAT, PROT_NONE
+from repro.farm.cache import ArtifactCache
 from repro.runtime.redfat import RedFatRuntime
 from repro.telemetry.hub import coerce
 from repro.workloads.registry import SpecBenchmark
@@ -52,13 +53,20 @@ def run_with_watchdog(
     thunk: Callable[[int], object],
     fuel: int,
     retry_factor: int = WATCHDOG_RETRY_FACTOR,
+    telemetry=None,
 ):
     """Call ``thunk(fuel)``; on :class:`VMTimeoutError`, retry once with
     ``fuel * retry_factor``.  A second timeout propagates — the guest is
-    hung, not slow."""
+    hung, not slow.
+
+    Each consumed retry counts as ``bench.watchdog_retries`` on
+    *telemetry* so slow-but-finishing guests show up in the metrics
+    instead of silently doubling a measurement's runtime.
+    """
     try:
         return thunk(fuel)
     except VMTimeoutError:
+        coerce(telemetry).count("bench.watchdog_retries")
         return thunk(fuel * retry_factor)
 
 
@@ -89,12 +97,36 @@ class SpecMeasurement:
     failure: str = ""
 
 
+def harden_cached(
+    binary,
+    options: RedFatOptions,
+    cache: Optional[ArtifactCache] = None,
+    telemetry=None,
+) -> HardenResult:
+    """Instrument *binary*, memoized through the farm's artifact cache.
+
+    Without a *cache* this is a plain ``RedFat(...).instrument`` call;
+    with one, byte-identical binaries under equal canonical options are
+    computed once per cache lifetime — the harness shares a cache across
+    all Table-1 columns and phases, so e.g. the profile-mode
+    instrumentation is built once per benchmark, not once per consumer.
+    """
+    if cache is None:
+        return RedFat(options, telemetry=coerce(telemetry)).instrument(binary)
+    result, _hit = cache.get_or_compute(
+        binary, options,
+        lambda: RedFat(options, telemetry=coerce(telemetry)).instrument(binary),
+    )
+    return result
+
+
 def _run_config(
     program: CompiledProgram,
     harden_result,
     args: Sequence[int],
     mode: str = "log",
     fuel: int = 2_000_000_000,
+    telemetry=None,
 ) -> Tuple[int, List[str], RedFatRuntime]:
     runtime = harden_result.create_runtime(mode=mode)
     result = run_with_watchdog(
@@ -103,6 +135,7 @@ def _run_config(
             max_instructions=budget,
         ),
         fuel,
+        telemetry=telemetry,
     )
     return result.instructions, result.output, runtime
 
@@ -111,6 +144,7 @@ def measure_memcheck(
     program: CompiledProgram,
     args: Sequence[int],
     fuel: int = 2_000_000_000,
+    telemetry=None,
 ):
     """One Memcheck run with workload inputs poked."""
     vm = MemcheckVM()
@@ -120,6 +154,7 @@ def measure_memcheck(
             setup=lambda cpu: program.poke_args(cpu, args),
         ),
         fuel,
+        telemetry=telemetry,
     )
 
 
@@ -129,6 +164,8 @@ def measure_coverage(
     ref_args: Sequence[int],
     base_options: RedFatOptions,
     fuel: int = 2_000_000_000,
+    cache: Optional[ArtifactCache] = None,
+    telemetry=None,
 ) -> float:
     """Fraction of dynamically reached sites carrying the full check.
 
@@ -136,8 +173,11 @@ def measure_coverage(
     the ref workload actually executes, then classifies each against the
     production binary's protection map (paper Table 1, coverage column).
     """
-    profile_tool = RedFat(base_options.with_(profile_mode=True, allowlist=None))
-    profile = profile_tool.instrument(program.binary.strip())
+    profile = harden_cached(
+        program.binary.strip(),
+        base_options.with_(profile_mode=True, allowlist=None),
+        cache=cache,
+    )
     executed: set = set()
 
     def callback(cpu, instruction) -> None:
@@ -153,6 +193,7 @@ def measure_coverage(
             max_instructions=budget,
         ),
         fuel,
+        telemetry=telemetry,
     )
 
     instrumented = [
@@ -172,6 +213,7 @@ def measure_spec(
     quick: bool = False,
     max_instructions: int = 50_000_000,
     telemetry=None,
+    cache: Optional[ArtifactCache] = None,
 ) -> SpecMeasurement:
     """Measure one Table 1 row.
 
@@ -183,13 +225,20 @@ def measure_spec(
     ``bench/<phase>`` span tree and its per-configuration slowdowns are
     exported as ``bench.<name>.<label>.slowdown`` gauges — the
     per-benchmark overhead breakdown of the ``--metrics`` report.
+
+    A shared farm *cache* memoizes every instrumentation of the run —
+    the profile-mode binary is built once per benchmark (the profiler
+    and the coverage phase share it) and repeated sweeps over the same
+    benchmark reuse all their artifacts.  Caching never changes the
+    measured numbers: artifacts are content-addressed on the exact
+    binary bytes and canonical options.
     """
     measurement = SpecMeasurement(name=benchmark.name)
     tele = coerce(telemetry)
     try:
         with tele.span("bench", benchmark=benchmark.name):
             _measure_spec_into(
-                measurement, benchmark, quick, max_instructions, tele
+                measurement, benchmark, quick, max_instructions, tele, cache
             )
     except ReproError as error:
         measurement.failed = True
@@ -211,6 +260,7 @@ def _measure_spec_into(
     quick: bool,
     max_instructions: int,
     tele,
+    cache: Optional[ArtifactCache] = None,
 ) -> None:
     program = benchmark.compile()
     stripped = program.binary.strip()
@@ -223,7 +273,7 @@ def _measure_spec_into(
 
     # Phase 1: allow-list from the train workload (paper §7.1 methodology).
     with tele.span("profile"):
-        profiler = Profiler(RedFatOptions())
+        profiler = Profiler(RedFatOptions(), cache=cache)
         report = profiler.profile(
             stripped,
             executions=[
@@ -233,6 +283,7 @@ def _measure_spec_into(
                         max_instructions=budget,
                     ),
                     instrumented_fuel,
+                    telemetry=tele,
                 )
             ],
         )
@@ -245,6 +296,7 @@ def _measure_spec_into(
         baseline = run_with_watchdog(
             lambda budget: program.run(args=ref_args, max_instructions=budget),
             max_instructions,
+            telemetry=tele,
         )
     measurement.baseline_instructions = baseline.instructions
 
@@ -257,6 +309,7 @@ def _measure_spec_into(
             max_instructions=budget,
         ),
         max_instructions,
+        telemetry=tele,
     )
 
     production = None
@@ -264,9 +317,10 @@ def _measure_spec_into(
     for label, make_options in CONFIG_COLUMNS:
         options = make_options(allowlist)
         with tele.span("config", label=label):
-            harden = RedFat(options).instrument(stripped)
+            harden = harden_cached(stripped, options, cache=cache)
             instructions, output, runtime = _run_config(
-                program, harden, ref_args, fuel=instrumented_fuel
+                program, harden, ref_args, fuel=instrumented_fuel,
+                telemetry=tele,
             )
         measurement.slowdowns[label] = instructions / baseline.instructions
         if output != reference.output:
@@ -281,9 +335,9 @@ def _measure_spec_into(
     # under full checking but not by the profile-hardened production
     # binary (whose reports are the genuine errors).
     with tele.span("falsepos"):
-        full = RedFat(RedFatOptions()).instrument(stripped)
+        full = harden_cached(stripped, RedFatOptions(), cache=cache)
         _, _, full_runtime = _run_config(
-            program, full, ref_args, fuel=instrumented_fuel
+            program, full, ref_args, fuel=instrumented_fuel, telemetry=tele,
         )
     full_reported = {report_.site for report_ in full_runtime.errors}
     measurement.false_positive_sites = len(full_reported - production_reported)
@@ -292,7 +346,7 @@ def _measure_spec_into(
     if not benchmark.memcheck_nr:
         with tele.span("memcheck"):
             memcheck = measure_memcheck(
-                program, ref_args, fuel=instrumented_fuel
+                program, ref_args, fuel=instrumented_fuel, telemetry=tele,
             )
         measurement.memcheck_slowdown = (
             memcheck.effective_instructions / baseline.instructions
@@ -302,5 +356,5 @@ def _measure_spec_into(
     with tele.span("coverage"):
         measurement.coverage = measure_coverage(
             program, production, ref_args, RedFatOptions(),
-            fuel=instrumented_fuel,
+            fuel=instrumented_fuel, cache=cache, telemetry=tele,
         )

@@ -102,15 +102,32 @@ def run(
     quick: bool = False,
     verbose: bool = True,
     telemetry=None,
+    use_cache: bool = True,
+    cache=None,
 ) -> Table1Result:
+    """Measure the table.
+
+    One farm :class:`~repro.farm.cache.ArtifactCache` is shared across
+    all benchmarks and measurement phases (pass *cache* to share it even
+    wider, or ``use_cache=False`` for the uncached baseline): each
+    distinct (binary bytes, options) instrumentation is computed exactly
+    once per sweep, so e.g. the profile-mode binary serves both the
+    profiler and the coverage phase.  Artifacts are content-addressed,
+    so cached and uncached sweeps produce identical tables.
+    """
     benchmarks = (
         [get_benchmark(name) for name in names] if names else SPEC_BENCHMARKS
     )
+    if cache is None and use_cache:
+        from repro.farm import ArtifactCache
+
+        cache = ArtifactCache(telemetry=telemetry)
     result = Table1Result()
     start = time.time()
     for benchmark in benchmarks:
         bench_start = time.time()
-        measurement = measure_spec(benchmark, quick=quick, telemetry=telemetry)
+        measurement = measure_spec(benchmark, quick=quick, telemetry=telemetry,
+                                   cache=cache)
         result.measurements.append(measurement)
         if verbose:
             if measurement.failed:
@@ -139,6 +156,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--metrics", metavar="OUT.json", default=None,
                         help="export the telemetry report (per-benchmark "
                              "spans and slowdown gauges)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the shared farm artifact cache "
+                             "(recompute every instrumentation)")
     arguments = parser.parse_args(argv)
     telemetry = None
     if arguments.metrics:
@@ -146,7 +166,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         telemetry = Telemetry(meta={"kind": "bench", "table": "table1"})
     result = run(names=arguments.bench, quick=arguments.quick,
-                 telemetry=telemetry)
+                 telemetry=telemetry, use_cache=not arguments.no_cache)
     print(result.render())
     if telemetry is not None and telemetry.write_json(arguments.metrics):
         print(f"wrote {arguments.metrics} (telemetry)", file=sys.stderr)

@@ -8,6 +8,8 @@ Subcommands::
                     [--preset NAME] [--metrics out.json]
                     [--no-lowfat|--no-elim|--no-batch|--no-merge]
                     [--no-size] [--no-reads]
+    redfat farm     prog1.c prog2.melf ... [--jobs N] [--cache-dir DIR]
+                    [--output-dir DIR] [--preset NAME] [--metrics out.json]
     redfat profile  prog.melf -o allow.lst [--args N ...]
     redfat run      prog.melf [--args N ...] [--runtime glibc|redfat]
                     [--mode abort|log] [--metrics out.json]
@@ -109,6 +111,56 @@ def _cmd_harden(arguments) -> int:
     return 0
 
 
+def _cmd_farm(arguments) -> int:
+    from pathlib import Path
+
+    from repro.farm import Farm
+
+    telemetry = None
+    if arguments.metrics:
+        telemetry = Telemetry(meta={
+            "kind": "farm",
+            "inputs": len(arguments.inputs),
+            "command": arguments.command,
+        })
+    options = RedFatOptions.preset(arguments.preset) if arguments.preset \
+        else RedFatOptions()
+    options = options.with_(keep_going=arguments.keep_going)
+    farm = Farm(jobs=arguments.jobs, cache_dir=arguments.cache_dir,
+                telemetry=telemetry)
+    try:
+        report = farm.harden_many(arguments.inputs, options=options)
+    finally:
+        farm.close()
+    output_dir = Path(arguments.output_dir) if arguments.output_dir else None
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            print(f"FAILED  {outcome.label}: {outcome.error}", file=sys.stderr)
+            continue
+        stem = Path(outcome.label).stem or "target"
+        destination = (
+            (output_dir or Path(outcome.label).parent) / f"{stem}.hard.melf"
+        )
+        outcome.result.binary.save(str(destination))
+        note = {"cache": "cached", "dedup": "dedup"}.get(outcome.source, "")
+        retried = f" ({outcome.retries} retry)" if outcome.retries else ""
+        print(f"wrote {destination}: "
+              f"{len(outcome.result.rewrite.patched)} patches"
+              + (f" [{note}]" if note else "") + retried)
+    cache = report.cache_stats
+    print(f"farm: {report.stats.completed} hardened "
+          f"({cache.get('hits', 0)} cache hits, {report.stats.dedup} dedup, "
+          f"{report.stats.retries} retries, "
+          f"{report.stats.serial_fallbacks} serial fallbacks, "
+          f"{report.stats.failed} failed) in {report.elapsed_s:.1f}s")
+    if telemetry is not None:
+        telemetry.record_stats("farm", report)
+        _flush_metrics(telemetry, arguments)
+    return 1 if report.failed() else 0
+
+
 def _cmd_profile(arguments) -> int:
     report = api.profile(
         arguments.binary, args=arguments.args, output=arguments.output
@@ -201,6 +253,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="OUT.json",
         help="export the telemetry report (phase spans, Table-1 counters)")
     harden_cmd.set_defaults(handler=_cmd_harden)
+
+    farm_cmd = commands.add_parser(
+        "farm", help="harden a batch of binaries in parallel with the "
+                     "content-addressed artifact cache")
+    farm_cmd.add_argument("inputs", nargs="+",
+                          help="binary images or .c MiniC sources")
+    farm_cmd.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (0 = in-process serial; >= 2 fans out)")
+    farm_cmd.add_argument(
+        "--cache-dir",
+        help="persist artifacts here so separate invocations share work")
+    farm_cmd.add_argument(
+        "--output-dir",
+        help="write <stem>.hard.melf files here (default: next to inputs)")
+    farm_cmd.add_argument(
+        "--preset", choices=RedFatOptions.preset_names(),
+        help="named configuration applied to every job")
+    farm_cmd.add_argument("--keep-going", action="store_true")
+    farm_cmd.add_argument(
+        "--metrics", metavar="OUT.json",
+        help="export the farm telemetry (cache hits/misses, retries, "
+             "worker counters)")
+    farm_cmd.set_defaults(handler=_cmd_farm)
 
     profile_cmd = commands.add_parser("profile",
                                       help="generate an allow-list (Fig. 5)")

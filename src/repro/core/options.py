@@ -2,11 +2,19 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 import warnings
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Optional
 
 from repro.core.allowlist import AllowList
+
+#: Version stamp folded into :meth:`RedFatOptions.cache_key`.  Bump it
+#: whenever the *meaning* of an existing field changes (a new field with
+#: a default changes the key by itself): stale farm-cache artifacts from
+#: an older pipeline must never be served for a newer one.
+OPTIONS_SCHEMA_VERSION = 1
 
 #: The named preset registry (see :meth:`RedFatOptions.preset`).  Keys
 #: are the Table-1 column labels; values are the field overrides applied
@@ -162,6 +170,39 @@ class RedFatOptions:
 
     def with_(self, **overrides) -> "RedFatOptions":
         return replace(self, **overrides)
+
+    # -- canonical serialization (the farm cache-key contract) -------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical, sorted, JSON-ready form of every option field.
+
+        The allow-list collapses to its sorted site addresses (two equal
+        lists serialize identically regardless of insertion order); every
+        other field is a JSON scalar already.  Iterating the dataclass
+        fields means a newly added option automatically participates —
+        forgetting it could silently serve stale cache artifacts.
+        """
+        payload: Dict[str, object] = {}
+        for option in fields(self):
+            value = getattr(self, option.name)
+            if isinstance(value, AllowList):
+                value = sorted(value)
+            payload[option.name] = value
+        return {name: payload[name] for name in sorted(payload)}
+
+    def cache_key(self) -> str:
+        """Stable content hash of this configuration.
+
+        Two equal option objects always hash identically; flipping any
+        flag (or the allow-list contents, or
+        :data:`OPTIONS_SCHEMA_VERSION`) changes the key.  Combined with
+        the input binary's hash this keys the farm's artifact cache.
+        """
+        document = json.dumps(
+            {"schema": OPTIONS_SCHEMA_VERSION, "options": self.as_dict()},
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(document.encode("utf-8")).hexdigest()
 
     def lowfat_allowed(self, site_address: int) -> bool:
         """Should *site_address* receive the (LowFat) component?"""

@@ -67,9 +67,17 @@ class Profiler:
         self,
         options: Optional[RedFatOptions] = None,
         telemetry=None,
+        cache=None,
     ) -> None:
+        """*cache* is an optional farm artifact cache (anything with the
+        ``get_or_compute(binary, options, compute)`` protocol of
+        :class:`repro.farm.cache.ArtifactCache`, duck-typed so this core
+        module never imports the farm): the profile-mode instrumentation
+        is memoized there, letting the bench harness build it once per
+        benchmark and share it with the coverage phase."""
         self.options = options or RedFatOptions()
         self.telemetry = telemetry
+        self.cache = cache
 
     # -- phase 1 -------------------------------------------------------------
 
@@ -79,10 +87,15 @@ class Profiler:
         executions: Optional[Sequence[Execution]] = None,
     ) -> ProfileReport:
         """Run the profile binary over the test suite; returns the report."""
-        profile_tool = RedFat(
-            self.options.with_(profile_mode=True), telemetry=self.telemetry
-        )
-        harden = profile_tool.instrument(binary)
+        profile_options = self.options.with_(profile_mode=True)
+        profile_tool = RedFat(profile_options, telemetry=self.telemetry)
+        if self.cache is not None:
+            harden, _hit = self.cache.get_or_compute(
+                binary, profile_options,
+                lambda: profile_tool.instrument(binary),
+            )
+        else:
+            harden = profile_tool.instrument(binary)
         report = ProfileReport(
             eligible_sites=[
                 site.address

@@ -1,0 +1,288 @@
+"""Content-addressed artifact cache: never harden the same input twice.
+
+An *artifact* is one serialized :class:`~repro.core.redfat_tool.HardenResult`
+framed with a checksum::
+
+    MAGIC(4) | sha256(payload)(32) | payload (pickle)
+
+The cache key is content-addressed — ``sha256(binary bytes)`` joined with
+the canonical :meth:`RedFatOptions.cache_key` — so byte-identical inputs
+under equal configurations share one artifact, and any flag flip or
+binary edit misses.  Entries live in an in-memory LRU bounded by a byte
+budget, optionally mirrored to a ``cache_dir`` on disk so separate farm
+invocations share work.
+
+Integrity is checked on every load: a frame whose checksum does not
+match (bit rot, a torn write, the ``farm.cache`` fault point flipping a
+byte) is *rejected* — dropped from the store and counted — and the
+lookup reports a miss so the job simply recomputes.  A corrupt frame is
+never unpickled.  Stores are validated the same way (write, read back,
+verify) so a poisoned artifact cannot enter the store either.
+
+Every transition lands in telemetry: ``farm.cache.hits`` / ``.misses`` /
+``.stores`` / ``.evictions`` / ``.rejects`` / ``.oversize``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.binfmt.binary import Binary
+from repro.core.options import RedFatOptions
+from repro.core.redfat_tool import HardenResult
+from repro.faults.injector import fault_point, payload_rng
+from repro.telemetry.hub import Telemetry, coerce
+
+#: Frame magic ("RedFat Artifact, version 1").
+MAGIC = b"RFA1"
+
+#: sha256 digest size in the frame header.
+DIGEST_SIZE = 32
+
+#: Default in-memory byte budget (plenty for hundreds of MiniC-scale
+#: artifacts; real deployments raise it via ``max_bytes``).
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class CacheStats:
+    """Local mirror of the cache counters (telemetry-independent asserts)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    #: Checksum-rejected frames (corruption detected and contained).
+    rejects: int = 0
+    #: Artifacts skipped because one frame exceeds the whole byte budget.
+    oversize: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "rejects": self.rejects,
+            "oversize": self.oversize,
+        }
+
+
+def content_key(binary: Union[Binary, bytes], options: RedFatOptions) -> str:
+    """The cache key for hardening *binary* under *options*."""
+    blob = binary.to_bytes() if isinstance(binary, Binary) else binary
+    return f"{hashlib.sha256(blob).hexdigest()}-{options.cache_key()}"
+
+
+def encode_frame(result: HardenResult) -> bytes:
+    """Serialize *result* into a checksummed artifact frame."""
+    payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    return MAGIC + hashlib.sha256(payload).digest() + payload
+
+
+def decode_frame(frame: bytes) -> Optional[HardenResult]:
+    """Deserialize an artifact frame; None when integrity fails.
+
+    The checksum gate runs *before* unpickling, so corrupt bytes are
+    never fed to the deserializer.
+    """
+    header = len(MAGIC) + DIGEST_SIZE
+    if len(frame) < header or frame[: len(MAGIC)] != MAGIC:
+        return None
+    digest = frame[len(MAGIC):header]
+    payload = frame[header:]
+    if hashlib.sha256(payload).digest() != digest:
+        return None
+    try:
+        artifact = pickle.loads(payload)
+    except Exception:
+        # A checksum-valid frame that still fails to unpickle means the
+        # artifact was written by an incompatible pipeline; treat it as
+        # corrupt rather than propagating a deserialization error.
+        return None
+    return artifact if isinstance(artifact, HardenResult) else None
+
+
+def _flip_one_byte(frame: bytes) -> bytes:
+    """Deterministic single-byte corruption (the ``farm.cache`` payload)."""
+    rng = payload_rng()
+    index = rng.randrange(len(frame)) if frame else 0
+    if not frame:
+        return frame
+    return frame[:index] + bytes([frame[index] ^ (1 << rng.randrange(8))]) \
+        + frame[index + 1:]
+
+
+class ArtifactCache:
+    """LRU + byte-budget cache of hardened artifacts, keyed on content."""
+
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        cache_dir: Optional[Union[str, Path]] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.max_bytes = max_bytes
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.telemetry = coerce(telemetry)
+        self.stats = CacheStats()
+        #: key -> frame bytes, in LRU order (last = most recent).
+        self._frames: "OrderedDict[str, bytes]" = OrderedDict()
+        self._bytes = 0
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._frames or self._disk_path(key) is not None
+
+    @property
+    def used_bytes(self) -> int:
+        return self._bytes
+
+    # -- the lookup/store protocol -----------------------------------------
+
+    def get(self, key: str) -> Optional[HardenResult]:
+        """The artifact for *key*, or None (miss or rejected corruption)."""
+        frame = self._frames.get(key)
+        source = "memory"
+        if frame is None:
+            frame = self._disk_read(key)
+            source = "disk"
+        if frame is None:
+            self.stats.misses += 1
+            self.telemetry.count("farm.cache.misses")
+            return None
+        if fault_point("farm.cache"):
+            frame = _flip_one_byte(frame)
+        result = decode_frame(frame)
+        if result is None:
+            self._reject(key, source)
+            self.stats.misses += 1
+            self.telemetry.count("farm.cache.misses")
+            return None
+        if source == "memory":
+            self._frames.move_to_end(key)
+        else:
+            self._admit(key, frame)
+        self.stats.hits += 1
+        self.telemetry.count("farm.cache.hits")
+        return result
+
+    def put(self, key: str, result: HardenResult) -> bool:
+        """Store *result* under *key*; False when the store was refused.
+
+        The freshly built frame is validated before admission (the
+        ``farm.cache`` fault point may corrupt it in flight), so a bad
+        frame costs a rejection counter, never a poisoned future hit.
+        """
+        frame = encode_frame(result)
+        if fault_point("farm.cache"):
+            frame = _flip_one_byte(frame)
+        if decode_frame(frame) is None:
+            self.stats.rejects += 1
+            self.telemetry.count("farm.cache.rejects")
+            self.telemetry.event("cache_reject", key=key, source="store")
+            return False
+        if len(frame) > self.max_bytes:
+            self.stats.oversize += 1
+            self.telemetry.count("farm.cache.oversize")
+            return False
+        self._admit(key, frame)
+        self._disk_write(key, frame)
+        self.stats.stores += 1
+        self.telemetry.count("farm.cache.stores")
+        return True
+
+    def get_or_compute(
+        self,
+        binary: Union[Binary, bytes],
+        options: RedFatOptions,
+        compute: Callable[[], HardenResult],
+    ) -> Tuple[HardenResult, bool]:
+        """``(artifact, hit)`` for *binary* under *options*.
+
+        On a miss, *compute* runs once and its result is stored for the
+        next caller.
+        """
+        key = content_key(binary, options)
+        cached = self.get(key)
+        if cached is not None:
+            return cached, True
+        result = compute()
+        self.put(key, result)
+        return result, False
+
+    def clear(self) -> None:
+        self._frames.clear()
+        self._bytes = 0
+
+    # -- internals ---------------------------------------------------------
+
+    def _admit(self, key: str, frame: bytes) -> None:
+        if key in self._frames:
+            self._bytes -= len(self._frames.pop(key))
+        self._frames[key] = frame
+        self._bytes += len(frame)
+        while self._bytes > self.max_bytes and self._frames:
+            evicted_key, evicted = self._frames.popitem(last=False)
+            self._bytes -= len(evicted)
+            self.stats.evictions += 1
+            self.telemetry.count("farm.cache.evictions")
+            self.telemetry.event("cache_evict", key=evicted_key)
+
+    def _reject(self, key: str, source: str) -> None:
+        """Drop a corrupt frame everywhere it is stored, and account it."""
+        if key in self._frames:
+            self._bytes -= len(self._frames.pop(key))
+        path = self._disk_path(key)
+        if path is not None:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.stats.rejects += 1
+        self.telemetry.count("farm.cache.rejects")
+        self.telemetry.event("cache_reject", key=key, source=source)
+
+    # -- the optional disk tier --------------------------------------------
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        path = self.cache_dir / f"{key}.artifact"
+        return path if path.exists() else None
+
+    def _disk_read(self, key: str) -> Optional[bytes]:
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def _disk_write(self, key: str, frame: bytes) -> None:
+        if self.cache_dir is None:
+            return
+        final = self.cache_dir / f"{key}.artifact"
+        partial = self.cache_dir / f".{key}.{os.getpid()}.tmp"
+        try:
+            partial.write_bytes(frame)
+            partial.replace(final)  # atomic: readers see whole frames only
+        except OSError:
+            self.telemetry.count("farm.cache.disk_errors")
+            try:
+                partial.unlink()
+            except OSError:
+                pass

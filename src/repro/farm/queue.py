@@ -1,0 +1,135 @@
+"""The farm's job queue: bounded admission with in-flight deduplication.
+
+Jobs are admitted in FIFO order up to a fixed *capacity* — the farm's
+backpressure boundary.  A full queue refuses the offer with a typed
+:class:`QueueFullError` so the scheduler drains completions before
+submitting more, instead of buffering without bound.
+
+Deduplication is keyed on the artifact content key: while a job for key
+*K* is queued or executing, a second offer for *K* does not enqueue a
+duplicate — it registers as a *follower* and receives the leader's
+result when it lands.  A batch of identical binaries therefore costs one
+hardening, not N.
+
+The ``farm.queue`` fault point models queue corruption on one admission;
+the typed :class:`QueueCorruptionError` it raises is the scheduler's cue
+to compute that job serially (degraded, accounted) rather than lose it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.core.options import RedFatOptions
+from repro.errors import ReproError
+from repro.faults.injector import fault_point
+
+
+class FarmError(ReproError):
+    """Base class for farm failures (always typed, never a naked crash)."""
+
+
+class QueueFullError(FarmError):
+    """The bounded queue refused an offer; drain completions and retry."""
+
+
+class QueueCorruptionError(FarmError):
+    """The queue lost/corrupted one admission (the ``farm.queue`` fault)."""
+
+
+@dataclass
+class HardenJob:
+    """One unit of farm work: harden these bytes under these options."""
+
+    #: Position in the submitted batch (results return in this order).
+    index: int
+    #: Human-readable name (input path, benchmark name, ...).
+    label: str
+    #: Content key — ``sha256(bytes)`` + canonical options hash.
+    key: str
+    binary_bytes: bytes
+    options: RedFatOptions
+    #: Retries consumed so far (the pool grants exactly one).
+    attempts: int = 0
+
+
+@dataclass
+class _InFlight:
+    """Per-key dedup record: the leader plus any attached followers."""
+
+    leader: HardenJob
+    followers: List[HardenJob] = field(default_factory=list)
+
+
+class JobQueue:
+    """Bounded FIFO of :class:`HardenJob` with per-key deduplication."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ready: Deque[HardenJob] = deque()
+        self._in_flight: Dict[str, _InFlight] = {}
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        """Jobs admitted and not yet completed (ready + executing)."""
+        return len(self._in_flight)
+
+    @property
+    def ready(self) -> int:
+        return len(self._ready)
+
+    def is_full(self) -> bool:
+        return len(self._in_flight) >= self.capacity
+
+    # -- admission ---------------------------------------------------------
+
+    def offer(self, job: HardenJob) -> str:
+        """Admit *job*; returns ``"queued"`` or ``"dedup"``.
+
+        Raises :class:`QueueFullError` at capacity and
+        :class:`QueueCorruptionError` when the ``farm.queue`` fault point
+        corrupts this admission.
+        """
+        if fault_point("farm.queue"):
+            raise QueueCorruptionError(
+                f"injected queue corruption admitting job {job.label!r}"
+            )
+        entry = self._in_flight.get(job.key)
+        if entry is not None:
+            entry.followers.append(job)
+            return "dedup"
+        if self.is_full():
+            raise QueueFullError(
+                f"queue at capacity ({self.capacity}); drain completions first"
+            )
+        self._in_flight[job.key] = _InFlight(leader=job)
+        self._ready.append(job)
+        return "queued"
+
+    # -- dispatch / completion ---------------------------------------------
+
+    def next_ready(self) -> Optional[HardenJob]:
+        """Pop the next job to dispatch (stays in-flight until done)."""
+        if not self._ready:
+            return None
+        return self._ready.popleft()
+
+    def requeue(self, job: HardenJob) -> None:
+        """Put a job back at the front (retry path keeps FIFO fairness)."""
+        self._ready.appendleft(job)
+
+    def complete(self, key: str) -> List[HardenJob]:
+        """Retire *key*; returns the followers owed the leader's result."""
+        entry = self._in_flight.pop(key, None)
+        return entry.followers if entry is not None else []
+
+    def drain(self) -> List[HardenJob]:
+        """Remove and return every not-yet-dispatched job (shutdown path)."""
+        pending = list(self._ready)
+        self._ready.clear()
+        return pending

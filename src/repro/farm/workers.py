@@ -1,0 +1,260 @@
+"""The farm's worker pool: crash-isolated parallel hardening.
+
+Each worker is a real OS process (``multiprocessing``) running
+:func:`harden_bytes` — reconstruct the binary from bytes, run the full
+RedFat pipeline, ship the :class:`HardenResult` back over a pipe.
+Isolation is the point: a worker segfaulting, being OOM-killed, or
+hanging takes down *one job*, never the farm.  The parent detects the
+three failure shapes distinctly:
+
+``ok`` / ``error``
+    The worker answered.  ``error`` carries the typed pipeline failure
+    as a string (the job failed, the worker lives on).
+
+``crash``
+    The pipe hit EOF without an answer — the worker process died
+    mid-job.  The parent reaps it, spawns a replacement, and reports the
+    job crashed so the scheduler can retry it once.
+
+``timeout``
+    The job's deadline passed.  The parent kills the worker (the only
+    way to stop a stuck compute), spawns a replacement, and reports the
+    timeout.
+
+The ``farm.worker`` fault point fires at dispatch in the *parent* (the
+seeded injector lives in the parent process; a forked copy would fire
+nondeterministically) and kills the worker right after handoff — the
+deterministic stand-in for a mid-job crash.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from multiprocessing.connection import wait as connection_wait
+from typing import Dict, List, Optional, Tuple
+
+from repro.binfmt.binary import Binary
+from repro.core.options import RedFatOptions
+from repro.core.redfat_tool import HardenResult, RedFat
+from repro.errors import ReproError
+from repro.faults import injector
+from repro.faults.injector import fault_point
+from repro.farm.queue import FarmError, HardenJob
+from repro.telemetry.hub import Telemetry, coerce
+
+#: Default wall-clock budget for one hardening job.
+DEFAULT_JOB_TIMEOUT_S = 60.0
+
+
+class PoolStartError(FarmError):
+    """The worker pool could not start (the farm falls back to serial)."""
+
+
+class WorkerCrashError(FarmError):
+    """A worker died mid-job (serial path: the injected equivalent)."""
+
+
+def harden_bytes(
+    blob: bytes,
+    options: RedFatOptions,
+    telemetry: Optional[Telemetry] = None,
+) -> HardenResult:
+    """The unit of farm work: harden a serialized binary image."""
+    binary = Binary.from_bytes(blob)
+    return RedFat(options, telemetry=coerce(telemetry)).instrument(binary)
+
+
+def _worker_main(conn) -> None:
+    """Worker process loop: recv (key, blob, options), send the result."""
+    # A fork()ed worker inherits the parent's armed fault injector; its
+    # decisions belong to the parent's deterministic schedule, so the
+    # copy must not fire independently here.
+    injector.uninstall()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        key, blob, options = message
+        try:
+            result = harden_bytes(blob, options)
+            reply = (key, "ok", result)
+        except ReproError as error:
+            reply = (key, "error", f"{type(error).__name__}: {error}")
+        except Exception as error:  # isolation: report, don't die silently
+            reply = (key, "error", f"uncaught {type(error).__name__}: {error}")
+        try:
+            conn.send(reply)
+        except (OSError, ValueError) as error:
+            conn.send((key, "error", f"unserializable result: {error}"))
+
+
+class _Worker:
+    """Parent-side handle for one worker process."""
+
+    __slots__ = ("process", "conn", "job", "deadline")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.job: Optional[HardenJob] = None
+        self.deadline = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.job is not None
+
+
+#: One collected completion: (job, status, payload) where status is
+#: "ok" (payload: HardenResult), "error" (payload: message string),
+#: "crash" or "timeout" (payload: None).
+Completion = Tuple[HardenJob, str, object]
+
+
+class WorkerPool:
+    """A fixed-size pool of hardening processes with crash isolation."""
+
+    def __init__(
+        self,
+        jobs: int,
+        job_timeout_s: float = DEFAULT_JOB_TIMEOUT_S,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"worker count must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.job_timeout_s = job_timeout_s
+        self.telemetry = coerce(telemetry)
+        self._workers: List[_Worker] = []
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the workers; :class:`PoolStartError` on any failure."""
+        if self._started:
+            return
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = multiprocessing.get_context()
+        try:
+            for _ in range(self.jobs):
+                self._workers.append(self._spawn(context))
+        except Exception as error:
+            self.shutdown()
+            raise PoolStartError(
+                f"could not start worker pool: {error}"
+            ) from error
+        self._started = True
+        self.telemetry.count("farm.workers.started", self.jobs)
+
+    def _spawn(self, context=None) -> _Worker:
+        if context is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:
+                context = multiprocessing.get_context()
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        process = context.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def shutdown(self) -> None:
+        """Stop every worker: polite stop message, then terminate."""
+        for worker in self._workers:
+            try:
+                if not worker.busy and worker.process.is_alive():
+                    worker.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=0.5)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=0.5)
+            worker.conn.close()
+        self._workers = []
+        self._started = False
+
+    # -- dispatch ----------------------------------------------------------
+
+    def idle_workers(self) -> int:
+        return sum(1 for worker in self._workers if not worker.busy)
+
+    def busy_jobs(self) -> List[HardenJob]:
+        return [worker.job for worker in self._workers if worker.busy]
+
+    def dispatch(self, job: HardenJob) -> bool:
+        """Hand *job* to an idle worker; False when all are busy."""
+        worker = next((w for w in self._workers if not w.busy), None)
+        if worker is None:
+            return False
+        sabotage = fault_point("farm.worker")
+        try:
+            worker.conn.send((job.key, job.binary_bytes, job.options))
+        except (OSError, ValueError):
+            # The worker died between jobs; replace it and hand the job
+            # to the fresh process instead.
+            self._replace(worker)
+            return self.dispatch(job)
+        worker.job = job
+        worker.deadline = time.monotonic() + self.job_timeout_s
+        if sabotage:
+            # Injected mid-job crash: the job is in the worker's hands and
+            # the worker dies before answering.
+            worker.process.kill()
+        return True
+
+    # -- completion --------------------------------------------------------
+
+    def collect(self, timeout: float = 0.1) -> List[Completion]:
+        """Reap finished/crashed/timed-out jobs; blocks at most *timeout*."""
+        completions: List[Completion] = []
+        busy = [worker for worker in self._workers if worker.busy]
+        if not busy:
+            return completions
+        ready = connection_wait([w.conn for w in busy], timeout=timeout)
+        by_conn = {worker.conn: worker for worker in busy}
+        for conn in ready:
+            worker = by_conn[conn]
+            job = worker.job
+            try:
+                key, status, payload = conn.recv()
+            except (EOFError, OSError):
+                self._replace(worker)
+                worker.job = None
+                completions.append((job, "crash", None))
+                self.telemetry.count("farm.worker_crashes")
+                continue
+            worker.job = None
+            completions.append((job, status, payload))
+        now = time.monotonic()
+        for worker in self._workers:
+            if worker.busy and now > worker.deadline:
+                job = worker.job
+                self._replace(worker)
+                worker.job = None
+                completions.append((job, "timeout", None))
+                self.telemetry.count("farm.timeouts")
+        return completions
+
+    def _replace(self, worker: _Worker) -> None:
+        """Kill and respawn one worker in place (crash isolation)."""
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=0.5)
+        if worker.process.is_alive():
+            worker.process.kill()
+            worker.process.join(timeout=0.5)
+        worker.conn.close()
+        fresh = self._spawn()
+        worker.process = fresh.process
+        worker.conn = fresh.conn
+        self.telemetry.count("farm.workers.respawned")

@@ -43,10 +43,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.cc import CompiledProgram, compile_source
-from repro.core import RedFat, RedFatOptions
+from repro.core import RedFatOptions
 from repro.errors import GuestMemoryError, ReproError, VMTimeoutError
 from repro.faults.injector import FaultInjector, injection
 from repro.faults.points import point_names
+from repro.farm import ArtifactCache, Farm
 from repro.telemetry.hub import Telemetry, coerce
 
 #: Outcome labels (the complete, closed set).
@@ -110,6 +111,10 @@ class FaultRunRecord:
     #: going with partial data (the accounted survival of the
     #: ``telemetry.*`` fault points).
     telemetry_degraded: bool = False
+    #: The farm fell off its happy path (cache rejection, worker crash
+    #: retry, queue fault, serial fallback) but still delivered the
+    #: artifact — the accounted survival of the ``farm.*`` fault points.
+    farm_degraded: bool = False
 
 
 @dataclass
@@ -184,12 +189,19 @@ def run_one(
     # while spans/events record, export corruption when the report
     # serialises.  Either must degrade the hub, never the run.
     tele = Telemetry(max_events=64, meta={"kind": "fault_run", "seed": seed})
+    # Hardening goes through the farm's serial path so the farm.* fault
+    # points (cache frame corruption, worker crash, queue corruption) sit
+    # on the campaign's attack surface alongside the pipeline's own.
+    farm = Farm(
+        jobs=0, cache=ArtifactCache(max_bytes=4 * 1024 * 1024, telemetry=tele),
+        telemetry=tele,
+    )
     with injection(injector):
         try:
             stripped = program.binary.strip()
-            harden = RedFat(
-                RedFatOptions(keep_going=True), telemetry=tele
-            ).instrument(stripped)
+            harden = farm.harden_one(
+                stripped, options=RedFatOptions(keep_going=True)
+            )
             runtime = harden.create_runtime(mode="log", telemetry=tele)
             result = program.run(
                 args=[guest_arg], binary=harden.binary, runtime=runtime,
@@ -229,11 +241,19 @@ def run_one(
                 # syntactic coverage but lost the flow-sensitive passes.
                 record.outcome = DEGRADED
                 record.detail = "dataflow analysis fell back to syntactic rules"
+            elif farm.degradation_events():
+                record.outcome = DEGRADED
+                record.detail = (
+                    f"farm degraded: {farm.stats.retries} retried, "
+                    f"{farm.stats.serial_fallbacks} serial, "
+                    f"{farm.cache.stats.rejects} cache rejects"
+                )
             elif tele.degraded:
                 record.outcome = DEGRADED
                 record.detail = f"telemetry: {tele.degraded_reason}"
     record.fired = injector.fired
     record.telemetry_degraded = tele.degraded
+    record.farm_degraded = bool(farm.degradation_events())
     if harden is not None:
         record.degraded_sites = harden.stats.degraded_sites
         record.quarantined_sites = harden.stats.quarantined_sites

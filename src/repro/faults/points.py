@@ -105,6 +105,24 @@ register(
     "and degrade rather than let a bogus lattice value eliminate a check",
 )
 register(
+    "farm.cache",
+    "flip one byte of a stored artifact frame (farm/cache.py) — the "
+    "checksum must reject the frame and the job recomputes; a corrupted "
+    "artifact is never deserialized, let alone served",
+)
+register(
+    "farm.worker",
+    "crash the worker executing one hardening job (farm/workers.py "
+    "dispatch, farm/scheduler.py serial path) — the job is retried once "
+    "with backoff; the farm survives either way",
+)
+register(
+    "farm.queue",
+    "corrupt the job queue on one submission (farm/queue.py offer) — "
+    "the scheduler must degrade to computing that job serially instead "
+    "of losing it or crashing the farm",
+)
+register(
     "telemetry.sink",
     "corrupt the telemetry event/span sink (telemetry/hub.py) — the hub "
     "must degrade (stop recording, count drops, flag itself) instead of "

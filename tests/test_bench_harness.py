@@ -7,7 +7,10 @@ from repro.bench.harness import (
     geometric_mean,
     measure_memcheck,
     measure_spec,
+    run_with_watchdog,
 )
+from repro.errors import VMTimeoutError
+from repro.telemetry import Telemetry
 from repro.bench.falsepos import count_false_positives
 from repro.bench.figure8 import run as run_figure8
 from repro.bench.reporting import bar_chart, factor, format_table, percent
@@ -99,6 +102,56 @@ class TestTable1Runner:
         means = result.geomeans()
         assert means["unoptimized"] > means["+merge"] > means["-reads"]
         assert means["memcheck"] > means["-size"]
+
+
+class TestWatchdog:
+    def test_retry_is_counted_not_silent(self):
+        calls = []
+        tele = Telemetry(meta={"kind": "test"})
+
+        def thunk(fuel):
+            calls.append(fuel)
+            if len(calls) == 1:
+                raise VMTimeoutError("slow guest")
+            return fuel
+
+        assert run_with_watchdog(thunk, 100, telemetry=tele) == 400
+        assert calls == [100, 400]
+        assert tele.counters["bench.watchdog_retries"] == 1
+
+    def test_no_retry_no_counter(self):
+        tele = Telemetry(meta={"kind": "test"})
+        assert run_with_watchdog(lambda fuel: fuel, 100, telemetry=tele) == 100
+        assert "bench.watchdog_retries" not in tele.counters
+
+    def test_second_timeout_propagates(self):
+        tele = Telemetry(meta={"kind": "test"})
+
+        def hung(fuel):
+            raise VMTimeoutError("hung guest")
+
+        with pytest.raises(VMTimeoutError):
+            run_with_watchdog(hung, 100, telemetry=tele)
+        assert tele.counters["bench.watchdog_retries"] == 1
+
+
+class TestTable1Cache:
+    def test_cached_sweep_is_identical_to_uncached(self):
+        tele = Telemetry(meta={"kind": "test"})
+        cached = run_table1(names=["gobmk"], quick=True, verbose=False,
+                            telemetry=tele, use_cache=True)
+        uncached = run_table1(names=["gobmk"], quick=True, verbose=False,
+                              use_cache=False)
+        one, two = cached.measurements[0], uncached.measurements[0]
+        assert not one.failed and not two.failed
+        assert one.slowdowns == two.slowdowns
+        assert one.coverage == two.coverage
+        assert one.false_positive_sites == two.false_positive_sites
+        assert one.baseline_instructions == two.baseline_instructions
+        # The shared cache served the profile-mode artifact to the
+        # coverage phase instead of rebuilding it.
+        assert tele.counters["farm.cache.hits"] >= 1
+        assert tele.counters["farm.cache.stores"] >= 1
 
 
 class TestTable2Runner:

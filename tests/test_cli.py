@@ -95,3 +95,61 @@ class TestPipeline:
         bogus = workspace / "bogus.melf"
         bogus.write_bytes(b"garbage")
         assert run_cli("disasm", bogus) == 1
+
+
+SECOND_SOURCE = """
+int main() {
+    int *a = malloc(48);
+    for (int i = 0; i < 6; i = i + 1) a[i] = i;
+    print(a[5]);
+    free(a);
+    return 0;
+}
+"""
+
+
+class TestFarmCommand:
+    @pytest.fixture()
+    def batch(self, tmp_path):
+        first = tmp_path / "one.c"
+        second = tmp_path / "two.c"
+        first.write_text(SOURCE)
+        second.write_text(SECOND_SOURCE)
+        return tmp_path, first, second
+
+    def test_batch_hardens_every_input(self, batch, capsys):
+        tmp_path, first, second = batch
+        out_dir = tmp_path / "out"
+        assert run_cli("farm", first, second, "--jobs", "2",
+                       "--output-dir", out_dir) == 0
+        assert (out_dir / "one.hard.melf").exists()
+        assert (out_dir / "two.hard.melf").exists()
+        out = capsys.readouterr().out
+        assert "farm: 2 hardened" in out
+
+    def test_cache_dir_serves_second_invocation(self, batch, capsys):
+        tmp_path, first, second = batch
+        cache_dir = tmp_path / "cache"
+        out_dir = tmp_path / "out"
+        common = ("farm", first, second, "--cache-dir", cache_dir,
+                  "--output-dir", out_dir)
+        assert run_cli(*common) == 0
+        capsys.readouterr()
+        assert run_cli(*common) == 0
+        out = capsys.readouterr().out
+        assert "2 cache hits" in out
+        assert "[cached]" in out
+
+    def test_metrics_export_validates(self, batch, capsys):
+        import json
+
+        from repro.telemetry.validate import validate_document
+
+        tmp_path, first, second = batch
+        metrics = tmp_path / "farm.json"
+        assert run_cli("farm", first, second, "--jobs", "2",
+                       "--output-dir", tmp_path / "out",
+                       "--metrics", metrics) == 0
+        document = json.loads(metrics.read_text())
+        assert validate_document(document) == []
+        assert document["counters"]["farm.jobs"] == 2

@@ -45,3 +45,14 @@ def test_cve_example_reports_all_detected():
     )
     assert completed.stdout.count("DETECTED") == 4
     assert completed.stdout.count("missed (redzone skipped)") == 4
+
+
+def test_farm_batch_caches_and_dedups():
+    script = [p for p in EXAMPLES if p.name == "farm_batch.py"][0]
+    completed = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=240
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert "source=dedup" in completed.stdout
+    assert "4/4 jobs served from cache" in completed.stdout
+    assert "byte-identical hardened binaries: True" in completed.stdout
