@@ -125,6 +125,8 @@ def analyze_target(target, telemetry=None) -> DataflowInfo:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.analysis.dump`` / ``redfat
+    analyze`` — print per-block dataflow facts for a binary or source."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("binary", help="binary image or MiniC source (.c)")
     parser.add_argument("--sites", action="store_true",

@@ -87,6 +87,11 @@ class DataflowInfo:
         return liveness_mod.dead_registers_at(block.instructions, index, live_out)
 
     def flags_dead_after(self, block: BasicBlock, index: int) -> Optional[bool]:
+        """Whether no later instruction reads the flags written at
+        ``block.instructions[index]`` — True lets check code clobber
+        them without a spill. ``None`` (unknown) when the global
+        liveness solution is unavailable (fallback mode), which callers
+        must treat as "assume live"."""
         if self.fallback:
             return None
         live_out = self.live_out.get(block.start)

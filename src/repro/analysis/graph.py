@@ -49,9 +49,12 @@ class BlockGraph:
 
     @property
     def blocks(self) -> List[BasicBlock]:
+        """All basic blocks in address order."""
         return self.control_flow.blocks
 
     def block_at(self, start: int) -> BasicBlock:
+        """The block whose first instruction sits at *start* (KeyError
+        for any other address — block starts are the only valid keys)."""
         return self.control_flow.block_of[start]
 
     def reachable_between(self, source: int, sink: int) -> Set[int]:
@@ -94,6 +97,8 @@ def build_block_graph(control_flow: ControlFlowInfo) -> BlockGraph:
     leaky: Set[int] = set()
 
     def link(source: int, sink: int) -> None:
+        """Add the CFG edge source→sink, or mark *source* leaky when the
+        destination is outside the decoded text (indirect/unknown)."""
         if sink not in start_set:
             leaky.add(source)  # destination outside the decoded text
             return

@@ -51,6 +51,7 @@ _ABI_BOUNDARY = (Opcode.CALL, Opcode.CALLR, Opcode.RET, Opcode.RTCALL)
 
 
 def reads_flags(instruction: Instruction) -> bool:
+    """True when the instruction consumes CPU flags (jcc/setcc/adc-like)."""
     return (
         instruction.opcode in CONDITIONAL_JUMPS
         or instruction.opcode in SETCC_CONDITIONS
@@ -91,6 +92,8 @@ def compute_live_out(graph: BlockGraph) -> Dict[int, FrozenSet]:
     """Effective live-out set per block start address."""
 
     def transfer(node: int, successor_fact: FrozenSet) -> FrozenSet:
+        """Backward block transfer: fold every instruction's kill/gen
+        over the live-out set to produce the block's live-in set."""
         live = effective_exit(graph, node, successor_fact)
         for instruction in reversed(graph.block_at(node).instructions):
             live = step_backward(live, instruction)

@@ -48,6 +48,8 @@ class Kind(enum.IntEnum):
 
     @property
     def is_nonheap(self) -> bool:
+        """True when a pointer of this kind can never address the low-fat
+        heap — the justification for eliminating its checks."""
         return self in (Kind.STACK, Kind.GLOBAL, Kind.CONST, Kind.NONHEAP)
 
 
@@ -87,6 +89,8 @@ def _join_bound(a: int, b: int) -> int:
 
 
 def join_value(a: Prov, b: Prov) -> Prov:
+    """Lattice join of two provenance values: equal values stand, equal
+    kinds widen the bound, anything else goes to the kind's top."""
     if a == b:
         return a
     kind_a, bound_a = a
@@ -102,6 +106,8 @@ def join_value(a: Prov, b: Prov) -> Prov:
 
 
 def join_facts(a: RegFacts, b: RegFacts) -> RegFacts:
+    """Pointwise join of two register-fact maps; a register absent from
+    either side is unknown (dropped) in the result."""
     merged: RegFacts = {}
     for register, value in a.items():
         other = b.get(register)
@@ -198,6 +204,8 @@ def apply_instruction(facts: RegFacts, instruction: Instruction) -> RegFacts:
 
 
 def transfer_block(facts: RegFacts, instructions) -> RegFacts:
+    """Forward block transfer: apply every instruction's effect on the
+    register facts in order, returning the block-exit facts."""
     result = dict(facts)
     for instruction in instructions:
         apply_instruction(result, instruction)

@@ -168,13 +168,19 @@ def run(
     mode: str = "abort",
     max_instructions: int = 2_000_000_000,
     telemetry: Optional[Telemetry] = None,
+    engine: Optional[str] = None,
 ) -> RunResult:
     """Execute *target* on the VM and return the :class:`RunResult`.
 
     *runtime* is an environment instance, ``"glibc"`` (default,
     unprotected) or ``"redfat"`` (the hardened allocator; *mode* selects
-    abort-on-error vs. log-and-continue).
+    abort-on-error vs. log-and-continue).  *engine* forces the VM's
+    execution engine — ``"superblock"`` (default) or ``"single-step"``
+    (the reference loop; see :mod:`repro.vm.superblock`) — for this run
+    only; results are identical either way.
     """
+    from repro.vm.superblock import engine_override
+
     program = load(target)
     if runtime is None or runtime == "glibc":
         environment: RuntimeEnvironment = GlibcRuntime()
@@ -184,10 +190,16 @@ def run(
         environment = runtime
     else:
         raise ValueError(f"unknown runtime {runtime!r}")
-    return program.run(
-        args=args, runtime=environment, max_instructions=max_instructions,
-        telemetry=telemetry,
-    )
+    if engine is None:
+        return program.run(
+            args=args, runtime=environment,
+            max_instructions=max_instructions, telemetry=telemetry,
+        )
+    with engine_override(engine):
+        return program.run(
+            args=args, runtime=environment,
+            max_instructions=max_instructions, telemetry=telemetry,
+        )
 
 
 __all__ = [

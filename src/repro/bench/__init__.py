@@ -8,6 +8,7 @@ Table 1   SPEC overhead + coverage    ``python -m repro.bench.table1``
 §7.1      detected real errors        part of table1 output
 Table 2   non-incremental overflows   ``python -m repro.bench.table2``
 Fig. 8    Chrome/Kraken scalability   ``python -m repro.bench.figure8``
+—         VM perf trajectory          ``redfat perf`` (bench.perfscope)
 ========  ==========================  ===============================
 """
 

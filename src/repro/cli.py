@@ -12,9 +12,12 @@ Subcommands::
                     [--output-dir DIR] [--preset NAME] [--metrics out.json]
     redfat profile  prog.melf -o allow.lst [--args N ...]
     redfat run      prog.melf [--args N ...] [--runtime glibc|redfat]
-                    [--mode abort|log] [--metrics out.json]
+                    [--mode abort|log] [--fuel N]
+                    [--engine superblock|single-step] [--metrics out.json]
     redfat analyze  prog.melf [--sites] [--metrics out.json]
     redfat disasm   prog.melf
+    redfat perf     [--quick] [--check] [--repeats N] [--snapshot FILE]
+                    [--min-speedup X] [--no-write]
 
 Binaries are the library's on-disk images; ``harden`` consumes and
 produces files, exactly like the paper's Fig. 5 pipeline.  ``harden``
@@ -177,7 +180,7 @@ def _cmd_run(arguments) -> int:
         result = api.run(
             arguments.binary, args=arguments.args, runtime=arguments.runtime,
             mode=arguments.mode, max_instructions=arguments.fuel,
-            telemetry=telemetry,
+            telemetry=telemetry, engine=arguments.engine,
         )
     except GuestMemoryError as error:
         print(f"MEMORY ERROR: {error}", file=sys.stderr)
@@ -197,6 +200,16 @@ def _cmd_run(arguments) -> int:
           f"{result.instructions} instructions)", file=sys.stderr)
     _flush_metrics(telemetry, arguments)
     return result.status
+
+
+def _cmd_perf(arguments) -> int:
+    from repro.bench.perfscope import run_perfscope
+
+    return run_perfscope(
+        snapshot_path=arguments.snapshot, quick=arguments.quick,
+        repeats=arguments.repeats, do_check=arguments.check,
+        min_speedup=arguments.min_speedup, write=not arguments.no_write,
+    )
 
 
 def _cmd_analyze(arguments) -> int:
@@ -295,9 +308,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--fuel", type=int, default=2_000_000_000,
         help="watchdog instruction budget before a hung guest is killed")
     run_cmd.add_argument(
+        "--engine", choices=("superblock", "single-step"), default=None,
+        help="force the VM execution engine (default: superblock; "
+             "single-step is the reference loop — results are identical)")
+    run_cmd.add_argument(
         "--metrics", metavar="OUT.json",
         help="export the VM telemetry report (instructions, checks, fuel)")
     run_cmd.set_defaults(handler=_cmd_run)
+
+    perf_cmd = commands.add_parser(
+        "perf", help="measure both VM engines on the benchmark micro-"
+                     "harnesses and record the perf trajectory")
+    perf_cmd.add_argument(
+        "--snapshot", default="BENCH_vm.json",
+        help="trajectory file to compare against and append to")
+    perf_cmd.add_argument("--quick", action="store_true",
+                          help="small workload set (CI size)")
+    perf_cmd.add_argument(
+        "--repeats", type=int, default=3,
+        help="runs per (workload, engine); the best time is kept")
+    perf_cmd.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero on engine divergence, a slow superblock "
+             "engine, or a regression vs the last snapshot")
+    perf_cmd.add_argument("--min-speedup", type=float, default=None,
+                          help="speedup floor for --check")
+    perf_cmd.add_argument("--no-write", action="store_true",
+                          help="do not update the snapshot file")
+    perf_cmd.set_defaults(handler=_cmd_perf)
 
     analyze_cmd = commands.add_parser(
         "analyze", help="print per-block dataflow facts (CFG edges, "

@@ -64,6 +64,7 @@ class CacheStats:
     oversize: int = 0
 
     def as_dict(self) -> Dict[str, int]:
+        """Counter snapshot for telemetry export / the farm report."""
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -148,6 +149,7 @@ class ArtifactCache:
 
     @property
     def used_bytes(self) -> int:
+        """Bytes currently held in the in-memory tier (LRU budget input)."""
         return self._bytes
 
     # -- the lookup/store protocol -----------------------------------------
@@ -224,6 +226,7 @@ class ArtifactCache:
         return result, False
 
     def clear(self) -> None:
+        """Drop every in-memory frame (the disk tier is untouched)."""
         self._frames.clear()
         self._bytes = 0
 

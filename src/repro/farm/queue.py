@@ -81,9 +81,12 @@ class JobQueue:
 
     @property
     def ready(self) -> int:
+        """Jobs admitted and waiting for a worker."""
         return len(self._ready)
 
     def is_full(self) -> bool:
+        """True when in-flight jobs hit capacity — the backpressure
+        boundary: the scheduler must drain completions before admitting."""
         return len(self._in_flight) >= self.capacity
 
     # -- admission ---------------------------------------------------------

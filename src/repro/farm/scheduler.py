@@ -71,10 +71,13 @@ class JobOutcome:
 
     @property
     def ok(self) -> bool:
+        """True when the job produced a hardened result (else see
+        ``error``)."""
         return self.result is not None
 
     @property
     def cached(self) -> bool:
+        """True when the result came from the artifact cache, not work."""
         return self.source == "cache"
 
 
@@ -93,6 +96,7 @@ class FarmStats:
     queue_faults: int = 0
 
     def as_dict(self) -> Dict[str, int]:
+        """Counter snapshot for telemetry export / the farm report."""
         return {
             "jobs": self.jobs,
             "completed": self.completed,
@@ -116,9 +120,11 @@ class FarmReport:
     elapsed_s: float = 0.0
 
     def results(self) -> List[Optional[HardenResult]]:
+        """Per-input results in submission order (None for failures)."""
         return [outcome.result for outcome in self.outcomes]
 
     def failed(self) -> List[JobOutcome]:
+        """The outcomes that produced no result (typed error attached)."""
         return [outcome for outcome in self.outcomes if not outcome.ok]
 
     def as_dict(self) -> Dict[str, object]:

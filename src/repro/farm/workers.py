@@ -105,6 +105,7 @@ class _Worker:
 
     @property
     def busy(self) -> bool:
+        """True while a dispatched job's reply is outstanding."""
         return self.job is not None
 
 
@@ -186,9 +187,11 @@ class WorkerPool:
     # -- dispatch ----------------------------------------------------------
 
     def idle_workers(self) -> int:
+        """Workers available for dispatch right now."""
         return sum(1 for worker in self._workers if not worker.busy)
 
     def busy_jobs(self) -> List[HardenJob]:
+        """Jobs currently executing (used to retry after a dead worker)."""
         return [worker.job for worker in self._workers if worker.busy]
 
     def dispatch(self, job: HardenJob) -> bool:

@@ -115,6 +115,9 @@ class FaultRunRecord:
     #: retry, queue fault, serial fallback) but still delivered the
     #: artifact — the accounted survival of the ``farm.*`` fault points.
     farm_degraded: bool = False
+    #: The VM's superblock engine latched itself off (``vm.superblock``
+    #: fault point) and the run finished on the single-step loop.
+    superblock_degraded: bool = False
 
 
 @dataclass
@@ -247,6 +250,15 @@ def run_one(
                     f"farm degraded: {farm.stats.retries} retried, "
                     f"{farm.stats.serial_fallbacks} serial, "
                     f"{farm.cache.stats.rejects} cache rejects"
+                )
+            elif result.cpu is not None and result.cpu.superblock.degraded:
+                # The vm.superblock point fired at translation time; the
+                # VM finished the run on the single-step loop.
+                record.outcome = DEGRADED
+                record.superblock_degraded = True
+                record.detail = (
+                    f"superblock engine: "
+                    f"{result.cpu.superblock.degraded_reason}"
                 )
             elif tele.degraded:
                 record.outcome = DEGRADED

@@ -93,6 +93,13 @@ register(
     sticky=True,
 )
 register(
+    "vm.superblock",
+    "fail one superblock translation (vm/superblock.py translate) — the "
+    "engine latches itself off and the CPU degrades to the single-step "
+    "loop for the rest of the run, with identical results; accounted as "
+    "a DEGRADED run, never a crash",
+)
+register(
     "analysis.fixpoint",
     "force the dataflow worklist solver to report divergence "
     "(analysis/solver.py) — the pipeline must fall back to syntactic "

@@ -5,12 +5,20 @@ correct semantics, is the **executed-instruction counter**: all overhead
 factors in the experiments are ratios of instructions executed by the
 hardened vs. original binary, which is deterministic and machine
 independent (see DESIGN.md, "Overhead metric").
+
+Execution has two engines (DESIGN.md §5f): the **superblock** hot path
+(straight-line instruction runs fused into closures) and the
+**single-step** reference loop, bit-identical by contract.  Select per
+run with :func:`~repro.vm.superblock.engine_override`, ``api.run(
+engine=...)``, or ``redfat run --engine ...``; ``redfat perf`` tracks
+the speedup over time.
 """
 
 from repro.vm.memory import Memory, PAGE_SIZE
 from repro.vm.cpu import CPU
 from repro.vm.runtime_iface import RuntimeEnvironment, Service
 from repro.vm.loader import load_binary, run_binary
+from repro.vm.superblock import SuperblockEngine, engine_override
 
 __all__ = [
     "Memory",
@@ -20,4 +28,6 @@ __all__ = [
     "Service",
     "load_binary",
     "run_binary",
+    "SuperblockEngine",
+    "engine_override",
 ]

@@ -4,12 +4,28 @@ Design notes:
 
 - Instructions are decoded once per address and cached; rewritten binaries
   are static (no self-modifying code — the same restriction E9Patch has),
-  so the cache never invalidates.
+  so the decode cache only invalidates on an explicit
+  :meth:`CPU.flush_icache` (which also drops the superblock cache built
+  on top of it).
+- The hot path executes *superblocks*: straight-line runs of decoded
+  instructions pre-translated into fused step closures (see
+  :mod:`repro.vm.superblock`).  Superblock execution is bit-identical to
+  the single-step loop; the CPU falls back to single-stepping when a DBI
+  ``access_hook`` is installed, when the remaining watchdog fuel cannot
+  cover a whole block, or when the ``vm.superblock`` fault point degrades
+  the engine.
 - ``instructions_executed`` counts every retired instruction, including
   trampoline code.  Overhead factors in the experiments are ratios of this
   counter, making results deterministic across machines.
+- ``run`` enforces the watchdog *fuel* budget exactly: a guest retiring
+  ``max_instructions`` without exiting raises
+  :class:`~repro.errors.VMTimeoutError` at the same instruction under
+  either execution engine.
 - An optional ``access_hook`` observes every data memory access; it is how
   the Memcheck baseline (DBI) and the coverage tooling attach.
+- An optional ``telemetry`` hub switches :meth:`CPU.run` onto traced
+  loops that additionally count retired instructions, trampoline
+  ("check") instructions and fuel; untraced runs pay nothing for this.
 """
 
 from __future__ import annotations
@@ -24,6 +40,7 @@ from repro.isa.operands import Imm, Mem, Reg
 from repro.isa.registers import RSP, Register
 from repro.vm.memory import Memory
 from repro.vm.runtime_iface import RuntimeEnvironment
+from repro.vm.superblock import SuperblockEngine
 
 _M64 = (1 << 64) - 1
 _SIGN = 1 << 63
@@ -87,6 +104,9 @@ class CPU:
         #: loader so the traced loop can attribute "checks executed".
         self.trampoline_span: Optional[tuple] = None
         self._dispatch = self._build_dispatch()
+        #: The superblock translation cache (see :mod:`repro.vm.superblock`).
+        #: Starts enabled unless an ``engine_override`` says otherwise.
+        self.superblock = SuperblockEngine(self)
         runtime.attach(self)
 
     # -- fetch/decode -------------------------------------------------------
@@ -107,7 +127,11 @@ class CPU:
         return instruction
 
     def flush_icache(self) -> None:
+        """Drop all decoded instructions *and* the superblocks built from
+        them — the two caches are coupled (step closures capture decoded
+        instructions, so a stale block would outlive a flushed decode)."""
         self.icache.clear()
+        self.superblock.invalidate()
 
     # -- operand helpers ----------------------------------------------------------
 
@@ -418,9 +442,25 @@ class CPU:
         and terminated with :class:`VMTimeoutError` (a deterministic
         stand-in for a wall-clock timeout).  Faults and memory errors
         propagate as their own :class:`VMError` subclasses.
+
+        Execution normally goes through the superblock engine (see
+        :mod:`repro.vm.superblock`) with bit-identical results to the
+        single-step loop, which remains the fallback whenever a DBI
+        ``access_hook`` is installed (specialized closures would bypass
+        it) or the engine is disabled/degraded.
         """
         if self.telemetry is not None:
             return self._run_traced(max_instructions)
+        if self.superblock.enabled and self.access_hook is None:
+            return self._run_superblocks(max_instructions)
+        return self._run_single(max_instructions)
+
+    def _run_single(self, max_instructions: int) -> int:
+        """The single-step loop: fetch/dispatch one instruction at a time.
+
+        This is the semantic reference the superblock engine must match
+        bit for bit, and the fallback when superblocks are unavailable.
+        """
         icache = self.icache
         dispatch = self._dispatch
         executed = 0
@@ -441,17 +481,74 @@ class CPU:
             self.instructions_executed += executed
         raise VMTimeoutError(max_instructions)
 
+    def _run_superblocks(self, max_instructions: int) -> int:
+        """The superblock loop: execute translated straight-line runs.
+
+        Equivalence with :meth:`_run_single` (DESIGN.md §5f): each step
+        commits ``rip`` before it executes and a mid-block exception is
+        accounted through :meth:`Superblock.retired_before`, so faults
+        leave identical architectural state and instruction counts.  A
+        block that would overrun the fuel budget is single-stepped
+        instead, making the watchdog fire at exactly the same
+        instruction; a degraded engine (``vm.superblock`` fault point)
+        single-steps the rest of the run.
+        """
+        engine = self.superblock
+        cache = engine.cache
+        icache = self.icache
+        dispatch = self._dispatch
+        executed = 0
+        try:
+            while executed < max_instructions:
+                rip = self.rip
+                block = cache.get(rip)
+                if block is None:
+                    block = engine.translate(rip)
+                if block is None or executed + block.length > max_instructions:
+                    # Engine degraded, or not enough fuel for the whole
+                    # block: retire one instruction the single-step way.
+                    instruction = icache.get(rip)
+                    if instruction is None:
+                        instruction = self._decode_at(rip)
+                    self.rip = rip + instruction.length
+                    dispatch[instruction.opcode](instruction)
+                    executed += 1
+                    continue
+                try:
+                    for next_rip, fn, arg in block.steps:
+                        self.rip = next_rip
+                        fn(arg)
+                except BaseException:
+                    executed += block.retired_before(self.rip)
+                    raise
+                executed += block.length
+        except GuestExit as exit_signal:
+            executed += 1  # the exiting rtcall did retire
+            self.exit_status = exit_signal.status
+            return exit_signal.status
+        finally:
+            self.instructions_executed += executed
+        raise VMTimeoutError(max_instructions)
+
     def _run_traced(self, max_instructions: int) -> int:
         """The telemetry variant of :meth:`run`.
 
-        Identical semantics, plus per-run accounting: instructions
+        Identical semantics — superblock execution with the same
+        single-step fallbacks — plus per-run accounting: instructions
         retired, instructions retired inside the ``.tramp`` segment
         ("checks executed"), and fuel consumption.  Kept as a separate
-        loop so un-instrumented runs pay nothing.
+        loop so un-instrumented runs pay nothing.  Blocks never straddle
+        the trampoline boundary, so a block executed to completion
+        contributes either ``0`` or ``length`` check instructions; a
+        mid-block fault attributes the instructions that were actually
+        dispatched, exactly like the single-step accounting.
         """
         tele = self.telemetry
         span = self.trampoline_span
         tramp_start, tramp_end = span if span is not None else (0, 0)
+        engine = self.superblock
+        cache = engine.cache
+        use_blocks = engine.enabled and self.access_hook is None
         icache = self.icache
         dispatch = self._dispatch
         executed = 0
@@ -459,14 +556,38 @@ class CPU:
         try:
             while executed < max_instructions:
                 rip = self.rip
-                instruction = icache.get(rip)
-                if instruction is None:
-                    instruction = self._decode_at(rip)
-                if tramp_start <= rip < tramp_end:
-                    in_trampoline += 1
-                self.rip = rip + instruction.length
-                dispatch[instruction.opcode](instruction)
-                executed += 1
+                block = None
+                if use_blocks:
+                    block = cache.get(rip)
+                    if block is None:
+                        block = engine.translate(rip)
+                        if block is None:
+                            use_blocks = False  # engine degraded mid-run
+                if block is None or executed + block.length > max_instructions:
+                    instruction = icache.get(rip)
+                    if instruction is None:
+                        instruction = self._decode_at(rip)
+                    if tramp_start <= rip < tramp_end:
+                        in_trampoline += 1
+                    self.rip = rip + instruction.length
+                    dispatch[instruction.opcode](instruction)
+                    executed += 1
+                    continue
+                try:
+                    for next_rip, fn, arg in block.steps:
+                        self.rip = next_rip
+                        fn(arg)
+                except BaseException:
+                    retired = block.retired_before(self.rip)
+                    executed += retired
+                    if block.in_trampoline:
+                        # The raising step was dispatched too — the
+                        # single-step loop counts it before dispatch.
+                        in_trampoline += retired + 1
+                    raise
+                executed += block.length
+                if block.in_trampoline:
+                    in_trampoline += block.length
         except GuestExit as exit_signal:
             executed += 1
             self.exit_status = exit_signal.status

@@ -134,10 +134,31 @@ class Memory:
     # -- integer access ------------------------------------------------------------
 
     def read_int(self, address: int, size: int, signed: bool = False) -> int:
+        # In-page fast path: the overwhelmingly common case for the VM's
+        # data accesses (stack slots, heap words).  Unmapped pages and
+        # page-straddling reads take the slow path, which raises the
+        # same VMFault a byte-wise read would.
+        address &= _M64
+        offset = address & _PAGE_MASK
+        if offset + size <= PAGE_SIZE:
+            page = self._pages.get(address >> _PAGE_SHIFT)
+            if page is not None:
+                return int.from_bytes(
+                    page[offset : offset + size], "little", signed=signed
+                )
         return int.from_bytes(self.read(address, size), "little", signed=signed)
 
     def write_int(self, address: int, value: int, size: int) -> None:
         mask = (1 << (size * 8)) - 1
+        address &= _M64
+        offset = address & _PAGE_MASK
+        if offset + size <= PAGE_SIZE:
+            page = self._pages.get(address >> _PAGE_SHIFT)
+            if page is not None:
+                page[offset : offset + size] = (value & mask).to_bytes(
+                    size, "little"
+                )
+                return
         self.write(address, (value & mask).to_bytes(size, "little"))
 
     def read_cstring(self, address: int, limit: int = 4096) -> bytes:

@@ -15,7 +15,9 @@ from __future__ import annotations
 import enum
 from typing import List
 
+from repro.errors import GuestExit, GuestMemoryError, VMError
 from repro.faults import injector as _faults
+from repro.isa.registers import RAX, RDI, RSI
 
 
 class Service(enum.IntEnum):
@@ -62,10 +64,13 @@ class RuntimeEnvironment:
     # -- dispatch ----------------------------------------------------------
 
     def call(self, service: int, cpu, instruction) -> None:
-        """Handle one ``rtcall``; may modify CPU registers/memory."""
-        from repro.errors import GuestExit, VMError
-        from repro.isa.registers import RAX, RDI, RSI
+        """Handle one ``rtcall``; may modify CPU registers/memory.
 
+        ``rtcall`` always terminates a superblock (see
+        :mod:`repro.vm.superblock`), so handlers may redirect
+        ``cpu.rip`` — as the ``vm.hang`` fault below does — and the run
+        loop re-dispatches at the new address under either engine.
+        """
         if _faults.active() is not None:
             # The rtcall boundary is the VM's fault-injection seam: low
             # frequency, deterministic ordering, full machine visibility.
@@ -140,8 +145,6 @@ class RuntimeEnvironment:
 
     def on_trap(self, code: int, cpu, instruction) -> None:
         """Handle a ``trap`` executed by guest/instrumentation code."""
-        from repro.errors import GuestMemoryError
-
         raise GuestMemoryError(
             f"guest trap {TrapCode(code).name} at {instruction.address:#x}"
         )

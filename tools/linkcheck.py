@@ -1,0 +1,94 @@
+"""Internal link checker for the repo's markdown docs.
+
+Verifies that every relative markdown link — ``[text](path)`` and
+``[text](path#anchor)`` — resolves to a file in the repository, and
+that anchors into markdown files match an actual heading. External
+links (``http(s)://``) are ignored: CI must not depend on the network.
+
+Run: ``python tools/linkcheck.py [FILES...]`` (default: the top-level
+docs). Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+DEFAULT_DOCS = [
+    "README.md",
+    "ARCHITECTURE.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "PAPER.md",
+]
+
+#: Inline markdown links; images share the syntax (leading ``!`` ignored).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _anchor(text: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, spaces to dashes,
+    punctuation dropped."""
+    slug = text.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence and line.startswith("#"):
+            anchors.add(_anchor(line.lstrip("#")))
+    return anchors
+
+
+def check_file(path: Path, root: Path) -> List[str]:
+    problems = []
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        raw, _, anchor = target.partition("#")
+        if not raw:  # same-file anchor
+            destination = path
+        else:
+            destination = (path.parent / raw).resolve()
+        relative = path.relative_to(root)
+        if not destination.exists():
+            problems.append(f"{relative}: broken link -> {target}")
+            continue
+        if anchor and destination.suffix == ".md":
+            if _anchor(anchor) not in heading_anchors(destination):
+                problems.append(
+                    f"{relative}: missing anchor -> {target}"
+                )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    names = argv or DEFAULT_DOCS
+    problems = []
+    checked = 0
+    for name in names:
+        path = (root / name).resolve()
+        if not path.exists():
+            problems.append(f"{name}: file not found")
+            continue
+        checked += 1
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"linkcheck: {checked} file(s) clean")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
