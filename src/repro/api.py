@@ -134,6 +134,29 @@ def harden_many(
         farm.close()
 
 
+def serve(
+    state_dir: Union[str, Path],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    telemetry: Optional[Telemetry] = None,
+    **config_overrides,
+):
+    """Start an in-process hardening service and return it (started).
+
+    The returned :class:`~repro.service.daemon.HardeningService` is
+    listening (``service.port``), has replayed its journal, and accepts
+    HTTP submissions; call ``.stop()`` (drains by default) when done.
+    ``redfat serve`` is the foreground CLI wrapper over the same
+    machinery.  Extra keyword arguments become
+    :class:`~repro.service.daemon.ServiceConfig` fields.
+    """
+    from repro.service.daemon import HardeningService, ServiceConfig
+
+    config = ServiceConfig(state_dir=state_dir, host=host, port=port,
+                           **config_overrides)
+    return HardeningService(config, telemetry=telemetry).start()
+
+
 def profile(
     target: Target,
     args: Sequence[int] = (),
@@ -211,4 +234,5 @@ __all__ = [
     "harden_many",
     "profile",
     "run",
+    "serve",
 ]

@@ -161,7 +161,24 @@ def _cmd_farm(arguments) -> int:
     if telemetry is not None:
         telemetry.record_stats("farm", report)
         _flush_metrics(telemetry, arguments)
-    return 1 if report.failed() else 0
+    failures = report.failed()
+    if failures:
+        # The batch never raises per job; the summary (and the nonzero
+        # exit) is how scripts find out which inputs ultimately failed.
+        print(f"farm: {len(failures)} job(s) failed after retries:",
+              file=sys.stderr)
+        for outcome in failures:
+            retried = f" ({outcome.retries} retry)" if outcome.retries else ""
+            print(f"  {outcome.label} [{outcome.source}]{retried}: "
+                  f"{outcome.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(arguments) -> int:
+    from repro.service.daemon import build_config, serve
+
+    return serve(build_config(arguments))
 
 
 def _cmd_profile(arguments) -> int:
@@ -290,6 +307,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the farm telemetry (cache hits/misses, retries, "
              "worker counters)")
     farm_cmd.set_defaults(handler=_cmd_farm)
+
+    from repro.service.daemon import add_arguments as _serve_arguments
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the hardening service daemon: an async job API "
+                      "(submit / poll / fetch) with a crash-safe journal")
+    _serve_arguments(serve_cmd)
+    serve_cmd.set_defaults(handler=_cmd_serve)
 
     profile_cmd = commands.add_parser("profile",
                                       help="generate an allow-list (Fig. 5)")

@@ -21,6 +21,7 @@ Fault points ``farm.cache`` / ``farm.worker`` / ``farm.queue`` put the
 whole subsystem on the fault campaign's attack surface.
 """
 
+from repro.farm.backoff import BackoffPolicy
 from repro.farm.cache import ArtifactCache, CacheStats, content_key
 from repro.farm.queue import (
     FarmError,
@@ -39,6 +40,7 @@ from repro.farm.workers import (
 
 __all__ = [
     "ArtifactCache",
+    "BackoffPolicy",
     "CacheStats",
     "Farm",
     "FarmError",

@@ -62,6 +62,9 @@ class CacheStats:
     rejects: int = 0
     #: Artifacts skipped because one frame exceeds the whole byte budget.
     oversize: int = 0
+    #: Corrupt disk-tier frames moved aside for post-mortem instead of
+    #: silently deleted (every quarantine is also a reject).
+    quarantined: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Counter snapshot for telemetry export / the farm report."""
@@ -72,6 +75,7 @@ class CacheStats:
             "evictions": self.evictions,
             "rejects": self.rejects,
             "oversize": self.oversize,
+            "quarantined": self.quarantined,
         }
 
 
@@ -245,18 +249,37 @@ class ArtifactCache:
             self.telemetry.event("cache_evict", key=evicted_key)
 
     def _reject(self, key: str, source: str) -> None:
-        """Drop a corrupt frame everywhere it is stored, and account it."""
+        """Drop a corrupt frame everywhere it is stored, and account it.
+
+        A corrupt *disk* frame is quarantined — moved into the cache
+        dir's ``quarantine/`` subdirectory for post-mortem — rather than
+        deleted; either way the key reads as a miss and recomputes.
+        """
         if key in self._frames:
             self._bytes -= len(self._frames.pop(key))
         path = self._disk_path(key)
         if path is not None:
+            self._quarantine(key, path)
+        self.stats.rejects += 1
+        self.telemetry.count("farm.cache.rejects")
+        self.telemetry.event("cache_reject", key=key, source=source)
+
+    def _quarantine(self, key: str, path: Path) -> None:
+        """Move a corrupt disk frame aside (delete only as a last resort)."""
+        try:
+            pen = self.cache_dir / "quarantine"
+            pen.mkdir(exist_ok=True)
+            path.replace(pen / f"{key}.artifact.corrupt")
+            self.stats.quarantined += 1
+            self.telemetry.count("farm.cache.quarantined")
+            self.telemetry.event("cache_quarantine", key=key)
+        except OSError:
+            # Quarantine is best-effort; a frame we cannot move must
+            # still never be served again.
             try:
                 path.unlink()
             except OSError:
                 pass
-        self.stats.rejects += 1
-        self.telemetry.count("farm.cache.rejects")
-        self.telemetry.event("cache_reject", key=key, source=source)
 
     # -- the optional disk tier --------------------------------------------
 

@@ -24,16 +24,18 @@ run the identical pipeline on the identical bytes.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Deque, Dict, List, Optional, Sequence, Union
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.options import RedFatOptions
 from repro.core.redfat_tool import HardenResult
 from repro.errors import ReproError
 from repro.faults.injector import fault_point
+from repro.farm.backoff import BackoffPolicy
 from repro.farm.cache import ArtifactCache, DEFAULT_MAX_BYTES, content_key
 from repro.farm.queue import (
     HardenJob,
@@ -65,7 +67,8 @@ class JobOutcome:
     key: str
     result: Optional[HardenResult] = None
     error: str = ""
-    #: Where the result came from: cache | dedup | worker | serial.
+    #: Where the result came from: cache | dedup | worker | serial —
+    #: or ``load`` for a target that failed before becoming a job.
     source: str = "serial"
     retries: int = 0
 
@@ -79,6 +82,14 @@ class JobOutcome:
     def cached(self) -> bool:
         """True when the result came from the artifact cache, not work."""
         return self.source == "cache"
+
+
+@dataclass
+class _LoadFailure:
+    """A target that could not even be loaded into a job."""
+
+    index: int
+    outcome: JobOutcome
 
 
 @dataclass
@@ -153,6 +164,7 @@ class Farm:
         job_timeout_s: float = DEFAULT_JOB_TIMEOUT_S,
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+        backoff: Optional[BackoffPolicy] = None,
     ) -> None:
         """*jobs* is the worker-process count; 0 (or 1) computes inline —
         no subprocesses — which is also what every degraded path uses."""
@@ -165,16 +177,35 @@ class Farm:
         self.job_timeout_s = job_timeout_s
         self.queue_capacity = queue_capacity
         self.retry_backoff_s = retry_backoff_s
+        #: Retry pacing (shared policy shape with the service layer).
+        self.backoff = backoff if backoff is not None \
+            else BackoffPolicy(base_s=retry_backoff_s)
         self.stats = FarmStats()
         self._pool: Optional[WorkerPool] = None
+        #: Set on close/drain: any pending retry backoff returns at once
+        #: instead of blocking shutdown on a sleep.
+        self._wake = threading.Event()
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Graceful shutdown: stop the worker pool (idempotent)."""
+        """Graceful shutdown: stop the worker pool (idempotent).
+
+        Also interrupts any retry backoff in flight — shutdown never
+        waits behind a sleeping retry.
+        """
+        self._wake.set()
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+
+    def interrupt_waits(self) -> None:
+        """Cut every pending (and future) retry backoff short.
+
+        The drain path's lever: retries still happen, they just stop
+        pausing first.  Latches until the farm is discarded.
+        """
+        self._wake.set()
 
     def __enter__(self) -> "Farm":
         return self
@@ -203,11 +234,18 @@ class Farm:
         per-job failures — each lands in its :class:`JobOutcome`."""
         start = time.monotonic()
         opts = self._resolve_options(options)
-        jobs = self._build_jobs(targets, opts, labels)
-        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+        jobs, load_failures = self._build_jobs(targets, opts, labels)
+        outcomes: List[Optional[JobOutcome]] = [None] * len(targets)
+        for failure in load_failures:
+            # A target that cannot even be loaded fails alone; the rest
+            # of the batch is unaffected.
+            outcomes[failure.index] = failure.outcome
+            self.stats.failed += 1
+            self.telemetry.event("farm_job_failed", label=failure.outcome.label,
+                                 error=failure.outcome.error)
         report = FarmReport(stats=self.stats)
-        self.stats.jobs += len(jobs)
-        self.telemetry.count("farm.jobs", len(jobs))
+        self.stats.jobs += len(targets)
+        self.telemetry.count("farm.jobs", len(targets))
         with self.telemetry.span("farm", jobs=len(jobs), workers=self.jobs):
             if self.jobs >= 2:
                 misses = []
@@ -252,7 +290,7 @@ class Farm:
         match the direct call.
         """
         opts = self._resolve_options(options)
-        (job,) = self._build_jobs([target], opts, None)
+        job = self._build_job(0, target, opts, None)
         cached = self.cache.get(job.key)
         if cached is not None:
             self.stats.completed += 1
@@ -314,7 +352,7 @@ class Farm:
             self.telemetry.count("farm.worker_crashes")
             self.telemetry.count("farm.retries")
             job.attempts += 1
-            time.sleep(self.retry_backoff_s)
+            self.backoff.wait(job.attempts - 1, self._wake)
             return self._compute_serial(job)
 
     # -- parallel path -----------------------------------------------------
@@ -401,7 +439,7 @@ class Farm:
                 job.attempts += 1
                 self.stats.retries += 1
                 self.telemetry.count("farm.retries")
-                time.sleep(self.retry_backoff_s)
+                self.backoff.wait(job.attempts - 1, self._wake)
                 queue.requeue(job)
                 return
             self._finish(queue, job, outcomes, error=f"worker {status}, "
@@ -456,26 +494,57 @@ class Farm:
         return api.resolve_options(options)
 
     @staticmethod
+    def _target_label(
+        index: int,
+        target: object,
+        labels: Optional[Sequence[str]],
+    ) -> str:
+        if labels is not None:
+            return labels[index]
+        if isinstance(target, (str, Path)):
+            return str(target)
+        return f"target-{index}"
+
+    @classmethod
+    def _build_job(
+        cls,
+        index: int,
+        target: object,
+        options: RedFatOptions,
+        labels: Optional[Sequence[str]],
+    ) -> HardenJob:
+        """Load one target into a job; typed load errors propagate."""
+        from repro import api
+
+        program = api.load(target)
+        blob = program.binary.to_bytes()
+        return HardenJob(
+            index=index, label=cls._target_label(index, target, labels),
+            key=content_key(blob, options),
+            binary_bytes=blob, options=options,
+        )
+
+    @classmethod
     def _build_jobs(
+        cls,
         targets: Sequence[object],
         options: RedFatOptions,
         labels: Optional[Sequence[str]],
-    ) -> List[HardenJob]:
-        from repro import api
-
-        jobs = []
+    ) -> Tuple[List[HardenJob], List["_LoadFailure"]]:
+        """``(jobs, load_failures)`` — a target whose load raises a typed
+        error becomes a failed outcome instead of sinking the batch."""
+        jobs: List[HardenJob] = []
+        failures: List[_LoadFailure] = []
         for index, target in enumerate(targets):
-            program = api.load(target)
-            blob = program.binary.to_bytes()
-            if labels is not None:
-                label = labels[index]
-            elif isinstance(target, (str, Path)):
-                label = str(target)
-            else:
-                label = f"target-{index}"
-            jobs.append(HardenJob(
-                index=index, label=label,
-                key=content_key(blob, options),
-                binary_bytes=blob, options=options,
-            ))
-        return jobs
+            try:
+                jobs.append(cls._build_job(index, target, options, labels))
+            except (ReproError, FileNotFoundError, OSError) as error:
+                failures.append(_LoadFailure(
+                    index=index,
+                    outcome=JobOutcome(
+                        label=cls._target_label(index, target, labels),
+                        key="", source="load",
+                        error=f"{type(error).__name__}: {error}",
+                    ),
+                ))
+        return jobs, failures

@@ -3,9 +3,10 @@
 Run: ``python -m repro.faults.campaign --seeds 50``
 
 Each seed arms one :class:`~repro.faults.injector.FaultInjector` and
-drives the full pipeline — strip, harden (``keep_going``), load, run
-under the VM watchdog — against a heap-heavy guest program.  Every run
-must end in one of three accounted outcomes:
+drives the full pipeline — strip, harden (``keep_going``) through the
+service layer's admission ladder and job journal into the farm's serial
+path, load, run under the VM watchdog — against a heap-heavy guest
+program.  Every run must end in one of three accounted outcomes:
 
 ``detected``
     A defense fired: a :class:`~repro.errors.GuestMemoryError` /
@@ -39,15 +40,16 @@ the per-seed RNG.
 from __future__ import annotations
 
 import argparse
+import tempfile
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.cc import CompiledProgram, compile_source
 from repro.core import RedFatOptions
 from repro.errors import GuestMemoryError, ReproError, VMTimeoutError
 from repro.faults.injector import FaultInjector, injection
 from repro.faults.points import point_names
-from repro.farm import ArtifactCache, Farm
+from repro.service.jobs import JobManager
 from repro.telemetry.hub import Telemetry, coerce
 
 #: Outcome labels (the complete, closed set).
@@ -118,6 +120,10 @@ class FaultRunRecord:
     #: The VM's superblock engine latched itself off (``vm.superblock``
     #: fault point) and the run finished on the single-step loop.
     superblock_degraded: bool = False
+    #: The service layer absorbed a fault (journal repair/skip, handler
+    #: key repair, quota fail-open, breaker latch) and still delivered —
+    #: the accounted survival of the ``service.*`` fault points.
+    service_degraded: bool = False
 
 
 @dataclass
@@ -177,12 +183,15 @@ def run_one(
     seed: int,
     program: CompiledProgram,
     reference_output: List[str],
-    point: Optional[str] = None,
+    point: Union[str, Sequence[str], None] = None,
     fuel: int = DEFAULT_FUEL,
     guest_arg: int = DEFAULT_ARG,
 ) -> FaultRunRecord:
     """One seeded fault run through the full pipeline; never raises for
-    pipeline failures — an escaping exception is recorded as UNCAUGHT."""
+    pipeline failures — an escaping exception is recorded as UNCAUGHT.
+
+    *point* may be a sequence of names for a simultaneous multi-fault
+    run (each point fires independently on its own trigger hit)."""
     injector = FaultInjector(seed, point=point)
     record = FaultRunRecord(seed=seed, point=injector.point, fired=False,
                             outcome=CLEAN)
@@ -192,18 +201,24 @@ def run_one(
     # while spans/events record, export corruption when the report
     # serialises.  Either must degrade the hub, never the run.
     tele = Telemetry(max_events=64, meta={"kind": "fault_run", "seed": seed})
-    # Hardening goes through the farm's serial path so the farm.* fault
-    # points (cache frame corruption, worker crash, queue corruption) sit
-    # on the campaign's attack surface alongside the pipeline's own.
-    farm = Farm(
-        jobs=0, cache=ArtifactCache(max_bytes=4 * 1024 * 1024, telemetry=tele),
-        telemetry=tele,
-    )
+    # Hardening goes through the service's admission ladder and job
+    # store (quota -> handler key guard -> breaker -> journal) into the
+    # farm's serial path, so the service.* points sit on the campaign's
+    # attack surface alongside the farm.* points (cache frame
+    # corruption, worker crash, queue corruption) and the pipeline's
+    # own.  ``max_attempts=1`` keeps the original single-shot semantics:
+    # one harden attempt per run (the farm still retries a crashed
+    # worker once internally).
+    state_dir = tempfile.TemporaryDirectory(prefix="redfat-fault-run-")
+    manager = JobManager(state_dir.name, executors=0, max_attempts=1,
+                         telemetry=tele)
+    farm = manager.farm
     with injection(injector):
         try:
             stripped = program.binary.strip()
-            harden = farm.harden_one(
-                stripped, options=RedFatOptions(keep_going=True)
+            harden = manager.harden_sync(
+                stripped.to_bytes(), options=RedFatOptions(keep_going=True),
+                label="campaign", client="campaign",
             )
             runtime = harden.create_runtime(mode="log", telemetry=tele)
             result = program.run(
@@ -251,6 +266,15 @@ def run_one(
                     f"{farm.stats.serial_fallbacks} serial, "
                     f"{farm.cache.stats.rejects} cache rejects"
                 )
+            elif manager.degradation_events():
+                record.outcome = DEGRADED
+                record.detail = (
+                    f"service degraded: "
+                    f"journal {manager.journal.degradation_events()}, "
+                    f"handler {manager.stats.handler_faults}, "
+                    f"quota fail-open {manager.quota.stats.fail_open}, "
+                    f"breaker latched {manager.breaker.stats.latched}"
+                )
             elif result.cpu is not None and result.cpu.superblock.degraded:
                 # The vm.superblock point fired at translation time; the
                 # VM finished the run on the single-step loop.
@@ -266,10 +290,13 @@ def run_one(
     record.fired = injector.fired
     record.telemetry_degraded = tele.degraded
     record.farm_degraded = bool(farm.degradation_events())
+    record.service_degraded = bool(manager.degradation_events())
     if harden is not None:
         record.degraded_sites = harden.stats.degraded_sites
         record.quarantined_sites = harden.stats.quarantined_sites
         record.analysis_fallback = bool(harden.stats.analysis_fallbacks)
+    manager.close()
+    state_dir.cleanup()
     return record
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from contextlib import contextmanager
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 from repro.faults.points import FAULT_POINTS, point_names
 
@@ -31,44 +31,83 @@ _ACTIVE: Optional["FaultInjector"] = None
 
 
 class FaultInjector:
-    """Decides, deterministically from a seed, where one fault fires."""
+    """Decides, deterministically from a seed, where faults fire.
+
+    *point* is one name, a sequence of names (a simultaneous multi-fault
+    run: each point gets its own trigger hit and fires independently),
+    or None to let the seed pick one.  *sticky* overrides the registry's
+    per-point stickiness for every armed point — tests use it to make a
+    normally one-shot fault (e.g. ``farm.worker``) persist, modelling a
+    deterministic poison job.
+
+    With a single point the seed's RNG draws are identical to the
+    original single-point implementation, so existing seeds reproduce
+    the same runs.
+    """
 
     def __init__(
         self,
         seed: int,
-        point: Optional[str] = None,
+        point: Union[str, Sequence[str], None] = None,
         trigger_hit: Optional[int] = None,
         max_hit: int = DEFAULT_MAX_HIT,
+        sticky: Optional[bool] = None,
     ) -> None:
-        if point is not None and point not in FAULT_POINTS:
-            raise ValueError(
-                f"unknown fault point {point!r}; registered: {point_names()}"
-            )
         rng = random.Random(seed)
+        if point is None:
+            points: List[str] = [rng.choice(point_names())]
+        elif isinstance(point, str):
+            points = [point]
+        else:
+            points = list(point)
+        for name in points:
+            if name not in FAULT_POINTS:
+                raise ValueError(
+                    f"unknown fault point {name!r}; "
+                    f"registered: {point_names()}"
+                )
+        if len(set(points)) != len(points):
+            raise ValueError(f"duplicate fault points: {points}")
         self.seed = seed
-        self.point = point if point is not None else rng.choice(point_names())
-        self.trigger_hit = (
-            trigger_hit if trigger_hit is not None else rng.randrange(max_hit)
-        )
+        self.points = points
+        #: Display name; multi-point injectors join with ``+``.
+        self.point = "+".join(points)
+        self.trigger_hits: Dict[str, int] = {
+            name: (trigger_hit if trigger_hit is not None
+                   else rng.randrange(max_hit))
+            for name in points
+        }
+        #: Back-compat: the (first) point's trigger hit.
+        self.trigger_hit = self.trigger_hits[points[0]]
         #: Deterministic source for corruption payloads at the fired site.
         self.payload_rng = random.Random(rng.getrandbits(64))
-        self.sticky = FAULT_POINTS[self.point].sticky
+        self._sticky_override = sticky
+        #: Back-compat: stickiness of the (first) armed point.
+        self.sticky = self._is_sticky(points[0])
         self.hits: Dict[str, int] = {}
+        self.fired_points: Set[str] = set()
         self.fired = False
-        #: The hit index at which the fault actually fired, if it did.
+        #: The hit index at which the first fault fired, if any did.
         self.fired_at: Optional[int] = None
+
+    def _is_sticky(self, name: str) -> bool:
+        if self._sticky_override is not None:
+            return self._sticky_override
+        return FAULT_POINTS[name].sticky
 
     def check(self, name: str) -> bool:
         """One dynamic hit of fault point *name*; True means: inject now."""
         hit = self.hits.get(name, 0)
         self.hits[name] = hit + 1
-        if name != self.point:
+        if name not in self.points:
             return False
-        if self.fired:
-            return self.sticky
-        if hit == self.trigger_hit:
+        if name in self.fired_points:
+            return self._is_sticky(name)
+        if hit == self.trigger_hits[name]:
+            self.fired_points.add(name)
             self.fired = True
-            self.fired_at = hit
+            if self.fired_at is None:
+                self.fired_at = hit
             return True
         return False
 

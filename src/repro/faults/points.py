@@ -130,6 +130,36 @@ register(
     "of losing it or crashing the farm",
 )
 register(
+    "service.journal",
+    "corrupt one job-journal record as it is appended "
+    "(service/journal.py append) — the write-back verification must "
+    "catch it, repair the record in place, and flag the journal "
+    "degraded; replay skips (and counts) any record that still fails "
+    "its checksum, rebuilding job state from the artifact dir",
+)
+register(
+    "service.handler",
+    "corrupt one request admission (service/jobs.py submit) — the "
+    "manager re-derives the job's content key from the durable input "
+    "bytes, repairs the record, and counts the handled fault; the "
+    "daemon answers requests with typed errors, never a naked 500 "
+    "traceback",
+)
+register(
+    "service.quota",
+    "corrupt the per-client token-bucket table (service/quota.py "
+    "admit) — the quota layer fails OPEN to a single conservative "
+    "global bucket (serial admission), counted and flagged, instead of "
+    "refusing all traffic or crashing the daemon",
+)
+register(
+    "service.breaker",
+    "corrupt a circuit breaker's state record (service/breaker.py "
+    "allow) — the board latches that key's breaker open (subsequent "
+    "submissions fail fast), lets the in-flight admission through "
+    "without breaker protection, and flags itself degraded",
+)
+register(
     "telemetry.sink",
     "corrupt the telemetry event/span sink (telemetry/hub.py) — the hub "
     "must degrade (stop recording, count drops, flag itself) instead of "

@@ -1,0 +1,54 @@
+"""Hardening as a service: a crash-safe daemon over the farm.
+
+``repro.service`` turns the batch-oriented :mod:`repro.farm` into a
+long-lived daemon (``redfat serve``) with an async job API — submit a
+binary, poll its job, fetch the hardened artifact — built so that the
+*failure* behaviour is the headline feature:
+
+- :mod:`~repro.service.journal` — the write-ahead job journal:
+  append-only checksummed JSONL with verified writes, repair-in-place,
+  corrupt-line-skipping replay and atomic checkpoints;
+- :mod:`~repro.service.jobs` — the :class:`JobManager`: admission ladder
+  (quota -> backpressure -> key guard -> circuit breaker), supervised
+  executor threads that are respawned when they die, and journal-driven
+  crash recovery that completes interrupted batches exactly once;
+- :mod:`~repro.service.quota` — per-client token buckets that fail
+  *open* to one conservative global bucket under corruption;
+- :mod:`~repro.service.breaker` — per-job-key circuit breakers
+  (CLOSED -> OPEN -> HALF_OPEN) that fail fast on poison jobs and latch
+  open under corruption;
+- :mod:`~repro.service.daemon` — the stdlib HTTP surface with
+  ``/healthz`` / ``/readyz`` / ``/metrics`` and a graceful SIGTERM
+  drain;
+- :mod:`~repro.service.drill` — the kill -9 recovery drill CI runs:
+  SIGKILL a daemon mid-batch, restart it, and assert the journal replay
+  finishes the batch with artifacts byte-identical to an uninterrupted
+  run.
+
+Fault points ``service.journal`` / ``service.handler`` /
+``service.quota`` / ``service.breaker`` put the whole layer on the
+fault campaign's attack surface; every seeded corruption lands in a
+counted, flagged degradation — never an uncaught crash.
+"""
+
+from repro.service.breaker import BreakerBoard, BreakerStats, CircuitBreaker
+from repro.service.daemon import HardeningService, ServiceConfig, serve
+from repro.service.jobs import Job, JobManager, ServiceStats
+from repro.service.journal import Journal
+from repro.service.quota import QuotaBoard, QuotaStats, TokenBucket
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerStats",
+    "CircuitBreaker",
+    "HardeningService",
+    "Job",
+    "JobManager",
+    "Journal",
+    "QuotaBoard",
+    "QuotaStats",
+    "ServiceConfig",
+    "ServiceStats",
+    "TokenBucket",
+    "serve",
+]

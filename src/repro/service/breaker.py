@@ -1,0 +1,251 @@
+"""Per-job-key circuit breakers: fail fast instead of failing repeatedly.
+
+A job key (content address of input bytes + options) that keeps
+crashing or timing out is a *poison job*: retrying it burns a worker
+slot every time and starves well-behaved clients.  Each key gets a
+classic three-state breaker:
+
+::
+
+            failures >= threshold
+    CLOSED ───────────────────────► OPEN
+      ▲                              │ reset_timeout_s elapsed
+      │ probe succeeds               ▼
+      └────────────────────────── HALF_OPEN ──probe fails──► OPEN
+
+- **CLOSED** — requests flow; consecutive failures are counted, any
+  success resets the count.
+- **OPEN** — requests fail fast with the typed
+  :class:`~repro.errors.CircuitOpenError` (HTTP 429 + Retry-After at
+  the daemon) without touching a worker.
+- **HALF_OPEN** — after the cooldown, exactly one probe request is
+  admitted.  Success closes the breaker; failure re-opens it and
+  restarts the cooldown.
+
+The clock is injectable so tests (and the deterministic campaign) can
+advance time without sleeping.
+
+The ``service.breaker`` fault point models breaker-state corruption: the
+board *latches* the affected key's breaker open (subsequent submissions
+fail fast — the conservative direction), lets the in-flight admission
+proceed without breaker protection, and flags itself degraded.  A
+corrupted safety interlock must never silently turn into "allow
+everything forever".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.faults.injector import fault_point
+from repro.telemetry.hub import Telemetry, coerce
+
+#: Consecutive failures that trip a breaker.
+DEFAULT_FAILURE_THRESHOLD = 3
+
+#: Cooldown before an open breaker admits a half-open probe.
+DEFAULT_RESET_TIMEOUT_S = 30.0
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+#: A breaker latched open by injected/detected state corruption.
+LATCHED = "latched"
+
+#: Admission verdicts handed to the caller.
+ALLOW = "allow"
+PROBE = "probe"
+REJECT = "reject"
+#: Corrupted breaker: the caller may proceed, unprotected, this once.
+BYPASS = "bypass"
+
+
+@dataclass
+class CircuitBreaker:
+    """One key's breaker (state machine above)."""
+
+    failure_threshold: int = DEFAULT_FAILURE_THRESHOLD
+    reset_timeout_s: float = DEFAULT_RESET_TIMEOUT_S
+    clock: Callable[[], float] = time.monotonic
+    state: str = CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    #: A half-open probe is in flight; other requests keep failing fast.
+    probing: bool = False
+    #: How often this breaker tripped (telemetry mirror).
+    trips: int = 0
+
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker will admit a probe (0 when it would
+        right now)."""
+        if self.state not in (OPEN, LATCHED):
+            return 0.0
+        if self.state == LATCHED:
+            return self.reset_timeout_s
+        remaining = (self.opened_at + self.reset_timeout_s) - self.clock()
+        return max(remaining, 0.0)
+
+    def allow(self) -> str:
+        """Admission verdict for one request: ALLOW, PROBE or REJECT."""
+        if self.state == LATCHED:
+            return REJECT
+        if self.state == CLOSED:
+            return ALLOW
+        if self.state == OPEN:
+            if self.clock() - self.opened_at >= self.reset_timeout_s:
+                self.state = HALF_OPEN
+                self.probing = True
+                return PROBE
+            return REJECT
+        # HALF_OPEN: one probe at a time.
+        if self.probing:
+            return REJECT
+        self.probing = True
+        return PROBE
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.probing = False
+        if self.state in (OPEN, HALF_OPEN):
+            self.state = CLOSED
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        now_probing, self.probing = self.probing, False
+        if self.state == HALF_OPEN or (
+            self.state == CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = OPEN
+            self.opened_at = self.clock()
+            self.trips += 1
+        elif self.state == OPEN and now_probing:
+            # Defensive: a probe bookkept against an already-open breaker
+            # restarts the cooldown.
+            self.opened_at = self.clock()
+
+    def latch(self) -> None:
+        """Pin the breaker open (detected state corruption)."""
+        self.state = LATCHED
+        self.probing = False
+
+
+@dataclass
+class BreakerStats:
+    """Aggregate accounting across the board."""
+
+    trips: int = 0
+    rejections: int = 0
+    probes: int = 0
+    recoveries: int = 0
+    #: Breakers latched open by injected/detected corruption.
+    latched: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "trips": self.trips,
+            "rejections": self.rejections,
+            "probes": self.probes,
+            "recoveries": self.recoveries,
+            "latched": self.latched,
+        }
+
+
+class BreakerBoard:
+    """All per-key breakers plus the corruption (fault-point) contract."""
+
+    def __init__(
+        self,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        reset_timeout_s: float = DEFAULT_RESET_TIMEOUT_S,
+        clock: Callable[[], float] = time.monotonic,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.clock = clock
+        self.telemetry = coerce(telemetry)
+        self.stats = BreakerStats()
+        self.degraded = False
+        self.degraded_reason = ""
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    def _breaker(self, key: str) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = self._breakers[key] = CircuitBreaker(
+                failure_threshold=self.failure_threshold,
+                reset_timeout_s=self.reset_timeout_s,
+                clock=self.clock,
+            )
+        return breaker
+
+    def state(self, key: str) -> str:
+        with self._lock:
+            return self._breaker(key).state
+
+    def open_keys(self) -> List[str]:
+        with self._lock:
+            return sorted(
+                key for key, breaker in self._breakers.items()
+                if breaker.state in (OPEN, LATCHED)
+            )
+
+    def degradation_events(self) -> int:
+        return self.stats.latched
+
+    # -- admission -----------------------------------------------------------
+
+    def allow(self, key: str) -> str:
+        """Verdict for one submission of *key*: ALLOW, PROBE, REJECT or
+        BYPASS (corrupted breaker — proceed unprotected, accounted)."""
+        with self._lock:
+            breaker = self._breaker(key)
+            if fault_point("service.breaker"):
+                breaker.latch()
+                self.stats.latched += 1
+                self.degraded = True
+                if not self.degraded_reason:
+                    self.degraded_reason = (
+                        "breaker state corrupted; key latched open"
+                    )
+                self.telemetry.count("service.breaker.latched")
+                self.telemetry.event("breaker_latched", key=key)
+                return BYPASS
+            verdict = breaker.allow()
+            if verdict == PROBE:
+                self.stats.probes += 1
+                self.telemetry.count("service.breaker.probes")
+            elif verdict == REJECT:
+                self.stats.rejections += 1
+                self.telemetry.count("service.breaker.rejections")
+            return verdict
+
+    def retry_after_s(self, key: str) -> float:
+        with self._lock:
+            return self._breaker(key).retry_after_s()
+
+    # -- outcomes ------------------------------------------------------------
+
+    def record_success(self, key: str) -> None:
+        with self._lock:
+            breaker = self._breaker(key)
+            was_probing = breaker.state == HALF_OPEN
+            breaker.record_success()
+            if was_probing:
+                self.stats.recoveries += 1
+                self.telemetry.count("service.breaker.recoveries")
+
+    def record_failure(self, key: str) -> None:
+        with self._lock:
+            breaker = self._breaker(key)
+            before = breaker.trips
+            breaker.record_failure()
+            if breaker.trips > before:
+                self.stats.trips += 1
+                self.telemetry.count("service.breaker.trips")
+                self.telemetry.event("breaker_tripped", key=key)

@@ -1,0 +1,419 @@
+"""``redfat serve`` — hardening as a long-lived service.
+
+A stdlib-only daemon (:class:`ThreadingHTTPServer`) exposing the farm as
+an async job API:
+
+- ``POST /v1/jobs`` — submit a binary image (raw request body; options
+  preset / label / client in ``X-RedFat-*`` headers).  Answers ``202``
+  with the queued job, or ``429`` + ``Retry-After`` when a quota, the
+  queue bound, or a circuit breaker rejects;
+- ``GET /v1/jobs`` / ``GET /v1/jobs/<id>`` — poll job state;
+- ``GET /v1/jobs/<id>/artifact`` — fetch the hardened binary image;
+- ``GET /healthz`` — liveness (the process is serving requests);
+- ``GET /readyz`` — readiness (``503`` once draining);
+- ``GET /metrics`` — the manager's stats plus the telemetry export.
+
+Every error answer is a typed JSON document — the handler catches
+everything; a stack trace never leaves the process.  On ``SIGTERM`` the
+daemon drains gracefully: readiness drops, submissions are refused,
+in-flight jobs finish (retry pauses cut short), the journal is
+checkpointed, and the process exits 0.  After a ``SIGKILL`` the next
+start replays the journal instead (see :meth:`JobManager.recover`) —
+the recovery drill in :mod:`repro.service.drill` exercises exactly that.
+
+The bound port is published to ``<state_dir>/service.port`` once the
+socket is listening, so scripts can use ``--port 0`` (ephemeral) and
+still find the daemon.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.errors import (
+    BackpressureError,
+    CircuitOpenError,
+    QuotaExceededError,
+    ServiceError,
+)
+from repro.service.breaker import BreakerBoard
+from repro.service.jobs import JobManager
+from repro.service.quota import QuotaBoard
+from repro.telemetry.hub import Telemetry, coerce
+
+#: Name of the port-discovery file inside the state directory.
+PORT_FILE = "service.port"
+
+#: How often the maintenance thread re-checks executor health.
+SUPERVISE_INTERVAL_S = 1.0
+
+
+@dataclass
+class ServiceConfig:
+    """Everything one daemon instance needs to run."""
+
+    state_dir: Union[str, Path]
+    host: str = "127.0.0.1"
+    port: int = 0
+    jobs: int = 0
+    executors: int = 2
+    queue_capacity: int = 64
+    max_attempts: int = 2
+    quota_capacity: float = 8.0
+    quota_refill_per_s: float = 4.0
+    breaker_threshold: int = 3
+    breaker_reset_s: float = 30.0
+    drain_timeout_s: float = 60.0
+    #: Artificial per-job pause; the recovery drill's determinism lever.
+    throttle_s: float = 0.0
+    verbose: bool = False
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP onto the service; every response is typed JSON."""
+
+    #: Injected by :meth:`HardeningService._make_server`.
+    service: "HardeningService"
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.service.config.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _reply_json(
+        self,
+        status: int,
+        document: Dict[str, Any],
+        retry_after_s: Optional[float] = None,
+    ) -> None:
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            self.send_header("Retry-After", str(max(int(retry_after_s + 0.999), 1)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_bytes(self, payload: bytes) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _reply_error(self, status: int, error: BaseException,
+                     retry_after_s: Optional[float] = None) -> None:
+        document = {"error": type(error).__name__, "message": str(error)}
+        if retry_after_s is not None:
+            document["retry_after_s"] = round(retry_after_s, 3)
+        self._reply_json(status, document, retry_after_s=retry_after_s)
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        try:
+            self._route_post()
+        except Exception as error:  # the no-naked-500 contract
+            self.service.telemetry.count("service.http_errors")
+            self._reply_error(500, error)
+
+    def do_GET(self) -> None:  # noqa: N802
+        try:
+            self._route_get()
+        except Exception as error:
+            self.service.telemetry.count("service.http_errors")
+            self._reply_error(500, error)
+
+    def _route_post(self) -> None:
+        if self.path.rstrip("/") != "/v1/jobs":
+            self._reply_json(404, {"error": "NotFound", "message": self.path})
+            return
+        length = int(self.headers.get("Content-Length", "0") or "0")
+        if length <= 0:
+            self._reply_json(400, {
+                "error": "BadRequest",
+                "message": "request body must be a binary image",
+            })
+            return
+        blob = self.rfile.read(length)
+        options = self.headers.get("X-RedFat-Options", "") or None
+        label = self.headers.get("X-RedFat-Label", "")
+        client = self.headers.get("X-RedFat-Client", "anonymous")
+        try:
+            job = self.service.manager.submit(
+                blob, options=options, label=label, client=client,
+            )
+        except (QuotaExceededError, BackpressureError, CircuitOpenError) as error:
+            self._reply_error(429, error,
+                              retry_after_s=getattr(error, "retry_after_s", 1.0))
+            return
+        except ServiceError as error:
+            # Draining (or another typed refusal): not ready, try elsewhere.
+            self._reply_error(503, error, retry_after_s=1.0)
+            return
+        except (ValueError, KeyError) as error:
+            self._reply_error(400, error)
+            return
+        self._reply_json(202, {"job": job.as_dict()})
+
+    def _route_get(self) -> None:
+        path = self.path.rstrip("/") or "/"
+        if path == "/healthz":
+            self._reply_json(200, {"status": "ok"})
+            return
+        if path == "/readyz":
+            if self.service.draining:
+                self._reply_json(503, {"status": "draining"},
+                                 retry_after_s=1.0)
+            else:
+                self._reply_json(200, {"status": "ready"})
+            return
+        if path == "/metrics":
+            self._reply_json(200, self.service.metrics())
+            return
+        if path == "/v1/jobs":
+            jobs = [job.as_dict() for job in self.service.manager.jobs()]
+            self._reply_json(200, {"jobs": jobs})
+            return
+        job_id, want_artifact = self._parse_job_path(path)
+        if job_id is None:
+            self._reply_json(404, {"error": "NotFound", "message": self.path})
+            return
+        job = self.service.manager.job(job_id)
+        if job is None:
+            self._reply_json(404, {
+                "error": "NotFound", "message": f"no such job {job_id!r}",
+            })
+            return
+        if not want_artifact:
+            self._reply_json(200, {"job": job.as_dict()})
+            return
+        try:
+            payload = self.service.manager.artifact_bytes(job_id)
+        except ServiceError as error:
+            self._reply_error(409, error)
+            return
+        self._reply_bytes(payload)
+
+    @staticmethod
+    def _parse_job_path(path: str) -> Tuple[Optional[str], bool]:
+        parts = [part for part in path.split("/") if part]
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            return parts[2], False
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"] \
+                and parts[3] == "artifact":
+            return parts[2], True
+        return None, False
+
+
+class HardeningService:
+    """One daemon: a :class:`JobManager` behind a threading HTTP server."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.config = config
+        self.telemetry = coerce(telemetry)
+        state_dir = Path(config.state_dir)
+        state_dir.mkdir(parents=True, exist_ok=True)
+        self.manager = JobManager(
+            state_dir,
+            jobs=config.jobs,
+            executors=config.executors,
+            queue_capacity=config.queue_capacity,
+            max_attempts=config.max_attempts,
+            quota=QuotaBoard(
+                capacity=config.quota_capacity,
+                refill_per_s=config.quota_refill_per_s,
+                telemetry=self.telemetry,
+            ),
+            breaker=BreakerBoard(
+                failure_threshold=config.breaker_threshold,
+                reset_timeout_s=config.breaker_reset_s,
+                telemetry=self.telemetry,
+            ),
+            telemetry=self.telemetry,
+            throttle_s=config.throttle_s,
+        )
+        self.draining = False
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._serve_thread: Optional[threading.Thread] = None
+        self._supervisor: Optional[threading.Thread] = None
+        self._stop_supervisor = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return 0
+        return self._httpd.server_address[1]
+
+    def start(self) -> "HardeningService":
+        """Recover, bind, publish the port, start serving (background)."""
+        summary = self.manager.recover()
+        self.telemetry.event("service_recovered", **summary)
+        self.manager.ensure_executors()
+        handler = type("BoundHandler", (_Handler,), {"service": self})
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler,
+        )
+        self._httpd.daemon_threads = True
+        port_file = Path(self.config.state_dir) / PORT_FILE
+        port_file.write_text(f"{self.port}\n", encoding="utf-8")
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="redfat-serve", daemon=True,
+        )
+        self._serve_thread.start()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="redfat-supervise", daemon=True,
+        )
+        self._supervisor.start()
+        self.telemetry.event("service_started", port=self.port)
+        return self
+
+    def _supervise(self) -> None:
+        """Respawn dead executors until shutdown (the healing timer)."""
+        while not self._stop_supervisor.wait(SUPERVISE_INTERVAL_S):
+            self.manager.ensure_executors()
+
+    def stop(self, drain: bool = True) -> bool:
+        """Shut down; with *drain*, finish in-flight work first."""
+        self.draining = True
+        self._stop_supervisor.set()
+        drained = True
+        if drain:
+            drained = self.manager.drain(timeout_s=self.config.drain_timeout_s)
+        else:
+            self.manager.close()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        try:
+            (Path(self.config.state_dir) / PORT_FILE).unlink()
+        except OSError:
+            pass
+        self.telemetry.event("service_stopped", drained=drained)
+        return drained
+
+    def __enter__(self) -> "HardeningService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop(drain=False)
+        return False
+
+    # -- metrics -------------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        document = self.manager.stats_dict()
+        document["draining"] = self.draining
+        document["port"] = self.port
+        document["telemetry"] = {
+            "counters": dict(self.telemetry.as_dict().get("counters", {})),
+        }
+        return document
+
+
+def serve(
+    config: ServiceConfig,
+    telemetry: Optional[Telemetry] = None,
+) -> int:
+    """Run a daemon in the foreground until SIGTERM/SIGINT; returns 0.
+
+    The signal handler triggers the graceful drain: stop accepting,
+    finish in-flight jobs, checkpoint the journal, exit cleanly.
+    """
+    service = HardeningService(config, telemetry=telemetry)
+    done = threading.Event()
+
+    def request_shutdown(signum: int, frame: object) -> None:
+        done.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, request_shutdown)
+    try:
+        service.start()
+        print(f"redfat serve: listening on "
+              f"{service.config.host}:{service.port} "
+              f"(state: {service.config.state_dir})")
+        done.wait()
+        print("redfat serve: draining...")
+        drained = service.stop(drain=True)
+        print("redfat serve: drained" if drained
+              else "redfat serve: drain timed out")
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return 0
+
+
+def build_config(namespace: argparse.Namespace) -> ServiceConfig:
+    """A :class:`ServiceConfig` from parsed ``redfat serve`` arguments."""
+    return ServiceConfig(
+        state_dir=namespace.state_dir,
+        host=namespace.host,
+        port=namespace.port,
+        jobs=namespace.jobs,
+        executors=namespace.executors,
+        queue_capacity=namespace.queue_capacity,
+        quota_capacity=namespace.quota_capacity,
+        quota_refill_per_s=namespace.quota_refill,
+        breaker_threshold=namespace.breaker_threshold,
+        breaker_reset_s=namespace.breaker_reset,
+        drain_timeout_s=namespace.drain_timeout,
+        throttle_s=namespace.throttle,
+        verbose=namespace.verbose,
+    )
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``redfat serve`` argument set (shared with ``python -m``)."""
+    parser.add_argument("--state-dir", required=True,
+                        help="durable state directory (journal, inputs, artifacts)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 = ephemeral; the bound port is written to "
+                             "<state-dir>/service.port")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="farm worker processes (0 = in-process serial)")
+    parser.add_argument("--executors", type=int, default=2,
+                        help="service executor threads")
+    parser.add_argument("--queue-capacity", type=int, default=64)
+    parser.add_argument("--quota-capacity", type=float, default=8.0)
+    parser.add_argument("--quota-refill", type=float, default=4.0)
+    parser.add_argument("--breaker-threshold", type=int, default=3)
+    parser.add_argument("--breaker-reset", type=float, default=30.0)
+    parser.add_argument("--drain-timeout", type=float, default=60.0)
+    parser.add_argument("--throttle", type=float, default=0.0,
+                        help="artificial per-job pause (testing)")
+    parser.add_argument("--verbose", action="store_true")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.daemon",
+        description="Run the RedFat hardening service daemon.",
+    )
+    add_arguments(parser)
+    return serve(build_config(parser.parse_args(argv)))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,302 @@
+"""The kill -9 recovery drill: prove the journal survives a hard crash.
+
+The drill is the service's acceptance test, run by CI and usable by
+hand::
+
+    PYTHONPATH=src python -m repro.service.drill --work /tmp/drill
+
+It stages the exact failure the journal exists for:
+
+1. harden a small batch *serially* to establish reference artifacts;
+2. start a daemon (throttled so jobs take a while), submit the batch;
+3. ``SIGKILL`` the daemon mid-batch — no drain, no checkpoint, no
+   goodbye;
+4. restart the daemon on the same state directory and wait: journal
+   replay must re-enqueue the interrupted jobs and finish the batch;
+5. assert every job completed **exactly once** and every artifact is
+   **byte-identical** to its uninterrupted reference;
+6. ``SIGTERM`` the daemon and assert a graceful exit 0.
+
+Everything speaks the public HTTP API, so the drill also covers the
+daemon surface end to end (submit, poll, fetch, readyz).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro
+from repro import api
+from repro.cc import compile_source
+from repro.service.daemon import PORT_FILE
+
+#: MiniC template for the drill's batch (one program per constant, so
+#: every job is a distinct cache key).
+_PROGRAM = """
+int main() {
+    int *xs = malloc(32);
+    for (int i = 0; i < 8; i = i + 1) xs[i] = i * %d;
+    int acc = 0;
+    for (int i = 0; i < 8; i = i + 1) acc = acc + xs[i];
+    free(xs);
+    print(acc);
+    return 0;
+}
+"""
+
+DEFAULT_BATCH = 4
+DEFAULT_KILL_AFTER_S = 0.8
+DEFAULT_THROTTLE_S = 0.4
+DEFAULT_TIMEOUT_S = 60.0
+
+
+class DrillError(AssertionError):
+    """One of the drill's assertions failed."""
+
+
+def _build_batch(size: int) -> List[Tuple[str, bytes, bytes]]:
+    """``(label, input bytes, reference artifact bytes)`` per job."""
+    batch = []
+    for index in range(size):
+        program = compile_source(_PROGRAM % (index + 3))
+        blob = program.binary.to_bytes()
+        reference = api.harden(program.binary).binary.to_bytes()
+        batch.append((f"drill-{index}", blob, reference))
+    return batch
+
+
+# -- the HTTP client side ---------------------------------------------------
+
+
+def _request(
+    method: str,
+    url: str,
+    body: Optional[bytes] = None,
+    headers: Optional[Dict[str, str]] = None,
+    timeout: float = 10.0,
+) -> Tuple[int, bytes]:
+    request = urllib.request.Request(
+        url, data=body, headers=headers or {}, method=method,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def _get_json(url: str, timeout: float = 10.0) -> Tuple[int, Dict[str, Any]]:
+    status, payload = _request("GET", url, timeout=timeout)
+    try:
+        return status, json.loads(payload.decode("utf-8"))
+    except ValueError:
+        return status, {}
+
+
+# -- the daemon side --------------------------------------------------------
+
+
+def _spawn_daemon(
+    state_dir: Path,
+    log_path: Path,
+    throttle_s: float,
+) -> "subprocess.Popen[bytes]":
+    src_root = Path(repro.__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_root)] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    command = [
+        sys.executable, "-m", "repro.service.daemon",
+        "--state-dir", str(state_dir),
+        "--port", "0",
+        "--executors", "1",
+        "--throttle", str(throttle_s),
+    ]
+    log = open(log_path, "ab")
+    try:
+        return subprocess.Popen(command, stdout=log, stderr=log, env=env)
+    finally:
+        log.close()
+
+
+def _wait_for_port(state_dir: Path, proc: "subprocess.Popen[bytes]",
+                   timeout_s: float) -> int:
+    """Block until the daemon publishes its port (and answers healthz)."""
+    port_file = state_dir / PORT_FILE
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise DrillError(
+                f"daemon exited with {proc.returncode} before binding"
+            )
+        if port_file.exists():
+            text = port_file.read_text(encoding="utf-8").strip()
+            if text.isdigit():
+                port = int(text)
+                status, _ = _get_json(
+                    f"http://127.0.0.1:{port}/healthz", timeout=2.0,
+                )
+                if status == 200:
+                    return port
+        time.sleep(0.05)
+    raise DrillError("daemon did not publish a port in time")
+
+
+def _poll_until_settled(base: str, expect: int, timeout_s: float) -> List[dict]:
+    """Poll ``/v1/jobs`` until *expect* jobs reached a terminal state."""
+    deadline = time.monotonic() + timeout_s
+    jobs: List[dict] = []
+    while time.monotonic() < deadline:
+        status, document = _get_json(f"{base}/v1/jobs", timeout=5.0)
+        if status == 200:
+            jobs = document.get("jobs", [])
+            done = [job for job in jobs
+                    if job.get("state") in ("done", "failed")]
+            if len(jobs) >= expect and len(done) == len(jobs):
+                return jobs
+        time.sleep(0.1)
+    raise DrillError(
+        f"jobs did not settle in {timeout_s:.0f}s: "
+        + json.dumps([{k: j.get(k) for k in ("id", "state", "error")}
+                      for j in jobs])
+    )
+
+
+# -- the drill itself -------------------------------------------------------
+
+
+def run_drill(
+    work_dir: Path,
+    batch_size: int = DEFAULT_BATCH,
+    kill_after_s: float = DEFAULT_KILL_AFTER_S,
+    throttle_s: float = DEFAULT_THROTTLE_S,
+    timeout_s: float = DEFAULT_TIMEOUT_S,
+) -> Dict[str, Any]:
+    """Run the full kill/restart/recover drill; raises :class:`DrillError`
+    on any violated invariant, returns a summary dict on success."""
+    work_dir.mkdir(parents=True, exist_ok=True)
+    state_dir = work_dir / "state"
+    log_path = work_dir / "daemon.log"
+    batch = _build_batch(batch_size)
+
+    # Phase 1: a throttled daemon, killed without ceremony mid-batch.
+    first = _spawn_daemon(state_dir, log_path, throttle_s=throttle_s)
+    try:
+        port = _wait_for_port(state_dir, first, timeout_s=15.0)
+        base = f"http://127.0.0.1:{port}"
+        for label, blob, _ in batch:
+            status, payload = _request(
+                "POST", f"{base}/v1/jobs", body=blob,
+                headers={"X-RedFat-Label": label, "X-RedFat-Client": "drill"},
+            )
+            if status != 202:
+                raise DrillError(
+                    f"submit {label} answered {status}: {payload[:200]!r}"
+                )
+        time.sleep(kill_after_s)
+        first.kill()  # SIGKILL: no drain, no checkpoint
+        first.wait(timeout=10.0)
+    finally:
+        if first.poll() is None:
+            first.kill()
+    (state_dir / PORT_FILE).unlink(missing_ok=True)
+
+    # Phase 2: restart on the same state dir; replay must finish the batch.
+    second = _spawn_daemon(state_dir, log_path, throttle_s=0.0)
+    try:
+        port = _wait_for_port(state_dir, second, timeout_s=15.0)
+        base = f"http://127.0.0.1:{port}"
+        jobs = _poll_until_settled(base, expect=batch_size,
+                                   timeout_s=timeout_s)
+        if len(jobs) != batch_size:
+            raise DrillError(
+                f"expected exactly {batch_size} jobs after recovery, "
+                f"found {len(jobs)} (duplicate or lost submissions)"
+            )
+        by_label = {job["label"]: job for job in jobs}
+        recovered = 0
+        for label, _, reference in batch:
+            job = by_label.get(label)
+            if job is None:
+                raise DrillError(f"job {label} lost across the crash")
+            if job["state"] != "done":
+                raise DrillError(
+                    f"job {label} ended {job['state']!r}: {job.get('error')}"
+                )
+            recovered += 1 if job.get("recovered") else 0
+            status, artifact = _request(
+                "GET", f"{base}/v1/jobs/{job['id']}/artifact",
+            )
+            if status != 200:
+                raise DrillError(f"artifact fetch for {label} answered {status}")
+            if artifact != reference:
+                raise DrillError(
+                    f"artifact for {label} differs from the uninterrupted "
+                    f"reference ({len(artifact)} vs {len(reference)} bytes)"
+                )
+
+        # Phase 3: graceful drain — SIGTERM must exit 0.
+        second.send_signal(signal.SIGTERM)
+        second.wait(timeout=20.0)
+        if second.returncode != 0:
+            raise DrillError(
+                f"SIGTERM drain exited {second.returncode}, expected 0"
+            )
+        return {
+            "batch": batch_size,
+            "completed": batch_size,
+            "recovered_jobs": recovered,
+            "graceful_exit": second.returncode,
+        }
+    finally:
+        if second.poll() is None:
+            second.kill()
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.drill",
+        description="Kill -9 a hardening daemon mid-batch and assert the "
+                    "journal recovers the work.",
+    )
+    parser.add_argument("--work", required=True,
+                        help="scratch directory for state + logs")
+    parser.add_argument("--batch", type=int, default=DEFAULT_BATCH)
+    parser.add_argument("--kill-after", type=float,
+                        default=DEFAULT_KILL_AFTER_S)
+    parser.add_argument("--throttle", type=float, default=DEFAULT_THROTTLE_S)
+    parser.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT_S)
+    namespace = parser.parse_args(argv)
+    try:
+        summary = run_drill(
+            Path(namespace.work),
+            batch_size=namespace.batch,
+            kill_after_s=namespace.kill_after,
+            throttle_s=namespace.throttle,
+            timeout_s=namespace.timeout,
+        )
+    except DrillError as error:
+        print(f"DRILL FAILED: {error}", file=sys.stderr)
+        log = Path(namespace.work) / "daemon.log"
+        if log.exists():
+            tail = log.read_text(errors="replace").splitlines()[-40:]
+            print("\n".join(tail), file=sys.stderr)
+        return 1
+    print("recovery drill passed: "
+          + json.dumps(summary, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,685 @@
+"""The service's job store and executors: submit, run, recover.
+
+:class:`JobManager` is the daemon's engine room — the HTTP layer in
+:mod:`repro.service.daemon` is a thin translation onto it, and the fault
+campaign drives it directly through :meth:`JobManager.harden_sync`.  One
+manager owns:
+
+- a durable **state directory**: ``journal.jsonl`` (the write-ahead
+  journal), ``inputs/`` (submitted binaries, content-addressed), and
+  ``artifacts/`` (the farm's disk-tier artifact cache);
+- the **admission ladder** every submission climbs: token-bucket quota
+  (:class:`~repro.service.quota.QuotaBoard`) -> queue backpressure ->
+  content-key derivation (guarded by the ``service.handler`` fault
+  point) -> per-key circuit breaker
+  (:class:`~repro.service.breaker.BreakerBoard`).  Every rung rejects
+  with a *typed* error carrying ``retry_after_s`` — the daemon's 429s;
+- the **executors**: worker threads draining the queue through an owned
+  :class:`~repro.farm.scheduler.Farm` (so the farm's crash-retry ladder
+  and fault surface sit on the service path too).  An executor that dies
+  is respawned by :meth:`ensure_executors` and the incident counted
+  (``service.executor_restarts``) — supervision, not hope;
+- **recovery**: :meth:`recover` replays the journal on startup,
+  re-enqueues interrupted jobs, heals jobs whose completion record was
+  lost by cross-checking the artifact cache, and compacts the journal.
+  An unusable journal file degrades to a rebuild from the artifact
+  directory — the daemon starts either way.
+
+Exactly-once across a crash: a job's identity is its journal ``submit``
+record; replay re-runs only jobs with no terminal record *and* no
+artifact, so a re-run is always the completion of work that never
+finished, never a duplicate of work that did.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Set, Union
+
+from repro.core.options import RedFatOptions
+from repro.core.redfat_tool import HardenResult
+from repro.errors import (
+    BackpressureError,
+    CircuitOpenError,
+    JournalError,
+    ReproError,
+    ServiceError,
+)
+from repro.farm.backoff import BackoffPolicy
+from repro.farm.cache import ArtifactCache, content_key
+from repro.farm.scheduler import Farm
+from repro.faults.injector import fault_point, payload_rng
+from repro.service.breaker import BreakerBoard, REJECT
+from repro.service.journal import Journal
+from repro.service.quota import QuotaBoard
+from repro.telemetry.hub import Telemetry, coerce
+
+#: Job states (the journal's ``kind`` values mirror the transitions).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Default bound on queued-but-unstarted jobs (backpressure threshold).
+DEFAULT_QUEUE_CAPACITY = 64
+
+#: Default executor thread count.
+DEFAULT_EXECUTORS = 2
+
+#: Service-level attempts per job (each may include farm-level retries).
+DEFAULT_MAX_ATTEMPTS = 2
+
+
+def _corrupt_key(key: str) -> str:
+    """Deterministic corruption of a job key (``service.handler`` payload)."""
+    rng = payload_rng()
+    if not key:
+        return "0" * 8
+    index = rng.randrange(len(key))
+    return key[:index] + ("x" if key[index] != "x" else "y") + key[index + 1:]
+
+
+@dataclass
+class Job:
+    """One submitted hardening job (journal-backed state)."""
+
+    id: str
+    key: str
+    label: str
+    client: str
+    #: Preset name (HTTP path) or canonical options key (sync path).
+    options_spec: str
+    #: Content address of the input bytes under ``inputs/``.
+    input_sha: str
+    state: str = QUEUED
+    error: str = ""
+    attempts: int = 0
+    #: True when this job was re-enqueued (or healed) by crash recovery.
+    recovered: bool = False
+    #: Resolved options object; None until (re)resolved.
+    options: Optional[RedFatOptions] = None
+    #: Transient execution result / exception (never journaled).
+    _result: Optional[HardenResult] = None
+    _exception: Optional[BaseException] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The job's wire representation (HTTP status responses)."""
+        return {
+            "id": self.id,
+            "key": self.key,
+            "label": self.label,
+            "client": self.client,
+            "options": self.options_spec,
+            "input": self.input_sha,
+            "state": self.state,
+            "error": self.error,
+            "attempts": self.attempts,
+            "recovered": self.recovered,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate accounting for one manager (mirrors ``service.*``)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected_quota: int = 0
+    rejected_breaker: int = 0
+    rejected_backpressure: int = 0
+    #: ``service.handler`` corruptions caught by key re-derivation.
+    handler_faults: int = 0
+    #: Executor threads found dead and respawned.
+    executor_restarts: int = 0
+    #: Interrupted jobs re-enqueued by journal replay.
+    recovered: int = 0
+    #: Jobs healed to DONE from the artifact dir (lost completion record).
+    healed_from_artifacts: int = 0
+    #: Journals too broken to replay, rebuilt from the artifact dir.
+    journal_rebuilds: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected_quota": self.rejected_quota,
+            "rejected_breaker": self.rejected_breaker,
+            "rejected_backpressure": self.rejected_backpressure,
+            "handler_faults": self.handler_faults,
+            "executor_restarts": self.executor_restarts,
+            "recovered": self.recovered,
+            "healed_from_artifacts": self.healed_from_artifacts,
+            "journal_rebuilds": self.journal_rebuilds,
+        }
+
+
+class JobManager:
+    """Durable job store + admission ladder + supervised executors."""
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        jobs: int = 0,
+        executors: int = DEFAULT_EXECUTORS,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        quota: Optional[QuotaBoard] = None,
+        breaker: Optional[BreakerBoard] = None,
+        backoff: Optional[BackoffPolicy] = None,
+        telemetry: Optional[Telemetry] = None,
+        throttle_s: float = 0.0,
+    ) -> None:
+        """*executors* = 0 gives a synchronous manager (the campaign's
+        mode): jobs run inline on the submitting thread.  *throttle_s*
+        pauses each execution — the recovery drill's lever for making
+        "killed mid-batch" deterministic."""
+        self.state_dir = Path(state_dir)
+        self.inputs_dir = self.state_dir / "inputs"
+        self.inputs_dir.mkdir(parents=True, exist_ok=True)
+        self.telemetry = coerce(telemetry)
+        self.journal = Journal(self.state_dir / "journal.jsonl",
+                               telemetry=self.telemetry)
+        self.cache = ArtifactCache(cache_dir=self.state_dir / "artifacts",
+                                   telemetry=self.telemetry)
+        self.farm = Farm(jobs=jobs, cache=self.cache,
+                         telemetry=self.telemetry, backoff=backoff)
+        self.quota = quota if quota is not None \
+            else QuotaBoard(telemetry=self.telemetry)
+        self.breaker = breaker if breaker is not None \
+            else BreakerBoard(telemetry=self.telemetry)
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.executors = executors
+        self.queue_capacity = queue_capacity
+        self.max_attempts = max(max_attempts, 1)
+        self.throttle_s = throttle_s
+        self.stats = ServiceStats()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._queue: Deque[str] = deque()
+        self._running: Set[str] = set()
+        self._cond = threading.Condition()
+        self._threads: List[threading.Thread] = []
+        self._stop = False
+        self._draining = False
+        self._wake = threading.Event()
+        self._seq = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._cond:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        with self._cond:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def in_flight(self) -> int:
+        with self._cond:
+            return len(self._queue) + len(self._running)
+
+    def degraded(self) -> bool:
+        return (
+            self.journal.degraded or self.quota.degraded
+            or self.breaker.degraded or self.stats.handler_faults > 0
+            or self.stats.journal_rebuilds > 0
+        )
+
+    def degradation_events(self) -> int:
+        """Service-layer degradations (the farm accounts its own)."""
+        return (
+            self.journal.degradation_events()
+            + self.quota.degradation_events()
+            + self.breaker.degradation_events()
+            + self.stats.handler_faults
+            + self.stats.journal_rebuilds
+            + self.stats.executor_restarts
+            + self.stats.healed_from_artifacts
+        )
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """One document for ``/metrics``."""
+        return {
+            "service": self.stats.as_dict(),
+            "journal": {
+                "appends": self.journal.appends,
+                "checkpoints": self.journal.checkpoints,
+                "corrupt_writes": self.journal.corrupt_writes,
+                "corrupt_records": self.journal.corrupt_records,
+                "degraded": self.journal.degraded,
+            },
+            "quota": self.quota.stats.as_dict(),
+            "breaker": self.breaker.stats.as_dict(),
+            "farm": self.farm.stats.as_dict(),
+            "cache": self.cache.stats.as_dict(),
+            "degraded": self.degraded(),
+        }
+
+    # -- submission (the admission ladder) -----------------------------------
+
+    def submit(
+        self,
+        blob: bytes,
+        options: Union[RedFatOptions, str, None] = None,
+        label: str = "",
+        client: str = "anonymous",
+    ) -> Job:
+        """Admit one hardening request; returns the queued :class:`Job`.
+
+        Raises the typed 429 family — :class:`QuotaExceededError`,
+        :class:`BackpressureError`, :class:`CircuitOpenError` — or
+        :class:`ServiceError` when the manager is draining.
+        """
+        if self._draining:
+            raise ServiceError("service is draining; not accepting jobs")
+        try:
+            self.quota.admit(client)
+        except ServiceError:
+            self.stats.rejected_quota += 1
+            self.telemetry.count("service.rejected_quota")
+            raise
+        depth = self.queue_depth()
+        if depth >= self.queue_capacity:
+            self.stats.rejected_backpressure += 1
+            self.telemetry.count("service.rejected_backpressure")
+            raise BackpressureError(depth, retry_after_s=1.0)
+        opts = self._resolve_options(options)
+        # The journal stores a *recoverable* options spec: a preset name,
+        # or "" for the defaults.  An options object has no spec; its
+        # canonical key is recorded so recovery can at least detect it.
+        if isinstance(options, str):
+            spec = options
+        elif options is None:
+            spec = ""
+        else:
+            spec = opts.cache_key()
+        input_sha = self._persist_input(blob)
+        key = self._derive_key(blob, opts)
+        if self.breaker.allow(key) == REJECT:
+            self.stats.rejected_breaker += 1
+            self.telemetry.count("service.rejected_breaker")
+            raise CircuitOpenError(key, self.breaker.retry_after_s(key))
+        with self._cond:
+            self._seq += 1
+            job = Job(
+                id=f"job-{self._seq:06d}", key=key,
+                label=label or f"job-{self._seq:06d}", client=client,
+                options_spec=spec, input_sha=input_sha, options=opts,
+            )
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            self.journal.append(
+                "submit", job=job.id, key=job.key, label=job.label,
+                client=job.client, options=job.options_spec,
+                input=job.input_sha,
+            )
+            self._queue.append(job.id)
+            self._cond.notify()
+        self.stats.submitted += 1
+        self.telemetry.count("service.submitted")
+        self.ensure_executors()
+        return job
+
+    def _derive_key(self, blob: bytes, opts: RedFatOptions) -> str:
+        """The job's content key, guarded against handler corruption.
+
+        The ``service.handler`` fault point corrupts the derived key in
+        flight; because the key is always re-derivable from the durable
+        input bytes, the guard recomputes and repairs — the corruption
+        is counted, never stored.
+        """
+        key = content_key(blob, opts)
+        if fault_point("service.handler"):
+            key = _corrupt_key(key)
+        expected = content_key(blob, opts)
+        if key != expected:
+            self.stats.handler_faults += 1
+            self.telemetry.count("service.handler_faults")
+            self.telemetry.event("handler_fault_repaired", key=expected)
+            key = expected
+        return key
+
+    def _persist_input(self, blob: bytes) -> str:
+        """Store *blob* content-addressed under ``inputs/``; returns sha."""
+        sha = hashlib.sha256(blob).hexdigest()
+        final = self.inputs_dir / f"{sha}.bin"
+        if not final.exists():
+            partial = self.inputs_dir / f".{sha}.tmp"
+            partial.write_bytes(blob)
+            partial.replace(final)
+        return sha
+
+    @staticmethod
+    def _resolve_options(
+        options: Union[RedFatOptions, str, None]
+    ) -> RedFatOptions:
+        from repro import api
+
+        return api.resolve_options(options)
+
+    # -- execution -----------------------------------------------------------
+
+    def _execute(self, job_id: str) -> None:
+        """Run one job to a terminal state (called on an executor)."""
+        job = self.job(job_id)
+        if job is None:
+            return
+        with self._cond:
+            if job_id in self._running or job.state in (DONE, FAILED):
+                return
+            self._running.add(job_id)
+            job.state = RUNNING
+        self.journal.append("start", job=job.id)
+        try:
+            self._run_attempts(job)
+        finally:
+            with self._cond:
+                self._running.discard(job_id)
+                self._cond.notify_all()
+
+    def _run_attempts(self, job: Job) -> None:
+        if job.options is None:
+            try:
+                job.options = self._resolve_options(job.options_spec or None)
+            except (ReproError, ValueError, KeyError) as error:
+                self._fail(job, f"unresolvable options: {error}")
+                return
+        target = self.inputs_dir / f"{job.input_sha}.bin"
+        while True:
+            if self.throttle_s > 0:
+                self._wake.wait(self.throttle_s)
+            try:
+                result = self.farm.harden_one(str(target), job.options)
+            except ReproError as error:
+                job.attempts += 1
+                job._exception = error
+                self.breaker.record_failure(job.key)
+                if job.attempts < self.max_attempts:
+                    self.backoff.wait(job.attempts - 1, self._wake)
+                    continue
+                self._fail(job, f"{type(error).__name__}: {error}")
+                return
+            job.attempts += 1
+            job._result = result
+            job._exception = None
+            self.breaker.record_success(job.key)
+            job.state = DONE
+            self.journal.append("done", job=job.id, key=job.key)
+            self.stats.completed += 1
+            self.telemetry.count("service.completed")
+            return
+
+    def _fail(self, job: Job, error: str) -> None:
+        job.state = FAILED
+        job.error = error
+        self.journal.append("failed", job=job.id, error=error)
+        self.stats.failed += 1
+        self.telemetry.count("service.failed")
+        self.telemetry.event("service_job_failed", job=job.id, error=error)
+
+    def artifact_bytes(self, job_id: str) -> bytes:
+        """The hardened binary image of a DONE job, from the cache."""
+        job = self.job(job_id)
+        if job is None:
+            raise ServiceError(f"no such job {job_id!r}")
+        if job.state != DONE:
+            raise ServiceError(f"job {job_id} is {job.state}, not done")
+        result = job._result or self.cache.get(job.key)
+        if result is None:
+            raise ServiceError(f"artifact for job {job_id} is unavailable")
+        return result.binary.to_bytes()
+
+    # -- the synchronous path (campaign / library use) -----------------------
+
+    def harden_sync(
+        self,
+        blob: bytes,
+        options: Union[RedFatOptions, str, None] = None,
+        label: str = "",
+        client: str = "sync",
+    ) -> HardenResult:
+        """Submit and execute one job inline; typed pipeline errors
+        propagate (the drop-in for ``farm.harden_one`` the campaign
+        drives, with the full service admission ladder in front)."""
+        job = self.submit(blob, options=options, label=label, client=client)
+        claimed = True
+        with self._cond:
+            try:
+                self._queue.remove(job.id)
+            except ValueError:
+                claimed = False  # an executor thread got there first
+        if claimed:
+            self._execute(job.id)
+        else:
+            with self._cond:
+                while job.state not in (DONE, FAILED):
+                    self._cond.wait(timeout=0.1)
+        if job._exception is not None and job.state == FAILED:
+            raise job._exception
+        if job._result is None:
+            raise ServiceError(f"job {job.id} failed: {job.error}")
+        return job._result
+
+    # -- executors (supervised) ----------------------------------------------
+
+    def ensure_executors(self) -> int:
+        """Spawn/respawn executor threads; returns the live count.
+
+        A dead thread (its loop escaped — a bug, not a job failure) is
+        replaced and the restart counted: the daemon calls this on every
+        submission and on a timer, so one crashed executor degrades
+        throughput for seconds, not forever.
+        """
+        if self.executors <= 0:
+            return 0
+        with self._cond:
+            if self._stop:
+                return 0
+            live = [thread for thread in self._threads if thread.is_alive()]
+            dead = len(self._threads) - len(live)
+            if dead > 0:
+                self.stats.executor_restarts += dead
+                self.telemetry.count("service.executor_restarts", dead)
+                self.telemetry.event("executor_restarted", count=dead)
+            missing = self.executors - len(live)
+            for _ in range(missing):
+                thread = threading.Thread(
+                    target=self._executor_main,
+                    name=f"redfat-executor-{len(live) + 1}",
+                    daemon=True,
+                )
+                thread.start()
+                live.append(thread)
+            self._threads = live
+            return len(live)
+
+    def _executor_main(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stop:
+                    self._cond.wait(timeout=0.2)
+                if self._stop and not self._queue:
+                    return
+                job_id = self._queue.popleft()
+            self._execute(job_id)
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self) -> Dict[str, int]:
+        """Replay the journal; re-enqueue interrupted jobs; compact.
+
+        Returns a summary dict (``replayed`` / ``corrupt`` /
+        ``requeued`` / ``healed``).  Never raises: an unusable journal
+        file degrades to a rebuild from the artifact directory.
+        """
+        try:
+            records, corrupt = self.journal.replay()
+        except JournalError as error:
+            self.stats.journal_rebuilds += 1
+            self.telemetry.count("service.journal_rebuilds")
+            self.telemetry.event("journal_rebuild", error=str(error))
+            self.journal.degraded = True
+            if not self.journal.degraded_reason:
+                self.journal.degraded_reason = str(error)
+            # The content is unusable by definition; clear whatever is
+            # wedged at the journal path so the rebuild can start fresh.
+            try:
+                if self.journal.path.is_dir():
+                    shutil.rmtree(self.journal.path)
+                else:
+                    self.journal.path.unlink(missing_ok=True)
+                self.journal.checkpoint([])
+            except (JournalError, OSError):
+                pass  # keep running in-memory; degradation is recorded
+            return {"replayed": 0, "corrupt": 0, "requeued": 0, "healed": 0}
+        requeued = healed = 0
+        with self._cond:
+            for record in records:
+                self._fold(record)
+            for job_id in self._order:
+                job = self._jobs[job_id]
+                if job.state in (DONE, FAILED):
+                    continue
+                job.recovered = True
+                if job.key and self.cache.get(job.key) is not None:
+                    # The work finished; only its completion record was
+                    # lost.  Heal from the artifact instead of re-running.
+                    job.state = DONE
+                    healed += 1
+                    self.stats.healed_from_artifacts += 1
+                    self.telemetry.count("service.healed_from_artifacts")
+                else:
+                    job.state = QUEUED
+                    job.attempts = 0
+                    self._queue.append(job.id)
+                    requeued += 1
+                    self.stats.recovered += 1
+                    self.telemetry.count("service.recovered_jobs")
+            self._cond.notify_all()
+        self.journal.checkpoint(self._live_records())
+        if requeued:
+            self.ensure_executors()
+        return {
+            "replayed": len(records), "corrupt": corrupt,
+            "requeued": requeued, "healed": healed,
+        }
+
+    def _fold(self, record: Dict[str, Any]) -> None:
+        """Apply one replayed journal record to the job table."""
+        kind = record.get("kind")
+        job_id = record.get("job")
+        if not isinstance(job_id, str):
+            return
+        if kind == "submit":
+            if job_id in self._jobs:
+                return  # duplicate submit record: first one wins
+            job = Job(
+                id=job_id,
+                key=str(record.get("key", "")),
+                label=str(record.get("label", job_id)),
+                client=str(record.get("client", "anonymous")),
+                options_spec=str(record.get("options", "")),
+                input_sha=str(record.get("input", "")),
+            )
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            try:
+                self._seq = max(self._seq, int(job_id.rsplit("-", 1)[-1]))
+            except ValueError:
+                pass
+            return
+        job = self._jobs.get(job_id)
+        if job is None:
+            return  # orphan transition (its submit record was corrupt)
+        if kind == "start":
+            job.state = RUNNING
+        elif kind == "done":
+            job.state = DONE
+        elif kind == "failed":
+            job.state = FAILED
+            job.error = str(record.get("error", ""))
+
+    def _live_records(self) -> List[Dict[str, Any]]:
+        """The checkpoint image: one submit (+ terminal) per job."""
+        records: List[Dict[str, Any]] = []
+        with self._cond:
+            for job_id in self._order:
+                job = self._jobs[job_id]
+                records.append({
+                    "v": 1, "seq": 0, "kind": "submit", "job": job.id,
+                    "key": job.key, "label": job.label, "client": job.client,
+                    "options": job.options_spec, "input": job.input_sha,
+                })
+                if job.state == DONE:
+                    records.append({"v": 1, "seq": 0, "kind": "done",
+                                    "job": job.id, "key": job.key})
+                elif job.state == FAILED:
+                    records.append({"v": 1, "seq": 0, "kind": "failed",
+                                    "job": job.id, "error": job.error})
+        return records
+
+    # -- shutdown ------------------------------------------------------------
+
+    def drain(self, timeout_s: float = 60.0) -> bool:
+        """Graceful shutdown: finish in-flight work, checkpoint, stop.
+
+        Stops accepting submissions, cuts retry/throttle pauses short
+        (retries still run, they just stop sleeping first), waits for
+        the queue and running set to empty, writes a journal checkpoint
+        and closes the farm.  Returns True when everything finished
+        inside *timeout_s*.
+        """
+        self._draining = True
+        self._wake.set()
+        self.farm.interrupt_waits()
+        deadline = time.monotonic() + timeout_s
+        drained = True
+        with self._cond:
+            self._cond.notify_all()
+            while self._queue or self._running:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    drained = False
+                    break
+                self._cond.wait(timeout=min(remaining, 0.2))
+            self._stop = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=max(deadline - time.monotonic(), 0.1))
+        try:
+            self.journal.checkpoint(self._live_records())
+        except JournalError:
+            drained = False
+        self.farm.close()
+        self.telemetry.event("service_drained", complete=drained)
+        return drained
+
+    def close(self) -> None:
+        """Fast shutdown for tests: stop executors, close the farm."""
+        self._draining = True
+        self._wake.set()
+        with self._cond:
+            self._stop = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self.farm.close()
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

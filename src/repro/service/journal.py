@@ -1,0 +1,242 @@
+"""The service's write-ahead job journal: append-only, checksummed, replayable.
+
+Every job state transition is one line in a JSONL file::
+
+    <sha256 hex of body> <body JSON, compact, sorted keys>\\n
+
+The journal is the daemon's only source of truth across a crash: on
+startup :meth:`Journal.replay` re-reads every line, validates each
+checksum, and hands the surviving records to the job store so
+interrupted jobs can be re-enqueued.  The contract with corruption is
+the same one the artifact cache keeps:
+
+- **append is verified** — after writing, the line is read back from
+  disk and its checksum re-validated.  A mismatch (a torn write, the
+  ``service.journal`` fault point flipping a byte in flight) is
+  *repaired in place*: the file is truncated to the pre-append offset
+  and the record rewritten cleanly.  The incident is counted
+  (``service.journal.corrupt_writes``) and the journal flags itself
+  degraded — the fact is observable, the data is not lost;
+- **replay never trusts a line** — a record that fails its checksum or
+  does not parse is skipped and counted (``service.journal.corrupt_records``),
+  never fed to the job store.  Lost *completion* records are healed
+  upward: the store cross-checks against the artifact directory and
+  rebuilds what the journal forgot;
+- **checkpoint compacts atomically** — the live records are rewritten
+  to a temp file which then replaces the journal (rename), so a crash
+  mid-checkpoint leaves either the old journal or the new one, never a
+  half-written hybrid.
+
+An unreadable journal *file* raises the typed
+:class:`~repro.errors.JournalError`; the recovery path catches it and
+falls back to rebuilding from artifacts (DEGRADED, never dead).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.errors import JournalError
+from repro.faults.injector import fault_point, payload_rng
+from repro.telemetry.hub import Telemetry, coerce
+
+#: Version stamp embedded in every record.
+JOURNAL_VERSION = 1
+
+#: Length of the hex checksum prefix on every line.
+_DIGEST_HEX = 64
+
+
+def encode_record(record: Dict[str, Any]) -> str:
+    """One journal line (with trailing newline) for *record*."""
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+    return f"{digest} {body}\n"
+
+
+def decode_line(line: str) -> Optional[Dict[str, Any]]:
+    """The record a journal line holds, or None when integrity fails.
+
+    The checksum gate runs before JSON parsing, so corrupt bytes are
+    never handed to the decoder — mirroring the artifact cache's
+    validate-before-unpickle rule.
+    """
+    line = line.rstrip("\n")
+    if len(line) < _DIGEST_HEX + 2 or line[_DIGEST_HEX] != " ":
+        return None
+    digest, body = line[:_DIGEST_HEX], line[_DIGEST_HEX + 1:]
+    if hashlib.sha256(body.encode("utf-8")).hexdigest() != digest:
+        return None
+    try:
+        record = json.loads(body)
+    except ValueError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def _corrupt_line(line: str) -> str:
+    """Deterministic single-character corruption (the fault payload)."""
+    rng = payload_rng()
+    body = line.rstrip("\n")
+    if not body:
+        return line
+    index = rng.randrange(len(body))
+    flipped = chr((ord(body[index]) ^ (1 << rng.randrange(4))) & 0x7F)
+    if flipped in ("\n", body[index]):
+        flipped = "#"
+    return body[:index] + flipped + body[index + 1:] + "\n"
+
+
+class Journal:
+    """Append-only checksummed JSONL journal with verified writes."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.telemetry = coerce(telemetry)
+        #: Records whose in-flight corruption was caught by the append
+        #: read-back and repaired in place.
+        self.corrupt_writes = 0
+        #: Records replay had to skip (still corrupt on disk).
+        self.corrupt_records = 0
+        self.appends = 0
+        self.checkpoints = 0
+        self.degraded = False
+        self.degraded_reason = ""
+        self._seq = 0
+
+    # -- accounting ----------------------------------------------------------
+
+    def degradation_events(self) -> int:
+        return self.corrupt_writes + self.corrupt_records
+
+    def _degrade(self, reason: str) -> None:
+        self.degraded = True
+        if not self.degraded_reason:
+            self.degraded_reason = reason
+
+    # -- append (the write-ahead side) ---------------------------------------
+
+    def append(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Durably append one record; returns the record as written.
+
+        The write is verified by reading the line back and re-checking
+        its checksum; corruption detected there is repaired in place and
+        accounted, so an append that returns has a valid record on disk.
+        """
+        self._seq += 1
+        record = {"v": JOURNAL_VERSION, "seq": self._seq, "kind": kind}
+        record.update(fields)
+        line = encode_record(record)
+        if fault_point("service.journal"):
+            line = _corrupt_line(line)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "ab") as sink:
+                offset = sink.tell()
+                sink.write(line.encode("utf-8"))
+                sink.flush()
+                os.fsync(sink.fileno())
+        except OSError as error:
+            raise JournalError(f"journal append failed: {error}") from error
+        if not self._verify_tail(offset, record):
+            self._repair(offset, record)
+        self.appends += 1
+        self.telemetry.count("service.journal.appends")
+        return record
+
+    def _verify_tail(self, offset: int, record: Dict[str, Any]) -> bool:
+        """Read the just-written line back; True when it round-trips."""
+        try:
+            with open(self.path, "rb") as source:
+                source.seek(offset)
+                written = source.read().decode("utf-8", errors="replace")
+        except OSError:
+            return False
+        return decode_line(written) == record
+
+    def _repair(self, offset: int, record: Dict[str, Any]) -> None:
+        """Truncate the bad tail and rewrite *record* cleanly."""
+        self.corrupt_writes += 1
+        self.telemetry.count("service.journal.corrupt_writes")
+        self._degrade("corrupt journal append detected and repaired")
+        try:
+            with open(self.path, "r+b") as sink:
+                sink.truncate(offset)
+                sink.seek(offset)
+                sink.write(encode_record(record).encode("utf-8"))
+                sink.flush()
+                os.fsync(sink.fileno())
+        except OSError as error:
+            raise JournalError(f"journal repair failed: {error}") from error
+
+    # -- replay (the recovery side) ------------------------------------------
+
+    def replay(self) -> Tuple[List[Dict[str, Any]], int]:
+        """``(records, corrupt)`` from the journal file, in append order.
+
+        Corrupt lines are skipped and counted, never returned.  A
+        missing journal is an empty one; an unreadable file raises the
+        typed :class:`JournalError` (the caller's cue to rebuild from
+        the artifact directory).
+        """
+        if not self.path.exists():
+            return [], 0
+        try:
+            text = self.path.read_text(encoding="utf-8", errors="replace")
+        except OSError as error:
+            raise JournalError(f"journal unreadable: {error}") from error
+        records: List[Dict[str, Any]] = []
+        corrupt = 0
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            record = decode_line(line)
+            if record is None:
+                corrupt += 1
+                continue
+            records.append(record)
+            self._seq = max(self._seq, int(record.get("seq", 0)))
+        if corrupt:
+            self.corrupt_records += corrupt
+            self.telemetry.count("service.journal.corrupt_records", corrupt)
+            self._degrade(f"{corrupt} corrupt journal record(s) skipped")
+        return records, corrupt
+
+    # -- checkpoint (compaction) ---------------------------------------------
+
+    def checkpoint(self, records: List[Dict[str, Any]]) -> None:
+        """Atomically replace the journal with just *records*.
+
+        Re-sequences the survivors; the rename is the commit point, so a
+        crash mid-checkpoint leaves a complete journal either way.
+        """
+        lines = []
+        for seq, record in enumerate(records, start=1):
+            compacted = dict(record)
+            compacted["seq"] = seq
+            lines.append(encode_record(compacted))
+        partial = self.path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(partial, "wb") as sink:
+                sink.write("".join(lines).encode("utf-8"))
+                sink.flush()
+                os.fsync(sink.fileno())
+            partial.replace(self.path)
+        except OSError as error:
+            try:
+                partial.unlink()
+            except OSError:
+                pass
+            raise JournalError(f"journal checkpoint failed: {error}") from error
+        self._seq = len(records)
+        self.checkpoints += 1
+        self.telemetry.count("service.journal.checkpoints")

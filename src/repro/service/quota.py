@@ -1,0 +1,160 @@
+"""Per-client token-bucket quotas for the hardening service.
+
+Each client (the ``client`` field of a submission, defaulting to
+``"anonymous"``) owns a token bucket: ``capacity`` tokens, refilled at
+``refill_per_s``.  A submission spends one token; an empty bucket means
+HTTP 429 with a computed ``Retry-After`` (the time until the next token
+lands) via the typed :class:`~repro.errors.QuotaExceededError`.
+
+The ``service.quota`` fault point models corruption of the bucket table.
+The degradation is *fail-open to serial*: the per-client table is
+discarded and every client is admitted through one conservative global
+bucket (capacity 1, the slowest configured refill) until the daemon is
+restarted.  Traffic keeps flowing — slowly and fairly — instead of the
+quota layer either crashing the daemon or refusing everyone.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import QuotaExceededError
+from repro.faults.injector import fault_point
+from repro.telemetry.hub import Telemetry, coerce
+
+#: Tokens a fresh bucket holds (burst allowance).
+DEFAULT_CAPACITY = 8
+
+#: Steady-state tokens per second.
+DEFAULT_REFILL_PER_S = 4.0
+
+#: The single shared bucket used after fail-open degradation.
+GLOBAL_CLIENT = "*"
+
+
+@dataclass
+class TokenBucket:
+    """One client's bucket; refill is computed lazily on each spend."""
+
+    capacity: float = DEFAULT_CAPACITY
+    refill_per_s: float = DEFAULT_REFILL_PER_S
+    tokens: float = DEFAULT_CAPACITY
+    last_refill: float = 0.0
+
+    def _refill(self, now: float) -> None:
+        if self.last_refill:
+            elapsed = max(now - self.last_refill, 0.0)
+            self.tokens = min(
+                self.capacity, self.tokens + elapsed * self.refill_per_s
+            )
+        self.last_refill = now
+
+    def try_spend(self, now: float) -> bool:
+        """Spend one token if available; refills first."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after_s(self) -> float:
+        """Seconds until one full token is available."""
+        deficit = 1.0 - self.tokens
+        if deficit <= 0.0:
+            return 0.0
+        if self.refill_per_s <= 0.0:
+            return 60.0
+        return deficit / self.refill_per_s
+
+
+@dataclass
+class QuotaStats:
+    admitted: int = 0
+    rejected: int = 0
+    #: Admissions that went through the degraded global bucket.
+    fail_open: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "fail_open": self.fail_open,
+        }
+
+
+class QuotaBoard:
+    """The per-client bucket table plus its fail-open degradation."""
+
+    def __init__(
+        self,
+        capacity: float = DEFAULT_CAPACITY,
+        refill_per_s: float = DEFAULT_REFILL_PER_S,
+        clock: Callable[[], float] = time.monotonic,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self.clock = clock
+        self.telemetry = coerce(telemetry)
+        self.stats = QuotaStats()
+        self.degraded = False
+        self.degraded_reason = ""
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def degradation_events(self) -> int:
+        return self.stats.fail_open
+
+    def _bucket(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                capacity=self.capacity,
+                refill_per_s=self.refill_per_s,
+                tokens=self.capacity,
+            )
+        return bucket
+
+    def _fail_open(self) -> None:
+        """Replace the (corrupt) table with one conservative global bucket."""
+        self.degraded = True
+        if not self.degraded_reason:
+            self.degraded_reason = (
+                "quota table corrupted; failing open to one global bucket"
+            )
+        self._buckets = {
+            GLOBAL_CLIENT: TokenBucket(
+                capacity=1.0,
+                refill_per_s=min(self.refill_per_s, 1.0),
+                tokens=1.0,
+            )
+        }
+        self.telemetry.count("service.quota.fail_open")
+        self.telemetry.event("quota_fail_open")
+
+    def admit(self, client: str) -> None:
+        """Admit one submission from *client* or raise the typed 429.
+
+        Raises :class:`QuotaExceededError` (with ``retry_after_s``) when
+        the applicable bucket is empty.
+        """
+        with self._lock:
+            if fault_point("service.quota"):
+                self._fail_open()
+            if self.degraded:
+                bucket_client = GLOBAL_CLIENT
+            else:
+                bucket_client = client
+            bucket = self._bucket(bucket_client)
+            if bucket.try_spend(self.clock()):
+                self.stats.admitted += 1
+                if self.degraded:
+                    self.stats.fail_open += 1
+                self.telemetry.count("service.quota.admitted")
+                return
+            self.stats.rejected += 1
+            self.telemetry.count("service.quota.rejected")
+            raise QuotaExceededError(client, bucket.retry_after_s())

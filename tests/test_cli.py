@@ -140,6 +140,20 @@ class TestFarmCommand:
         assert "2 cache hits" in out
         assert "[cached]" in out
 
+    def test_failed_job_reports_summary_and_nonzero_exit(self, batch,
+                                                         capsys):
+        tmp_path, first, second = batch
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main( {")  # malformed: the job cannot load
+        out_dir = tmp_path / "out"
+        status = run_cli("farm", first, bad, "--output-dir", out_dir)
+        assert status == 1
+        captured = capsys.readouterr()
+        assert "1 job(s) failed after retries" in captured.err
+        assert "bad" in captured.err
+        # The healthy input still hardened; one sick job never sinks the batch.
+        assert (out_dir / "one.hard.melf").exists()
+
     def test_metrics_export_validates(self, batch, capsys):
         import json
 

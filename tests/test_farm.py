@@ -7,6 +7,7 @@ with one retry, serial fallback, and byte-identical equivalence between
 the farm and direct ``api.harden``.
 """
 
+import threading
 import time
 from dataclasses import fields, replace
 
@@ -27,6 +28,7 @@ from repro.farm import (
     WorkerPool,
     content_key,
 )
+from repro.farm.backoff import BackoffPolicy
 from repro.farm.cache import MAGIC, decode_frame, encode_frame
 from repro.farm.workers import PoolStartError
 from repro.faults.campaign import run_campaign
@@ -151,6 +153,7 @@ class TestArtifactCache:
         assert cache.stats.as_dict() == {
             "hits": 1, "misses": 1, "stores": 1,
             "evictions": 0, "rejects": 0, "oversize": 0,
+            "quarantined": 0,
         }
 
     def test_get_or_compute_computes_once(self, program, baseline_results):
@@ -212,7 +215,7 @@ class TestArtifactCache:
         assert hardened_bytes(cached) == hardened_bytes(baseline_results[0])
         assert reader.stats.hits == 1
 
-    def test_corrupt_disk_artifact_rejected_and_removed(
+    def test_corrupt_disk_artifact_rejected_and_quarantined(
             self, program, baseline_results, tmp_path):
         key = content_key(program.binary, RedFatOptions())
         ArtifactCache(cache_dir=tmp_path).put(key, baseline_results[0])
@@ -223,7 +226,25 @@ class TestArtifactCache:
         reader = ArtifactCache(cache_dir=tmp_path)
         assert reader.get(key) is None
         assert reader.stats.rejects == 1
+        assert reader.stats.quarantined == 1
+        # The corrupt frame is moved aside for post-mortem, not deleted,
+        # and the key recomputes on the next lookup either way.
         assert not path.exists()
+        pen = tmp_path / "quarantine" / f"{key}.artifact.corrupt"
+        assert pen.exists() and pen.read_bytes() == bytes(blob)
+
+    def test_quarantined_entry_recomputes_and_reheals(
+            self, program, baseline_results, tmp_path):
+        key = content_key(program.binary, RedFatOptions())
+        ArtifactCache(cache_dir=tmp_path).put(key, baseline_results[0])
+        path = tmp_path / f"{key}.artifact"
+        path.write_bytes(b"RFA1" + b"\x00" * 40)
+        cache = ArtifactCache(cache_dir=tmp_path)
+        assert cache.get(key) is None  # quarantined, reads as a miss
+        assert cache.put(key, baseline_results[0])  # recompute re-stores
+        fresh = ArtifactCache(cache_dir=tmp_path)
+        assert hardened_bytes(fresh.get(key)) \
+            == hardened_bytes(baseline_results[0])
 
 
 # -- the job queue ------------------------------------------------------------
@@ -459,3 +480,63 @@ class TestFarmFaultCampaign:
         result = run_campaign(seeds=6, point=point)
         assert result.uncaught() == []
         assert any(record.fired for record in result.records)
+
+
+class TestBackoffPolicy:
+    def test_delays_grow_exponentially_and_cap(self):
+        policy = BackoffPolicy(base_s=0.1, factor=2.0, max_s=0.5, jitter=0.0)
+        assert [policy.delay(n) for n in range(4)] == [0.1, 0.2, 0.4, 0.5]
+
+    def test_jitter_shaves_but_never_inflates(self):
+        policy = BackoffPolicy(base_s=1.0, factor=1.0, max_s=1.0, jitter=0.5)
+        for _ in range(50):
+            pause = policy.delay(0)
+            assert 0.5 <= pause <= 1.0
+
+    def test_jitter_sequence_is_seeded(self):
+        first = BackoffPolicy(seed=3)
+        second = BackoffPolicy(seed=3)
+        assert [first.delay(n) for n in range(5)] == \
+            [second.delay(n) for n in range(5)]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_s=-1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.5)
+
+    def test_wait_is_interruptible(self):
+        policy = BackoffPolicy(base_s=30.0, factor=1.0, max_s=30.0,
+                               jitter=0.0)
+        wake = threading.Event()
+        wake.set()
+        started = time.monotonic()
+        assert policy.wait(0, wake) is True  # returns at once
+        assert time.monotonic() - started < 1.0
+
+    def test_wait_without_event_sleeps_full_delay(self):
+        policy = BackoffPolicy(base_s=0.05, factor=1.0, max_s=0.05,
+                               jitter=0.0)
+        started = time.monotonic()
+        assert policy.wait(0) is False
+        assert time.monotonic() - started >= 0.04
+
+    def test_farm_retry_sleep_interrupted_by_shutdown(self, program):
+        """A farm mid-backoff must not block close(): interrupt_waits()
+        cuts the pending retry pause short."""
+        farm = Farm(jobs=0)
+        farm.backoff = BackoffPolicy(base_s=30.0, factor=1.0, max_s=30.0,
+                                     jitter=0.0)
+        releaser = threading.Timer(0.2, farm.interrupt_waits)
+        releaser.start()
+        started = time.monotonic()
+        with injection(FaultInjector(0, point="farm.worker", trigger_hit=0,
+                                     sticky=True)):
+            report = farm.harden_many([program])
+        elapsed = time.monotonic() - started
+        releaser.cancel()
+        farm.close()
+        assert elapsed < 10.0  # nowhere near the 30 s pause
+        assert report.outcomes[0].error  # the job still failed cleanly

@@ -87,6 +87,52 @@ class TestInjector:
             assert not fault_point("alloc.redzone")
             assert fault_point("alloc.metadata")
 
+    def test_multi_point_arms_each_independently(self):
+        injector = FaultInjector(
+            3, point=("alloc.metadata", "alloc.redzone"), trigger_hit=0
+        )
+        assert injector.point == "alloc.metadata+alloc.redzone"
+        with injection(injector):
+            assert fault_point("alloc.metadata")
+            assert fault_point("alloc.redzone")
+            assert not fault_point("vm.bitflip")
+        assert injector.fired_points == {"alloc.metadata", "alloc.redzone"}
+
+    def test_multi_point_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            FaultInjector(0, point=("vm.hang", "vm.hang"))
+
+    def test_single_point_seed_compatibility(self):
+        """Multi-point support must not disturb existing seeds' draws.
+
+        The original implementation drew ``choice`` (only when the point
+        was unpinned), then ``randrange`` per point, then ``getrandbits``
+        for the payload RNG — in that order.
+        """
+        import random as stdlib_random
+
+        from repro.faults.injector import DEFAULT_MAX_HIT
+
+        for seed in range(10):
+            reference = stdlib_random.Random(seed)
+            expected_point = reference.choice(point_names())
+            expected_hit = reference.randrange(DEFAULT_MAX_HIT)
+            expected_payload = stdlib_random.Random(
+                reference.getrandbits(64)
+            ).random()
+            loose = FaultInjector(seed)
+            assert loose.point == expected_point
+            assert loose.trigger_hit == expected_hit
+            assert loose.payload_rng.random() == expected_payload
+
+    def test_sticky_override_makes_one_shot_point_persist(self):
+        assert not FAULT_POINTS["alloc.metadata"].sticky
+        injector = FaultInjector(0, point="alloc.metadata", trigger_hit=0,
+                                 sticky=True)
+        with injection(injector):
+            results = [fault_point("alloc.metadata") for _ in range(3)]
+        assert results == [True, True, True]
+
     def test_no_injector_is_inert(self):
         assert active() is None
         assert not fault_point("alloc.metadata")
@@ -201,6 +247,32 @@ class TestCampaign:
         first = run_one(7, program, reference.output, fuel=200_000)
         second = run_one(7, program, reference.output, fuel=200_000)
         assert first == second
+
+    def test_service_points_land_in_degraded_or_clean(self):
+        for point in ("service.journal", "service.handler",
+                      "service.quota", "service.breaker"):
+            result = run_campaign(seeds=2, point=point, fuel=200_000)
+            for record in result.records:
+                assert record.outcome != UNCAUGHT, (point, record.detail)
+                if record.fired:
+                    assert record.service_degraded
+
+    def test_simultaneous_farm_and_service_faults_stay_caught(self):
+        """Two faults armed at once — a worker crash while the journal
+        corrupts a record — must still never go uncaught."""
+        program = compile_campaign_program()
+        reference = program.run(args=[24])
+        hit_both = 0
+        for seed in (2, 14, 19, 28):
+            record = run_one(
+                seed, program, reference.output, fuel=200_000,
+                point=("farm.worker", "service.journal"),
+            )
+            assert record.outcome != UNCAUGHT, record.detail
+            assert record.point == "farm.worker+service.journal"
+            if record.farm_degraded and record.service_degraded:
+                hit_both += 1
+        assert hit_both > 0  # at least one seed exercised both layers
 
     def test_render_mentions_tallies(self):
         result = run_campaign(seeds=7, fuel=200_000)

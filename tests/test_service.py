@@ -1,0 +1,562 @@
+"""Tests for the hardening service (repro.service).
+
+Covers the write-ahead journal's corruption contract, the circuit
+breaker state machine (including the trip / half-open-recover
+acceptance scenario under a sticky ``farm.worker`` fault), token-bucket
+quotas with fail-open degradation, the job manager's admission ladder,
+executor supervision and crash recovery, the HTTP daemon surface, and
+the full kill -9 recovery drill.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import api
+from repro.cc import compile_source
+from repro.errors import (
+    BackpressureError,
+    CircuitOpenError,
+    JournalError,
+    QuotaExceededError,
+    ServiceError,
+)
+from repro.farm.backoff import BackoffPolicy
+from repro.farm.workers import WorkerCrashError
+from repro.faults.injector import FaultInjector, injection
+from repro.service import (
+    BreakerBoard,
+    CircuitBreaker,
+    HardeningService,
+    Journal,
+    JobManager,
+    QuotaBoard,
+    ServiceConfig,
+    TokenBucket,
+)
+from repro.service.breaker import ALLOW, BYPASS, PROBE, REJECT
+from repro.service.daemon import PORT_FILE
+from repro.service.journal import decode_line, encode_record
+from repro.telemetry import Telemetry
+
+SOURCE = """
+int main() {
+    int *xs = malloc(32);
+    for (int i = 0; i < 8; i = i + 1) xs[i] = i * %d;
+    int acc = 0;
+    for (int i = 0; i < 8; i = i + 1) acc = acc + xs[i];
+    free(xs);
+    print(acc);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return [compile_source(SOURCE % n).binary.to_bytes() for n in (3, 5, 7)]
+
+
+@pytest.fixture(scope="module")
+def reference(blobs):
+    """Serial ``api.harden`` artifacts the service must reproduce."""
+    from repro.binfmt.binary import Binary
+
+    results = []
+    for blob in blobs:
+        results.append(api.harden(Binary.from_bytes(blob)).binary.to_bytes())
+    return results
+
+
+def fast_backoff():
+    return BackoffPolicy(base_s=0.001, max_s=0.002, jitter=0.0)
+
+
+def settle(manager, timeout_s=20.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        jobs = manager.jobs()
+        if jobs and all(j.state in ("done", "failed") for j in jobs):
+            return jobs
+        time.sleep(0.02)
+    raise AssertionError(
+        f"jobs did not settle: {[(j.id, j.state) for j in manager.jobs()]}"
+    )
+
+
+# -- the journal --------------------------------------------------------------
+
+
+class TestJournal:
+    def test_encode_decode_roundtrip(self):
+        record = {"v": 1, "seq": 3, "kind": "submit", "job": "job-000003"}
+        assert decode_line(encode_record(record)) == record
+
+    def test_decode_rejects_tampering(self):
+        line = encode_record({"v": 1, "seq": 1, "kind": "done"})
+        tampered = line.replace("done", "dona")
+        assert decode_line(tampered) is None
+        assert decode_line("short") is None
+        assert decode_line("x" * 64 + " not-json\n") is None
+
+    def test_append_then_replay(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append("submit", job="job-000001", key="k1")
+        journal.append("done", job="job-000001")
+        records, corrupt = Journal(tmp_path / "j.jsonl").replay()
+        assert corrupt == 0
+        assert [r["kind"] for r in records] == ["submit", "done"]
+        assert [r["seq"] for r in records] == [1, 2]
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert Journal(tmp_path / "absent.jsonl").replay() == ([], 0)
+
+    def test_replay_skips_and_counts_corrupt_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append("submit", job="a")
+        journal.append("submit", job="b")
+        lines = path.read_text().splitlines(True)
+        lines[0] = lines[0][:70] + "X" + lines[0][71:]  # flip a body char
+        path.write_text("".join(lines))
+        fresh = Journal(path)
+        records, corrupt = fresh.replay()
+        assert corrupt == 1 and fresh.corrupt_records == 1
+        assert [r["job"] for r in records] == ["b"]
+        assert fresh.degraded and fresh.degradation_events() == 1
+
+    def test_injected_append_corruption_is_repaired_in_place(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        tele = Telemetry()
+        journal = Journal(path, telemetry=tele)
+        with injection(FaultInjector(3, point="service.journal",
+                                     trigger_hit=1)):
+            journal.append("submit", job="a")
+            journal.append("start", job="a")  # corrupted in flight
+            journal.append("done", job="a")
+        assert journal.corrupt_writes == 1
+        assert journal.degraded
+        assert tele.counters.get("service.journal.corrupt_writes") == 1
+        # The read-back verification repaired the record: replay sees a
+        # perfectly clean journal.
+        records, corrupt = Journal(path).replay()
+        assert corrupt == 0
+        assert [r["kind"] for r in records] == ["submit", "start", "done"]
+
+    def test_checkpoint_compacts_atomically(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        for index in range(5):
+            journal.append("submit", job=f"job-{index}")
+        journal.checkpoint([{"v": 1, "seq": 9, "kind": "submit", "job": "keep"}])
+        records, corrupt = Journal(path).replay()
+        assert corrupt == 0
+        assert [(r["job"], r["seq"]) for r in records] == [("keep", 1)]
+        assert not list(tmp_path.glob("*.tmp.*"))
+
+    def test_unreadable_journal_raises_typed_error(self, tmp_path):
+        path = tmp_path / "dir.jsonl"
+        path.mkdir()  # a directory: unreadable as a journal file
+        with pytest.raises(JournalError):
+            Journal(path).replay()
+
+
+# -- the circuit breaker ------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_and_half_open_recovers(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=10.0,
+                                 clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow() == ALLOW
+        breaker.record_failure()  # third consecutive: trip
+        assert breaker.state == "open"
+        assert breaker.allow() == REJECT
+        assert 0 < breaker.retry_after_s() <= 10.0
+        clock.now += 10.0
+        assert breaker.allow() == PROBE  # half-open admits one probe
+        assert breaker.allow() == REJECT  # ...and only one
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now += 5.0
+        assert breaker.allow() == PROBE
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.allow() == REJECT
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_board_latches_key_on_injected_corruption(self):
+        tele = Telemetry()
+        board = BreakerBoard(telemetry=tele)
+        with injection(FaultInjector(5, point="service.breaker",
+                                     trigger_hit=0)):
+            # The corrupted admission proceeds unprotected (BYPASS)...
+            assert board.allow("k1") == BYPASS
+        # ...but the key is latched open for everyone after it.
+        assert board.allow("k1") == REJECT
+        assert board.state("k1") == "latched"
+        assert board.allow("other") == ALLOW  # other keys unaffected
+        assert board.degraded and board.degradation_events() == 1
+        assert board.open_keys() == ["k1"]
+
+
+# -- quotas -------------------------------------------------------------------
+
+
+class TestQuota:
+    def test_bucket_spends_and_refills(self):
+        bucket = TokenBucket(capacity=2, refill_per_s=1.0, tokens=2)
+        assert bucket.try_spend(10.0) and bucket.try_spend(10.0)
+        assert not bucket.try_spend(10.0)
+        assert bucket.retry_after_s() == pytest.approx(1.0)
+        assert bucket.try_spend(11.5)  # refilled
+
+    def test_board_rejects_with_retry_after(self):
+        clock = FakeClock()
+        board = QuotaBoard(capacity=2, refill_per_s=1.0, clock=clock)
+        board.admit("alice")
+        board.admit("alice")
+        with pytest.raises(QuotaExceededError) as info:
+            board.admit("alice")
+        assert info.value.retry_after_s > 0
+        board.admit("bob")  # per-client isolation
+        clock.now += 2.0
+        board.admit("alice")  # refilled
+        assert board.stats.admitted == 4 and board.stats.rejected == 1
+
+    def test_injected_corruption_fails_open_to_global_bucket(self):
+        clock = FakeClock()
+        board = QuotaBoard(capacity=8, refill_per_s=4.0, clock=clock)
+        with injection(FaultInjector(2, point="service.quota",
+                                     trigger_hit=0)):
+            board.admit("alice")  # table corrupted: global bucket admits
+        assert board.degraded and board.stats.fail_open == 1
+        # Conservative single bucket: the next immediate request queues
+        # behind a 429, but traffic still flows as tokens land.
+        with pytest.raises(QuotaExceededError):
+            board.admit("bob")
+        clock.now += 2.0
+        board.admit("carol")
+        assert board.degradation_events() >= 1
+
+
+# -- the job manager ----------------------------------------------------------
+
+
+class TestJobManager:
+    def test_sync_harden_matches_serial_reference(self, tmp_path, blobs,
+                                                  reference):
+        with JobManager(tmp_path, executors=0) as manager:
+            result = manager.harden_sync(blobs[0], label="t")
+            assert result.binary.to_bytes() == reference[0]
+            job = manager.jobs()[0]
+            assert job.state == "done" and job.attempts == 1
+            assert manager.artifact_bytes(job.id) == reference[0]
+
+    def test_async_executors_complete_batch(self, tmp_path, blobs, reference):
+        with JobManager(tmp_path, executors=2) as manager:
+            for index, blob in enumerate(blobs):
+                manager.submit(blob, label=f"j{index}")
+            jobs = settle(manager)
+            assert [j.state for j in jobs] == ["done"] * len(blobs)
+            for job, expected in zip(jobs, reference):
+                assert manager.artifact_bytes(job.id) == expected
+
+    def test_backpressure_rejects_when_queue_full(self, tmp_path, blobs):
+        with JobManager(tmp_path, executors=0, queue_capacity=0) as manager:
+            with pytest.raises(BackpressureError) as info:
+                manager.submit(blobs[0])
+            assert info.value.retry_after_s > 0
+            assert manager.stats.rejected_backpressure == 1
+
+    def test_quota_rejection_counted(self, tmp_path, blobs):
+        quota = QuotaBoard(capacity=1, refill_per_s=0.001)
+        with JobManager(tmp_path, executors=0, quota=quota) as manager:
+            manager.submit(blobs[0], client="c")
+            with pytest.raises(QuotaExceededError):
+                manager.submit(blobs[1], client="c")
+            assert manager.stats.rejected_quota == 1
+
+    def test_draining_manager_refuses_submissions(self, tmp_path, blobs):
+        manager = JobManager(tmp_path, executors=0)
+        manager.drain(timeout_s=1.0)
+        with pytest.raises(ServiceError):
+            manager.submit(blobs[0])
+
+    def test_handler_fault_repairs_key_from_input_bytes(self, tmp_path,
+                                                        blobs):
+        with JobManager(tmp_path, executors=0) as manager:
+            with injection(FaultInjector(4, point="service.handler",
+                                         trigger_hit=0)):
+                result = manager.harden_sync(blobs[0], label="t")
+            assert result is not None
+            job = manager.jobs()[0]
+            # The corrupted key was re-derived from the durable input
+            # bytes; the stored job carries the correct key.
+            from repro.farm.cache import content_key
+
+            assert job.key == content_key(blobs[0], api.resolve_options(None))
+            assert manager.stats.handler_faults == 1
+            assert manager.degradation_events() >= 1
+
+    def test_breaker_trips_and_half_open_recovers_under_sticky_fault(
+            self, tmp_path, blobs, reference):
+        """The ISSUE's acceptance scenario: a poison job (sticky
+        ``farm.worker`` crash) trips the breaker to fail-fast; after the
+        cooldown the half-open probe succeeds and closes it again."""
+        clock = FakeClock()
+        breaker = BreakerBoard(failure_threshold=3, reset_timeout_s=30.0,
+                               clock=clock)
+        manager = JobManager(
+            tmp_path, executors=0, max_attempts=1, breaker=breaker,
+            backoff=fast_backoff(),
+        )
+        manager.farm.backoff = fast_backoff()
+        with manager:
+            with injection(FaultInjector(1, point="farm.worker",
+                                         trigger_hit=0, sticky=True)):
+                for _ in range(3):
+                    with pytest.raises(WorkerCrashError):
+                        manager.harden_sync(blobs[0], label="poison")
+                assert breaker.state(manager.jobs()[0].key) == "open"
+                assert breaker.stats.trips == 1
+                # Open breaker fails fast: no farm work happens at all.
+                crashes_before = manager.farm.stats.worker_crashes
+                with pytest.raises(CircuitOpenError) as info:
+                    manager.harden_sync(blobs[0], label="poison")
+                assert info.value.retry_after_s > 0
+                assert manager.farm.stats.worker_crashes == crashes_before
+                assert manager.stats.rejected_breaker == 1
+            # Fault cleared; cooldown elapses; the half-open probe runs
+            # the job for real, succeeds, and closes the breaker.
+            clock.now += 30.0
+            result = manager.harden_sync(blobs[0], label="probe")
+            assert result.binary.to_bytes() == reference[0]
+            key = manager.jobs()[0].key
+            assert breaker.state(key) == "closed"
+            assert breaker.stats.probes == 1
+            assert breaker.stats.recoveries == 1
+
+    def test_crash_recovery_completes_interrupted_jobs_exactly_once(
+            self, tmp_path, blobs, reference):
+        # Submit without executing, then abandon the manager: the
+        # in-process equivalent of SIGKILL between journal appends.
+        manager = JobManager(tmp_path, executors=0)
+        for index, blob in enumerate(blobs):
+            manager.submit(blob, label=f"j{index}")
+        second = JobManager(tmp_path, executors=2, backoff=fast_backoff())
+        with second:
+            summary = second.recover()
+            assert summary["requeued"] == len(blobs)
+            jobs = settle(second)
+            assert len(jobs) == len(blobs)  # exactly once, no duplicates
+            assert all(j.state == "done" and j.recovered for j in jobs)
+            for job, expected in zip(jobs, reference):
+                assert second.artifact_bytes(job.id) == expected
+            assert second.drain(timeout_s=10.0)
+        # After the drain checkpoint a third manager replays terminal
+        # records only: nothing to requeue.
+        third = JobManager(tmp_path, executors=0)
+        assert third.recover()["requeued"] == 0
+        third.close()
+
+    def test_recovery_heals_done_job_with_lost_completion_record(
+            self, tmp_path, blobs):
+        manager = JobManager(tmp_path, executors=0)
+        manager.harden_sync(blobs[0], label="t")
+        manager.close()
+        # Forge the lost completion: drop every record after "submit".
+        journal = tmp_path / "journal.jsonl"
+        lines = journal.read_text().splitlines(True)
+        journal.write_text(lines[0])
+        second = JobManager(tmp_path, executors=0)
+        summary = second.recover()
+        assert summary == {"replayed": 1, "corrupt": 0,
+                           "requeued": 0, "healed": 1}
+        job = second.jobs()[0]
+        assert job.state == "done" and job.recovered
+        assert second.stats.healed_from_artifacts == 1
+        second.close()
+
+    def test_recovery_skips_corrupt_records_and_requeues(self, tmp_path,
+                                                         blobs):
+        manager = JobManager(tmp_path, executors=0)
+        manager.submit(blobs[0], label="a")
+        manager.submit(blobs[1], label="b")
+        journal = tmp_path / "journal.jsonl"
+        lines = journal.read_text().splitlines(True)
+        lines[1] = lines[1][:70] + "Z" + lines[1][71:]
+        journal.write_text("".join(lines))
+        second = JobManager(tmp_path, executors=0)
+        summary = second.recover()
+        assert summary["corrupt"] == 1
+        assert summary["requeued"] == 1  # the surviving submit record
+        assert second.journal.degraded
+        second.close()
+
+    def test_unusable_journal_rebuilds_and_degrades(self, tmp_path):
+        (tmp_path / "journal.jsonl").mkdir()  # unreadable as a file
+        manager = JobManager(tmp_path, executors=0)
+        summary = manager.recover()
+        assert summary["replayed"] == 0
+        assert manager.stats.journal_rebuilds == 1
+        assert manager.degraded() and manager.degradation_events() >= 1
+        manager.close()
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+    def test_dead_executor_is_respawned_and_counted(self, tmp_path, blobs,
+                                                    monkeypatch):
+        with JobManager(tmp_path, executors=1) as manager:
+            real_execute = manager._execute
+
+            def crashing_execute(job_id):
+                raise RuntimeError("executor bug")
+
+            monkeypatch.setattr(manager, "_execute", crashing_execute)
+            manager.submit(blobs[0], label="t")
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if any(not t.is_alive() for t in manager._threads):
+                    break
+                time.sleep(0.02)
+            monkeypatch.setattr(manager, "_execute", real_execute)
+            assert manager.ensure_executors() == 1
+            assert manager.stats.executor_restarts == 1
+
+
+# -- the daemon ---------------------------------------------------------------
+
+
+def http(method, url, body=None, headers=None, timeout=10.0):
+    request = urllib.request.Request(url, data=body, headers=headers or {},
+                                     method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read(), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), dict(error.headers)
+
+
+class TestDaemon:
+    @pytest.fixture()
+    def service(self, tmp_path):
+        service = HardeningService(
+            ServiceConfig(state_dir=tmp_path, executors=1)
+        ).start()
+        yield service
+        service.stop(drain=False)
+
+    def test_health_ready_metrics(self, service):
+        base = f"http://127.0.0.1:{service.port}"
+        assert http("GET", f"{base}/healthz")[0] == 200
+        status, body, _ = http("GET", f"{base}/readyz")
+        assert status == 200 and json.loads(body)["status"] == "ready"
+        status, body, _ = http("GET", f"{base}/metrics")
+        metrics = json.loads(body)
+        assert metrics["service"]["submitted"] == 0
+        assert "counters" in metrics["telemetry"]
+
+    def test_port_file_published(self, service, tmp_path):
+        text = (tmp_path / PORT_FILE).read_text().strip()
+        assert int(text) == service.port
+
+    def test_submit_poll_fetch_roundtrip(self, service, blobs, reference):
+        base = f"http://127.0.0.1:{service.port}"
+        status, body, _ = http(
+            "POST", f"{base}/v1/jobs", body=blobs[0],
+            headers={"X-RedFat-Label": "t", "X-RedFat-Client": "c"},
+        )
+        assert status == 202
+        job = json.loads(body)["job"]
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline:
+            _, body, _ = http("GET", f"{base}/v1/jobs/{job['id']}")
+            if json.loads(body)["job"]["state"] in ("done", "failed"):
+                break
+            time.sleep(0.05)
+        assert json.loads(body)["job"]["state"] == "done"
+        status, artifact, _ = http(
+            "GET", f"{base}/v1/jobs/{job['id']}/artifact"
+        )
+        assert status == 200 and artifact == reference[0]
+
+    def test_typed_errors_never_naked_500(self, service):
+        base = f"http://127.0.0.1:{service.port}"
+        status, body, _ = http("GET", f"{base}/v1/jobs/nope")
+        assert status == 404 and json.loads(body)["error"] == "NotFound"
+        status, body, _ = http("POST", f"{base}/v1/jobs", body=b"")
+        assert status == 400 and json.loads(body)["error"] == "BadRequest"
+        status, body, _ = http("GET", f"{base}/no/such/route")
+        assert status == 404
+
+    def test_quota_429_with_retry_after(self, tmp_path, blobs):
+        service = HardeningService(
+            ServiceConfig(state_dir=tmp_path, executors=1,
+                          quota_capacity=1, quota_refill_per_s=0.001)
+        ).start()
+        try:
+            base = f"http://127.0.0.1:{service.port}"
+            status, _, _ = http("POST", f"{base}/v1/jobs", body=blobs[0],
+                                headers={"X-RedFat-Client": "c"})
+            assert status == 202
+            status, body, headers = http(
+                "POST", f"{base}/v1/jobs", body=blobs[1],
+                headers={"X-RedFat-Client": "c"},
+            )
+            assert status == 429
+            assert json.loads(body)["error"] == "QuotaExceededError"
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            service.stop(drain=False)
+
+    def test_graceful_stop_drains_in_flight_work(self, tmp_path, blobs,
+                                                 reference):
+        service = HardeningService(
+            ServiceConfig(state_dir=tmp_path, executors=1, throttle_s=0.1)
+        ).start()
+        base = f"http://127.0.0.1:{service.port}"
+        for blob in blobs:
+            assert http("POST", f"{base}/v1/jobs", body=blob)[0] == 202
+        assert service.stop(drain=True)
+        jobs = service.manager.jobs()
+        assert [j.state for j in jobs] == ["done"] * len(blobs)
+
+
+# -- the kill -9 drill --------------------------------------------------------
+
+
+class TestRecoveryDrill:
+    def test_kill_and_restart_completes_batch_byte_identical(self, tmp_path):
+        from repro.service.drill import run_drill
+
+        summary = run_drill(tmp_path, batch_size=3, kill_after_s=0.5,
+                            throttle_s=0.3, timeout_s=60.0)
+        assert summary["completed"] == 3
+        assert summary["graceful_exit"] == 0
