@@ -1,11 +1,14 @@
 """Benchmark harness for Table 2 (non-incremental overflows).
 
 Asserts the paper's headline: RedFat detects 100% of the CVE/Juliet
-cases, the Memcheck baseline 0%.
+cases, the Memcheck baseline 0% — and extends the table into the
+allocator-zoo shootout matrix (``redfat shootout``): every registry
+backend over the same workloads, with overhead and memory columns.
 """
 
 import pytest
 
+from repro.bench.shootout import run_shootout, validate_report
 from repro.bench.table2 import memcheck_detects, redfat_detects, run
 from repro.workloads.cves import CVE_CASES
 from repro.workloads.juliet import generate_cases
@@ -47,3 +50,55 @@ class TestTable2Throughput:
             assert row.redfat_detected == row.total
             assert row.memcheck_detected == 0
         assert result.benign_clean
+
+
+class TestShootoutMatrix:
+    """The Table-2 extension: the zoo's detection/overhead/memory matrix."""
+
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return run_shootout(juliet_count=12, seed=1)
+
+    def _row(self, matrix, name):
+        return next(row for row in matrix.rows if row.name == name)
+
+    def test_covers_the_whole_zoo(self, matrix):
+        names = {row.name for row in matrix.rows}
+        assert {"glibc", "redfat", "s2malloc", "mesh", "camp",
+                "frp", "shadow"} <= names
+
+    def test_report_is_schema_valid(self, matrix):
+        assert validate_report(matrix.as_dict()) == []
+
+    def test_redfat_detects_everything(self, matrix):
+        row = self._row(matrix, "redfat")
+        assert row.detected == matrix.workloads
+        assert row.deployment == "hardened-binary"
+
+    def test_glibc_baseline_misses_everything(self, matrix):
+        row = self._row(matrix, "glibc")
+        assert row.detected == 0
+        assert row.overhead == pytest.approx(1.0, rel=0.01)
+
+    def test_shadow_blind_to_nonincremental(self, matrix):
+        # The paper's Problem #1: redzone-skipping offsets look valid.
+        row = self._row(matrix, "shadow")
+        assert row.detected == 0
+        assert row.overhead > 2.0  # but it pays full DBI cost anyway
+
+    def test_probabilistic_backends_stop_overflows(self, matrix):
+        # Randomized placement (s2malloc guard slack, FRP's one-time
+        # random windows) stops most Table-2 offsets on these seeds.
+        for name in ("s2malloc", "frp"):
+            row = self._row(matrix, name)
+            assert row.detected + row.crashed > matrix.workloads // 2, name
+
+    def test_mesh_trades_detection_for_memory(self, matrix):
+        row = self._row(matrix, "mesh")
+        assert row.detected == 0  # bad frees only; none in this suite
+        assert row.overhead < 2.0
+
+    def test_no_false_positives_anywhere(self, matrix):
+        for row in matrix.rows:
+            assert row.false_positives == 0, row.name
+            assert row.errors == 0, row.name

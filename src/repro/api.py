@@ -32,7 +32,6 @@ from repro.cc import CompiledProgram, compile_source
 from repro.core import AllowList, Profiler, RedFat, RedFatOptions
 from repro.core.profiler import ProfileReport
 from repro.core.redfat_tool import HardenResult
-from repro.runtime.glibc import GlibcRuntime
 from repro.runtime.redfat import RedFatRuntime
 from repro.telemetry.hub import Telemetry, coerce
 from repro.vm.loader import RunResult, load_binary
@@ -192,27 +191,42 @@ def run(
     max_instructions: int = 2_000_000_000,
     telemetry: Optional[Telemetry] = None,
     engine: Optional[str] = None,
+    seed: int = 1,
+    preload: Optional[str] = None,
 ) -> RunResult:
     """Execute *target* on the VM and return the :class:`RunResult`.
 
-    *runtime* is an environment instance, ``"glibc"`` (default,
-    unprotected) or ``"redfat"`` (the hardened allocator; *mode* selects
-    abort-on-error vs. log-and-continue).  *engine* forces the VM's
-    execution engine — ``"superblock"`` (default) or ``"single-step"``
-    (the reference loop; see :mod:`repro.vm.superblock`) — for this run
-    only; results are identical either way.
+    *runtime* is an environment instance or a registry spec — a name
+    such as ``"glibc"`` (default, unprotected), ``"redfat"``, any
+    backend from the allocator zoo (``"s2malloc"``, ``"mesh"``, ...),
+    or ``"name:key=val,..."`` with per-backend options (see
+    :mod:`repro.runtime.registry`).  *mode* selects abort-on-error vs.
+    log-and-continue and *seed* feeds the randomized backends.
+    *engine* forces the VM's execution engine — ``"superblock"``
+    (default) or ``"single-step"`` (the reference loop; see
+    :mod:`repro.vm.superblock`) — for this run only; results are
+    identical either way.
+
+    ``preload=`` is the deprecated pre-registry spelling of
+    ``runtime=`` and emits a :class:`DeprecationWarning`.
     """
+    import warnings
+
+    from repro.runtime import registry
     from repro.vm.superblock import engine_override
 
+    if preload is not None:
+        warnings.warn(
+            "run(preload=...) is deprecated; pass runtime=<registry spec>",
+            DeprecationWarning, stacklevel=2,
+        )
+        if runtime is None:
+            runtime = preload
     program = load(target)
-    if runtime is None or runtime == "glibc":
-        environment: RuntimeEnvironment = GlibcRuntime()
-    elif runtime == "redfat":
-        environment = RedFatRuntime(mode=mode)
-    elif isinstance(runtime, RuntimeEnvironment):
-        environment = runtime
-    else:
-        raise ValueError(f"unknown runtime {runtime!r}")
+    environment = registry.create(
+        runtime if runtime is not None else "glibc",
+        mode=mode, seed=seed, telemetry=telemetry,
+    )
     if engine is None:
         return program.run(
             args=args, runtime=environment,

@@ -108,19 +108,10 @@ class MemcheckVM:
 
 
 class _CountingShadowRuntime(ShadowRuntime):
-    """Shadow runtime that counts heap events for the cost model."""
+    """Shadow runtime in log mode (the base class counts heap events)."""
 
     def __init__(self, redzone: int = 16) -> None:
         super().__init__(mode="log", redzone=redzone)
-        self.heap_events = 0
-
-    def malloc(self, size: int) -> int:
-        self.heap_events += 1
-        return super().malloc(size)
-
-    def free(self, address: int) -> None:
-        self.heap_events += 1
-        super().free(address)
 
 
 def run_memcheck(

@@ -1,0 +1,342 @@
+"""``redfat shootout`` — the allocator-zoo matrix (Table-2 extended).
+
+Runs every registered hardened-allocator backend over the Table-2
+workloads (the four CVE reproductions plus a Juliet CWE-122 slice) and
+reports a **detection x overhead x memory** matrix:
+
+- *detection*: malicious inputs under ``mode="abort"`` — a typed
+  :class:`~repro.errors.GuestMemoryError` is a detection; a VM fault
+  (e.g. FRP's randomized placement turning an overflow into a wild
+  access) is a *crash-stop*, counted separately; anything else is a
+  miss.  Benign inputs must run clean (false positives are counted).
+- *overhead*: the deterministic cost model of DESIGN.md §6 on the
+  benign runs — ``instructions * DBI_EXPANSION + accesses *
+  ACCESS_CHECK_COST + heap_events * HEAP_EVENT_COST`` relative to the
+  glibc baseline run of the same workload.  The ``redfat`` row instead
+  uses the real instruction-count ratio of the hardened binary (its
+  checks are inlined, not modeled).
+- *memory*: the backend's :meth:`memory_stats` after the benign run —
+  reserved address space vs. peak live bytes (MESH's meshed pages make
+  this column interesting).
+
+``redfat`` runs the RedFat-hardened binary; every other backend runs
+the *unhardened* binary in the LD_PRELOAD deployment (the hardened
+binary's inlined checks would be vacuous on their non-fat heaps).
+
+Run: ``python -m repro.bench.shootout [--backends a,b] [--juliet N]
+[-o report.json]``.  The JSON report is validated against
+``shootout_schema.json`` before it is written.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import GuestMemoryError, ReproError, VMFault, VMTimeoutError
+from repro.bench.harness import geometric_mean
+from repro.bench.reporting import format_table
+from repro.cc import CompiledProgram
+from repro.core import RedFat, RedFatOptions
+from repro.runtime import registry
+from repro.telemetry.validate import validate as validate_schema
+from repro.workloads.cves import CVE_CASES
+from repro.workloads.juliet import generate_cases
+
+SCHEMA_VERSION = 1
+
+_SCHEMA_PATH = Path(__file__).with_name("shootout_schema.json")
+
+#: Watchdog fuel per shootout run (the workloads retire ~10-100k).
+FUEL = 5_000_000
+
+#: The default matrix: baseline + the paper's tool + the zoo.
+DEFAULT_BACKENDS = ("glibc", "shadow", "redfat", "s2malloc", "mesh",
+                    "camp", "frp")
+
+
+def load_schema() -> dict:
+    return json.loads(_SCHEMA_PATH.read_text())
+
+
+@dataclass
+class Workload:
+    """One shootout case: a program plus its two input vectors."""
+
+    name: str
+    suite: str  # "cve" | "juliet"
+    program: CompiledProgram
+    malicious_args: List[int]
+    benign_args: List[int]
+
+
+def build_workloads(juliet_count: int) -> List[Workload]:
+    loads = [
+        Workload(name=f"{case.cve}({case.program_name})", suite="cve",
+                 program=case.compile(),
+                 malicious_args=list(case.malicious_args),
+                 benign_args=list(case.benign_args))
+        for case in CVE_CASES
+    ]
+    for case in generate_cases(juliet_count):
+        loads.append(Workload(
+            name=case.case_id, suite="juliet", program=case.compile(),
+            malicious_args=list(case.malicious_args),
+            benign_args=list(case.benign_args),
+        ))
+    return loads
+
+
+#: Hardening cache: Juliet shares sources, and every backend row reuses
+#: the same hardened image for the ``redfat`` deployment.
+_HARDEN_CACHE: dict = {}
+
+
+def _harden(program: CompiledProgram):
+    result = _HARDEN_CACHE.get(id(program))
+    if result is None:
+        result = RedFat(RedFatOptions()).instrument(program.binary.strip())
+        _HARDEN_CACHE[id(program)] = result
+    return result
+
+
+def _make_run(workload: Workload, backend: str, mode: str, seed: int):
+    """(binary, runtime) for one cell of the matrix."""
+    info = registry.resolve(backend)
+    if info.needs_hardened_binary:
+        harden = _harden(workload.program)
+        return harden.binary, harden.create_runtime(
+            mode=mode, runtime=backend, seed=seed)
+    return workload.program.binary, registry.create(
+        backend, mode=mode, seed=seed)
+
+
+@dataclass
+class BackendRow:
+    """One backend's line in the matrix."""
+
+    name: str
+    deployment: str  # "hardened-binary" | "preload"
+    capabilities: List[str]
+    detected: int = 0
+    crashed: int = 0
+    missed: int = 0
+    false_positives: int = 0
+    by_suite: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    overhead: float = 1.0
+    reserved_bytes: int = 0
+    live_peak_bytes: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "deployment": self.deployment,
+            "capabilities": sorted(self.capabilities),
+            "detected": self.detected,
+            "crashed": self.crashed,
+            "missed": self.missed,
+            "false_positives": self.false_positives,
+            "by_suite": self.by_suite,
+            "overhead": round(self.overhead, 3),
+            "reserved_bytes": self.reserved_bytes,
+            "live_peak_bytes": self.live_peak_bytes,
+            "errors": self.errors,
+        }
+
+
+@dataclass
+class ShootoutResult:
+    rows: List[BackendRow] = field(default_factory=list)
+    workloads: int = 0
+    juliet_count: int = 0
+    seed: int = 1
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "shootout",
+            "seed": self.seed,
+            "workloads": self.workloads,
+            "juliet_cases": self.juliet_count,
+            "cve_cases": len(CVE_CASES),
+            "backends": [row.as_dict() for row in self.rows],
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+        }
+
+    def render(self) -> str:
+        cells = []
+        for row in self.rows:
+            total = row.detected + row.crashed + row.missed
+            stopped = row.detected + row.crashed
+            cells.append([
+                row.name,
+                row.deployment,
+                f"{stopped}/{total}"
+                + (f" ({row.crashed} crash-stop)" if row.crashed else ""),
+                str(row.false_positives),
+                f"{row.overhead:.2f}x",
+                f"{row.reserved_bytes // 1024}K/"
+                f"{max(row.live_peak_bytes, 1) // 1024}K",
+            ])
+        table = format_table(
+            ["backend", "deployment", "stopped", "FP", "overhead",
+             "reserved/peak"],
+            cells,
+            title=f"Allocator shootout — {self.workloads} workloads "
+                  f"({len(CVE_CASES)} CVE + {self.juliet_count} Juliet)",
+        )
+        return f"{table}\n(completed in {self.elapsed_seconds:.1f}s)"
+
+
+def _suite_bucket(row: BackendRow, suite: str) -> Dict[str, int]:
+    return row.by_suite.setdefault(
+        suite, {"detected": 0, "crashed": 0, "missed": 0, "total": 0})
+
+
+def run_shootout(
+    backends: Optional[List[str]] = None,
+    juliet_count: int = 24,
+    seed: int = 1,
+) -> ShootoutResult:
+    names = list(backends) if backends else list(DEFAULT_BACKENDS)
+    for name in names:
+        registry.resolve(name)  # typo'd backend fails before any work
+    loads = build_workloads(juliet_count)
+    start = time.time()
+    result = ShootoutResult(workloads=len(loads), juliet_count=juliet_count,
+                            seed=seed)
+
+    # The glibc baseline instruction counts normalize every overhead cell.
+    baseline: Dict[str, int] = {}
+    for load in loads:
+        outcome = load.program.run(
+            args=load.benign_args,
+            runtime=registry.create("glibc", mode="log", seed=seed),
+            max_instructions=FUEL,
+        )
+        baseline[load.name] = max(outcome.instructions, 1)
+
+    for name in names:
+        info = registry.resolve(name)
+        row = BackendRow(
+            name=info.name,
+            deployment="hardened-binary" if info.needs_hardened_binary
+            else "preload",
+            capabilities=sorted(info.capabilities),
+        )
+        ratios: List[float] = []
+        for load in loads:
+            bucket = _suite_bucket(row, load.suite)
+            bucket["total"] += 1
+            # -- detection: malicious input, abort mode -------------------
+            binary, runtime = _make_run(load, name, "abort", seed)
+            try:
+                load.program.run(args=load.malicious_args, binary=binary,
+                                 runtime=runtime, max_instructions=FUEL)
+            except GuestMemoryError:
+                row.detected += 1
+                bucket["detected"] += 1
+            except (VMFault, VMTimeoutError):
+                row.crashed += 1
+                bucket["crashed"] += 1
+            except ReproError:
+                row.errors += 1
+                bucket["missed"] += 1
+            else:
+                row.missed += 1
+                bucket["missed"] += 1
+            # -- overhead + memory + FP: benign input, log mode -----------
+            binary, runtime = _make_run(load, name, "log", seed)
+            try:
+                outcome = load.program.run(
+                    args=load.benign_args, binary=binary, runtime=runtime,
+                    max_instructions=FUEL,
+                )
+            except ReproError:
+                row.errors += 1
+                continue
+            if len(getattr(runtime, "errors", ())):
+                row.false_positives += 1
+            if info.needs_hardened_binary:
+                # Inlined checks: the real instruction-count ratio.
+                cost = float(outcome.instructions)
+            else:
+                cost = (
+                    outcome.instructions
+                    * getattr(runtime, "DBI_EXPANSION", 1.0)
+                    + getattr(runtime, "accesses", 0)
+                    * getattr(runtime, "ACCESS_CHECK_COST", 0.0)
+                    + getattr(runtime, "heap_events", 0)
+                    * getattr(runtime, "HEAP_EVENT_COST", 0.0)
+                )
+            ratios.append(cost / baseline[load.name])
+            stats = runtime.memory_stats()
+            row.reserved_bytes += int(stats.get("reserved_bytes", 0))
+            row.live_peak_bytes += int(
+                stats.get("live_peak_bytes", stats.get("live_bytes", 0)))
+        row.overhead = geometric_mean(ratios) if ratios else 1.0
+        result.rows.append(row)
+    result.elapsed_seconds = time.time() - start
+    return result
+
+
+def validate_report(document: dict) -> List[str]:
+    """Schema-validate one shootout report; returns the error list."""
+    return validate_schema(document, load_schema())
+
+
+def validate_file(path) -> List[str]:
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as error:
+        return [f"cannot read {path}: {error}"]
+    return validate_report(document)
+
+
+def main(arguments: Optional[argparse.Namespace] = None,
+         argv: Optional[List[str]] = None) -> int:
+    """Entry point shared by ``redfat shootout`` and ``python -m``."""
+    if arguments is None:
+        parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+        parser.add_argument("--backends", default=None)
+        parser.add_argument("--juliet", type=int, default=24)
+        parser.add_argument("-o", "--output", default=None)
+        parser.add_argument("--seed", type=int, default=1)
+        parser.add_argument("--validate", metavar="REPORT.json", default=None)
+        arguments = parser.parse_args(argv)
+    if arguments.validate:
+        errors = validate_file(arguments.validate)
+        for error in errors:
+            print(f"shootout: {error}")
+        if errors:
+            return 1
+        print(f"{arguments.validate}: valid shootout report")
+        return 0
+    backends = None
+    if arguments.backends:
+        backends = [name.strip() for name in arguments.backends.split(",")
+                    if name.strip()]
+    result = run_shootout(backends=backends, juliet_count=arguments.juliet,
+                          seed=arguments.seed)
+    print(result.render())
+    document = result.as_dict()
+    errors = validate_report(document)
+    if errors:
+        for error in errors:
+            print(f"shootout: schema: {error}")
+        return 1
+    if arguments.output:
+        Path(arguments.output).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {arguments.output} (schema-valid shootout report)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,13 +11,21 @@ Subcommands::
     redfat farm     prog1.c prog2.melf ... [--jobs N] [--cache-dir DIR]
                     [--output-dir DIR] [--preset NAME] [--metrics out.json]
     redfat profile  prog.melf -o allow.lst [--args N ...]
-    redfat run      prog.melf [--args N ...] [--runtime glibc|redfat]
+    redfat run      prog.melf [--args N ...] [--runtime SPEC]
                     [--mode abort|log] [--fuel N]
                     [--engine superblock|single-step] [--metrics out.json]
+    redfat runtimes                                  list the allocator zoo
+    redfat shootout [--backends a,b,...] [--juliet N] [-o report.json]
+                    [--validate report.json]
     redfat analyze  prog.melf [--sites] [--metrics out.json]
     redfat disasm   prog.melf
     redfat perf     [--quick] [--check] [--repeats N] [--snapshot FILE]
                     [--min-speedup X] [--no-write]
+
+``--runtime`` takes a registry spec: a backend name (``glibc``,
+``redfat``, ``s2malloc``, ``mesh``, ``camp``, ``frp``, ``shadow``) or
+``name:key=val,...`` with per-backend options — ``redfat runtimes``
+prints what is registered.
 
 Binaries are the library's on-disk images; ``harden`` consumes and
 produces files, exactly like the paper's Fig. 5 pipeline.  ``harden``
@@ -129,6 +137,11 @@ def _cmd_farm(arguments) -> int:
     options = RedFatOptions.preset(arguments.preset) if arguments.preset \
         else RedFatOptions()
     options = options.with_(keep_going=arguments.keep_going)
+    if arguments.runtime:
+        # Fail a typo'd spec before any hardening work is spent.
+        from repro.runtime import registry
+
+        registry.resolve(registry.parse_spec(arguments.runtime).name)
     farm = Farm(jobs=arguments.jobs, cache_dir=arguments.cache_dir,
                 telemetry=telemetry)
     try:
@@ -152,6 +165,27 @@ def _cmd_farm(arguments) -> int:
         print(f"wrote {destination}: "
               f"{len(outcome.result.rewrite.patched)} patches"
               + (f" [{note}]" if note else "") + retried)
+    smoke_failures = []
+    if arguments.runtime:
+        from repro.vm.loader import run_binary
+
+        for outcome in report.outcomes:
+            if not outcome.ok:
+                continue
+            runtime = outcome.result.create_runtime(
+                mode="log", runtime=arguments.runtime)
+            try:
+                smoke = run_binary(outcome.result.binary, runtime,
+                                   max_instructions=50_000_000)
+            except ReproError as error:
+                smoke_failures.append((outcome.label, str(error)))
+                print(f"SMOKE-FAIL {outcome.label} "
+                      f"[{arguments.runtime}]: {error}", file=sys.stderr)
+                continue
+            detected = len(getattr(runtime, "errors", ()))
+            print(f"smoke {outcome.label} [{arguments.runtime}]: "
+                  f"exit {smoke.status}, {smoke.instructions} instructions"
+                  + (f", {detected} error(s) logged" if detected else ""))
     cache = report.cache_stats
     print(f"farm: {report.stats.completed} hardened "
           f"({cache.get('hits', 0)} cache hits, {report.stats.dedup} dedup, "
@@ -172,7 +206,7 @@ def _cmd_farm(arguments) -> int:
             print(f"  {outcome.label} [{outcome.source}]{retried}: "
                   f"{outcome.error}", file=sys.stderr)
         return 1
-    return 0
+    return 1 if smoke_failures else 0
 
 
 def _cmd_serve(arguments) -> int:
@@ -210,13 +244,30 @@ def _cmd_run(arguments) -> int:
         return 124
     for line in result.output:
         print(line)
-    if arguments.runtime == "redfat" and result.runtime.errors:
-        for report in result.runtime.errors:
-            print(f"detected: {report}", file=sys.stderr)
+    for report in getattr(result.runtime, "errors", ()):
+        print(f"detected: {report}", file=sys.stderr)
     print(f"(exit status {result.status}, "
           f"{result.instructions} instructions)", file=sys.stderr)
     _flush_metrics(telemetry, arguments)
     return result.status
+
+
+def _cmd_runtimes(arguments) -> int:
+    from repro.runtime import registry
+
+    for info in registry.available():
+        caps = ", ".join(sorted(info.capabilities)) or "none"
+        binary = "hardened binary" if info.needs_hardened_binary else "preload-only"
+        aliases = f" (alias: {', '.join(info.aliases)})" if info.aliases else ""
+        print(f"{info.name:10s} [{binary}] {info.description}{aliases}")
+        print(f"{'':10s} detects: {caps}")
+    return 0
+
+
+def _cmd_shootout(arguments) -> int:
+    from repro.bench.shootout import main as shootout_main
+
+    return shootout_main(arguments)
 
 
 def _cmd_perf(arguments) -> int:
@@ -303,6 +354,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="named configuration applied to every job")
     farm_cmd.add_argument("--keep-going", action="store_true")
     farm_cmd.add_argument(
+        "--runtime", default=None, metavar="SPEC",
+        help="smoke-run every hardened artifact once under this runtime "
+             "registry spec (see `redfat runtimes`)")
+    farm_cmd.add_argument(
         "--metrics", metavar="OUT.json",
         help="export the farm telemetry (cache hits/misses, retries, "
              "worker counters)")
@@ -326,8 +381,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd = commands.add_parser("run", help="execute a binary image")
     run_cmd.add_argument("binary")
     run_cmd.add_argument("--args", nargs="*", type=int, default=[])
-    run_cmd.add_argument("--runtime", choices=("glibc", "redfat"),
-                         default="glibc")
+    run_cmd.add_argument(
+        "--runtime", default="glibc", metavar="SPEC",
+        help="runtime registry spec (see `redfat runtimes`): a name such "
+             "as glibc, redfat, s2malloc, mesh, camp, frp, shadow — or "
+             "name:key=val,... with per-backend options")
     run_cmd.add_argument("--mode", choices=("abort", "log"), default="abort")
     run_cmd.add_argument(
         "--fuel", type=int, default=2_000_000_000,
@@ -340,6 +398,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="OUT.json",
         help="export the VM telemetry report (instructions, checks, fuel)")
     run_cmd.set_defaults(handler=_cmd_run)
+
+    runtimes_cmd = commands.add_parser(
+        "runtimes", help="list the registered hardened-allocator backends")
+    runtimes_cmd.set_defaults(handler=_cmd_runtimes)
+
+    shootout_cmd = commands.add_parser(
+        "shootout", help="detection x overhead x memory matrix across "
+                         "allocator backends on Juliet + CVE workloads")
+    shootout_cmd.add_argument(
+        "--backends", default=None,
+        help="comma-separated backend names (default: the whole zoo)")
+    shootout_cmd.add_argument(
+        "--juliet", type=int, default=24,
+        help="number of Juliet cases in the sweep (default 24)")
+    shootout_cmd.add_argument(
+        "-o", "--output", metavar="OUT.json", default=None,
+        help="write the schema-validated JSON report here")
+    shootout_cmd.add_argument(
+        "--seed", type=int, default=1,
+        help="seed for the randomized backends")
+    shootout_cmd.add_argument(
+        "--validate", metavar="REPORT.json", default=None,
+        help="validate an existing report against the schema and exit")
+    shootout_cmd.set_defaults(handler=_cmd_shootout)
 
     perf_cmd = commands.add_parser(
         "perf", help="measure both VM engines on the benchmark micro-"

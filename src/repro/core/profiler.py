@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.errors import VMFault
 from repro.binfmt.binary import Binary
 from repro.layout import REDZONE_SIZE, lowfat_base, lowfat_size
+from repro.runtime import registry
 from repro.runtime.redfat import RedFatRuntime
 from repro.vm.loader import run_binary
 from repro.core.allowlist import AllowList
@@ -115,7 +116,10 @@ class Profiler:
                     report.failures[site.address] += 1
 
         for execute in executions or [_default_execution]:
-            runtime = RedFatRuntime(mode="log")
+            # Profiling always observes through libredfat (the profile
+            # binary's PROFILE hooks live in its trampolines), so the
+            # registry spec is fixed here rather than caller-selected.
+            runtime = registry.create("redfat", mode="log")
             runtime.profile_callback = callback
             execute(harden.binary, runtime)
         return report

@@ -71,19 +71,44 @@ class HardenResult:
         randomize: bool = False,
         seed: int = 1,
         telemetry: Optional[Telemetry] = None,
-    ) -> RedFatRuntime:
-        """A ``libredfat`` runtime wired for precise error attribution.
+        runtime: Optional[str] = None,
+        preload: Optional[str] = None,
+    ):
+        """A runtime wired for precise error attribution on this binary.
 
-        *mode* is ``"abort"`` (hardening) or ``"log"`` (bug finding);
-        *randomize*/*seed* control free-list randomization of the
-        underlying low-fat allocator; *telemetry* threads a hub through
-        the runtime's allocator and error-report counters.
+        *runtime* is a registry spec (``"redfat"`` by default, or any
+        registered backend such as ``"s2malloc:seed=7"`` — see
+        :mod:`repro.runtime.registry`); *mode* is ``"abort"``
+        (hardening) or ``"log"`` (bug finding); *randomize*/*seed*
+        control free-list randomization of the low-fat allocator (the
+        seed also feeds the randomized backends); *telemetry* threads a
+        hub through allocator and error-report counters.
+
+        ``preload=`` is the deprecated pre-registry spelling of
+        ``runtime=`` and emits a :class:`DeprecationWarning`.
         """
-        runtime = RedFatRuntime(
-            mode=mode, randomize=randomize, seed=seed, telemetry=telemetry
-        )
-        runtime.site_resolver = lambda rip: self.rewrite.resolve_site(rip) or rip
-        return runtime
+        import warnings
+
+        from repro.runtime import registry
+
+        if preload is not None:
+            warnings.warn(
+                "create_runtime(preload=...) is deprecated; "
+                "pass runtime=<registry spec> instead",
+                DeprecationWarning, stacklevel=2,
+            )
+            if runtime is None:
+                runtime = preload
+        spec = registry.parse_spec(runtime if runtime is not None else "redfat")
+        options = {"mode": mode, "seed": seed, "telemetry": telemetry}
+        if registry.resolve(spec.name).name == "redfat":
+            options["randomize"] = randomize
+        environment = registry.create(spec, **options)
+        if hasattr(environment, "site_resolver"):
+            environment.site_resolver = (
+                lambda rip: self.rewrite.resolve_site(rip) or rip
+            )
+        return environment
 
     def as_dict(self) -> Dict[str, object]:
         """The common stats protocol (telemetry export / ``--metrics``)."""

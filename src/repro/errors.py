@@ -82,6 +82,21 @@ class AllocatorError(ReproError):
     """The guest heap allocator was misused (bad free, OOM...)."""
 
 
+class UnknownRuntimeError(ReproError, ValueError):
+    """A runtime spec named a backend the registry does not know.
+
+    Carries the registered names so surfaces (CLI, service, API) can say
+    what *would* have worked.  Also a :class:`ValueError` because the
+    pre-registry API raised bare ``ValueError`` for unknown runtime names.
+    """
+
+    def __init__(self, name: str, registered=()) -> None:
+        self.runtime_name = name
+        self.registered = tuple(sorted(registered))
+        known = ", ".join(self.registered) if self.registered else "none"
+        super().__init__(f"unknown runtime {name!r} (registered: {known})")
+
+
 class RewriteError(ReproError):
     """Static binary rewriting failed (unpatchable site, overlap...)."""
 

@@ -124,6 +124,15 @@ class FaultRunRecord:
     #: key repair, quota fail-open, breaker latch) and still delivered —
     #: the accounted survival of the ``service.*`` fault points.
     service_degraded: bool = False
+    #: Runtime registry spec the run executed under.  ``runtime.*``
+    #: fault points pull their own backend onto the attack surface
+    #: (``runtime.mesh.merge`` runs under ``mesh``); everything else
+    #: runs under the paper's libredfat.
+    runtime: str = "redfat"
+    #: The allocator backend absorbed a fault (placement repair, merge
+    #: veto, bounds repair, placement retry) and kept serving — the
+    #: accounted survival of the ``runtime.*`` fault points.
+    backend_degraded: bool = False
 
 
 @dataclass
@@ -179,6 +188,23 @@ def compile_campaign_program() -> CompiledProgram:
     return compile_source(CAMPAIGN_SOURCE)
 
 
+def _runtime_for_points(point: Union[str, Sequence[str], None]) -> str:
+    """The registry spec a seeded run executes under.
+
+    A ``runtime.<backend>.<site>`` point can only fire inside its own
+    backend, so those runs swap libredfat out for the named backend
+    (the hardened binary's inlined checks are vacuous on the backend's
+    non-fat heap — exactly the LD_PRELOAD deployment).  Everything
+    else keeps the paper's runtime.
+    """
+    names = [point] if isinstance(point, str) else list(point or ())
+    for name in names:
+        parts = name.split(".")
+        if parts[0] == "runtime" and len(parts) >= 3:
+            return parts[1]
+    return "redfat"
+
+
 def run_one(
     seed: int,
     program: CompiledProgram,
@@ -195,7 +221,9 @@ def run_one(
     injector = FaultInjector(seed, point=point)
     record = FaultRunRecord(seed=seed, point=injector.point, fired=False,
                             outcome=CLEAN)
+    record.runtime = _runtime_for_points(point)
     harden = None
+    runtime = None
     # A per-run hub rides the whole pipeline so the telemetry.* fault
     # points are on the campaign's attack surface: sink corruption fires
     # while spans/events record, export corruption when the report
@@ -220,7 +248,10 @@ def run_one(
                 stripped.to_bytes(), options=RedFatOptions(keep_going=True),
                 label="campaign", client="campaign",
             )
-            runtime = harden.create_runtime(mode="log", telemetry=tele)
+            runtime = harden.create_runtime(
+                mode="log", telemetry=tele, runtime=record.runtime,
+                seed=seed,
+            )
             result = program.run(
                 args=[guest_arg], binary=harden.binary, runtime=runtime,
                 max_instructions=fuel, telemetry=tele,
@@ -284,10 +315,19 @@ def run_one(
                     f"superblock engine: "
                     f"{result.cpu.superblock.degraded_reason}"
                 )
+            elif getattr(runtime, "degraded", False):
+                # A runtime.* point corrupted backend state; the
+                # backend's validator repaired (or vetoed) and latched
+                # itself degraded instead of serving an unsafe layout.
+                record.outcome = DEGRADED
+                record.detail = (
+                    f"runtime backend degraded: {runtime.degraded_reason}"
+                )
             elif tele.degraded:
                 record.outcome = DEGRADED
                 record.detail = f"telemetry: {tele.degraded_reason}"
     record.fired = injector.fired
+    record.backend_degraded = bool(getattr(runtime, "degraded", False))
     record.telemetry_degraded = tele.degraded
     record.farm_degraded = bool(farm.degradation_events())
     record.service_degraded = bool(manager.degradation_events())

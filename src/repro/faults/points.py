@@ -160,6 +160,34 @@ register(
     "without breaker protection, and flags itself degraded",
 )
 register(
+    "runtime.s2malloc.slot",
+    "corrupt the randomized in-slot offset of a fresh allocation "
+    "(runtime/backends/s2malloc.py malloc) — the placement invariant "
+    "validator re-pins the object to a legal offset, counted as a "
+    "repaired, DEGRADED run (entropy lost, never an unsafe layout)",
+)
+register(
+    "runtime.mesh.merge",
+    "corrupt the meshing candidate scan into proposing a self-merge "
+    "(runtime/backends/mesh.py _maybe_mesh) — the merge validator "
+    "re-checks distinctness/disjointness independently and vetoes the "
+    "pair, counted as a DEGRADED run; a bogus alias is never installed",
+)
+register(
+    "runtime.camp.bounds",
+    "corrupt a fresh object's published bounds-table entry, possibly "
+    "widening it (runtime/backends/camp.py malloc) — every lookup "
+    "cross-validates the table against the allocator's ground truth and "
+    "repairs the entry, counted as a DEGRADED run",
+)
+register(
+    "runtime.frp.map",
+    "fail the mapping of a randomized placement candidate "
+    "(runtime/backends/frp.py malloc) — the allocator retries at a "
+    "fresh random address (bounded attempts), counted as a DEGRADED "
+    "run; exhaustion surfaces as OOM, never a crash",
+)
+register(
     "telemetry.sink",
     "corrupt the telemetry event/span sink (telemetry/hub.py) — the hub "
     "must degrade (stop recording, count drops, flag itself) instead of "

@@ -9,8 +9,19 @@
   the error reporting machinery (abort/log modes).
 - :class:`~repro.runtime.shadow.ShadowRuntime` — an ASAN/Memcheck-style
   shadow-memory redzone runtime used by the Memcheck baseline.
+- :mod:`repro.runtime.backends` — the hardened-allocator zoo (s2malloc,
+  mesh, camp, frp), selectable through :mod:`repro.runtime.registry`:
+  ``registry.create("s2malloc:seed=7", mode="log")``.
 """
 
+from repro.runtime import registry
+from repro.runtime.backends import (
+    CampRuntime,
+    FrpRuntime,
+    HardenedHeapRuntime,
+    MeshRuntime,
+    S2MallocRuntime,
+)
 from repro.runtime.glibc import GlibcRuntime
 from repro.runtime.lowfat import LowFatAllocator
 from repro.runtime.redfat import RedFatRuntime
@@ -18,11 +29,17 @@ from repro.runtime.shadow import ShadowRuntime, ShadowState
 from repro.runtime.reporting import ErrorKind, MemoryErrorReport
 
 __all__ = [
+    "registry",
     "GlibcRuntime",
     "LowFatAllocator",
     "RedFatRuntime",
     "ShadowRuntime",
     "ShadowState",
+    "HardenedHeapRuntime",
+    "S2MallocRuntime",
+    "MeshRuntime",
+    "CampRuntime",
+    "FrpRuntime",
     "ErrorKind",
     "MemoryErrorReport",
 ]

@@ -1,0 +1,143 @@
+"""CAMP-style backend: compiler/allocator cooperative bounds table.
+
+Models *CAMP* (PAPERS.md): the allocator publishes exact object bounds
+into a lookup table the (conceptually compiler-inserted) checks consult
+on every access.  Because the table holds the *requested* size — not a
+rounded size class — detection is deterministic and byte-exact: any
+access past ``base + requested`` is out of bounds even inside the
+allocator's own alignment padding, and freed objects stay quarantined
+for the life of the run so stale pointers always hit a dead interval.
+
+The published table (``_bounds``) is deliberately a *copy* of the
+allocator's ground truth (``_objects``): the ``runtime.camp.bounds``
+fault point corrupts the copy, and every lookup cross-validates it
+against the truth, repairing discrepancies and flagging the runtime
+degraded — seeded corruption must never widen an object's bounds.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional
+
+from repro.faults import injector as _faults
+from repro.layout import NUM_SIZE_CLASSES, region_base
+from repro.runtime.backends.base import POISON_BYTE, HardenedHeapRuntime, align16
+from repro.runtime.reporting import ErrorKind, MemoryErrorReport
+
+HEAP_BASE = region_base(NUM_SIZE_CLASSES + 3)
+HEAP_LIMIT = region_base(NUM_SIZE_CLASSES + 4)
+MAX_REQUEST = 1 << 26
+
+_LIVE, _FREED = 0, 1
+
+
+class CampRuntime(HardenedHeapRuntime):
+    """Cooperative-bounds allocator runtime (deterministic detection)."""
+
+    name = "camp"
+    capabilities = frozenset({"oob", "uaf", "double-free"})
+    #: Compiler-inserted checks: cheap per-access cost, no DBI expansion.
+    ACCESS_CHECK_COST = 8.0
+    HEAP_EVENT_COST = 90.0
+
+    def __init__(self, mode: str = "log", seed: int = 1, telemetry=None) -> None:
+        super().__init__(mode=mode, seed=seed, telemetry=telemetry)
+        self._cursor = HEAP_BASE
+        self._bases: List[int] = []
+        #: base -> [requested, state]: the allocator's ground truth.
+        self._objects: Dict[int, list] = {}
+        #: base -> requested: the published bounds table checks consult.
+        self._bounds: Dict[int, int] = {}
+        #: Bounds-table entries repaired against the allocator truth.
+        self.bounds_repairs = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        if size <= 0:
+            size = 1
+        if size > MAX_REQUEST:
+            return 0
+        rounded = align16(size)
+        base = self._cursor
+        if base + rounded > HEAP_LIMIT:
+            return 0
+        self._cursor = base + rounded
+        self.cpu.memory.map_range(base, rounded)
+        self._bases.append(base)
+        self._objects[base] = [size, _LIVE]
+        self._bounds[base] = size
+        if _faults.active() is not None and _faults.fault_point(
+            "runtime.camp.bounds"
+        ):
+            # Corrupt the *published* bound — possibly widening it, the
+            # dangerous direction.  The lookup validator must repair it.
+            self._bounds[base] = _faults.payload_rng().randrange(1, 1 << 20)
+        self._account_alloc(size)
+        return base
+
+    def free(self, address: int) -> None:
+        if address == 0:
+            return
+        site = self.cpu.rip if self.cpu is not None else 0
+        entry = self._objects.get(address)
+        if entry is None:
+            self._deliver(self.report(
+                ErrorKind.INVALID_FREE, site, address=address,
+                detail="not an allocation base",
+            ))
+            return
+        if entry[1] == _FREED:
+            self._deliver(self.report(
+                ErrorKind.INVALID_FREE, site, address=address,
+                detail="double free",
+            ))
+            return
+        entry[1] = _FREED
+        # Quarantined for the life of the run: CAMP delays reuse until
+        # escape tracking proves no pointer survives; the conservative
+        # model never reuses.
+        self.cpu.memory.write(address, bytes([POISON_BYTE]) * entry[0])
+        self._account_free(entry[0])
+
+    def usable_size(self, address: int) -> int:
+        entry = self._objects.get(address)
+        if entry is not None and entry[1] == _LIVE:
+            return entry[0]
+        return 0
+
+    # -- the bounds check ----------------------------------------------------
+
+    def _validated_bound(self, base: int) -> int:
+        truth = self._objects[base][0]
+        if self._bounds.get(base) != truth:
+            self._bounds[base] = truth
+            self.bounds_repairs += 1
+            self._degrade("published bounds disagreed with the allocator; "
+                          "entry repaired from ground truth")
+        return truth
+
+    def check_access(
+        self, address: int, size: int, is_write: bool, site: int
+    ) -> Optional[MemoryErrorReport]:
+        if not HEAP_BASE <= address < HEAP_LIMIT:
+            return None
+        index = bisect.bisect_right(self._bases, address) - 1
+        if index < 0 or address >= self._cursor:
+            return self.report(ErrorKind.UNADDRESSABLE, site, address=address,
+                               detail="no object maps this address")
+        base = self._bases[index]
+        requested, state = self._objects[base]
+        bound = self._validated_bound(base)
+        if state == _FREED:
+            return self.report(ErrorKind.USE_AFTER_FREE, site, address=address,
+                               detail="object quarantined after free")
+        if address + size > base + bound:
+            # Byte-exact: even the alignment padding is out of bounds.
+            return self.report(ErrorKind.OOB_UPPER, site, address=address,
+                               detail="past the object's exact bound")
+        return None
+
+    def heap_bytes_reserved(self) -> int:
+        return self._cursor - HEAP_BASE

@@ -1,0 +1,153 @@
+"""Fully-Randomized-Pointers backend: one-time random placements.
+
+Models *FRP* (PAPERS.md): every allocation is placed at a fresh,
+uniformly random 16-aligned address inside a huge sparse window and its
+address is **never reused** — freed objects stay quarantined and
+poisoned forever.  In the real defense the entropy makes forged or
+stale pointers land on unmapped memory with overwhelming probability;
+in the simulator's finite window the allocation map itself is the
+oracle, so detection is near-deterministic here and the miss
+probability (a wild pointer landing inside another live object) is a
+density argument, not a code path.
+
+The ``runtime.frp.map`` fault point fails a candidate placement's
+mapping; the allocator's survival path retries at a fresh random
+address (bounded attempts), counting retries and flagging the runtime
+degraded — placement failure must cost entropy, never correctness.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional
+
+from repro.faults import injector as _faults
+from repro.layout import NUM_SIZE_CLASSES, region_base
+from repro.runtime.backends.base import POISON_BYTE, HardenedHeapRuntime, align16
+from repro.runtime.reporting import ErrorKind, MemoryErrorReport
+
+#: Four regions (128 GB) of placement entropy.
+HEAP_BASE = region_base(NUM_SIZE_CLASSES + 4)
+HEAP_LIMIT = region_base(NUM_SIZE_CLASSES + 8)
+MAX_REQUEST = 1 << 26
+#: Candidate placements tried before declaring the heap exhausted.
+MAX_PLACEMENT_TRIES = 8
+
+_LIVE, _FREED = 0, 1
+
+
+class FrpRuntime(HardenedHeapRuntime):
+    """Fully randomized, never-reusing allocator runtime."""
+
+    name = "frp"
+    capabilities = frozenset({"oob", "uaf", "double-free", "probabilistic"})
+    #: Random placement + sparse page table work per heap event.
+    HEAP_EVENT_COST = 120.0
+
+    def __init__(self, mode: str = "log", seed: int = 1, telemetry=None) -> None:
+        super().__init__(mode=mode, seed=seed, telemetry=telemetry)
+        self._bases: List[int] = []
+        #: base -> [requested, state]; addresses are never recycled.
+        self._objects: Dict[int, list] = {}
+        self._reserved = 0
+        #: Placements retried after the ``runtime.frp.map`` fault point
+        #: failed a candidate mapping.
+        self.placement_retries = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        if size <= 0:
+            size = 1
+        if size > MAX_REQUEST:
+            return 0
+        rounded = align16(size)
+        for _ in range(MAX_PLACEMENT_TRIES):
+            candidate = HEAP_BASE + 16 * self._rng.randrange(
+                (HEAP_LIMIT - HEAP_BASE - rounded) // 16
+            )
+            if self._overlaps(candidate, rounded):
+                continue
+            if _faults.active() is not None and _faults.fault_point(
+                "runtime.frp.map"
+            ):
+                # The candidate's mapping "failed"; retry elsewhere.
+                self.placement_retries += 1
+                self._degrade("randomized placement failed to map; "
+                              "retried at a fresh address")
+                continue
+            self.cpu.memory.map_range(candidate, rounded)
+            index = bisect.bisect_right(self._bases, candidate)
+            self._bases.insert(index, candidate)
+            self._objects[candidate] = [size, _LIVE]
+            self._reserved += rounded
+            self._account_alloc(size)
+            return candidate
+        return 0  # window exhausted (or every retry failed)
+
+    def _overlaps(self, candidate: int, rounded: int) -> bool:
+        index = bisect.bisect_right(self._bases, candidate)
+        if index > 0:
+            prev = self._bases[index - 1]
+            if prev + align16(self._objects[prev][0]) > candidate:
+                return True
+        if index < len(self._bases) and candidate + rounded > self._bases[index]:
+            return True
+        return False
+
+    def free(self, address: int) -> None:
+        if address == 0:
+            return
+        site = self.cpu.rip if self.cpu is not None else 0
+        entry = self._objects.get(address)
+        if entry is None:
+            self._deliver(self.report(
+                ErrorKind.INVALID_FREE, site, address=address,
+                detail="not an allocation base",
+            ))
+            return
+        if entry[1] == _FREED:
+            self._deliver(self.report(
+                ErrorKind.INVALID_FREE, site, address=address,
+                detail="double free",
+            ))
+            return
+        entry[1] = _FREED
+        # The address is burned: poisoned and quarantined forever.
+        self.cpu.memory.write(address, bytes([POISON_BYTE]) * entry[0])
+        self._account_free(entry[0])
+
+    def usable_size(self, address: int) -> int:
+        entry = self._objects.get(address)
+        if entry is not None and entry[1] == _LIVE:
+            return entry[0]
+        return 0
+
+    # -- the per-access oracle ----------------------------------------------
+
+    def check_access(
+        self, address: int, size: int, is_write: bool, site: int
+    ) -> Optional[MemoryErrorReport]:
+        if not HEAP_BASE <= address < HEAP_LIMIT:
+            return None
+        index = bisect.bisect_right(self._bases, address) - 1
+        if index >= 0:
+            base = self._bases[index]
+            requested, state = self._objects[base]
+            if address < base + requested:
+                if state == _FREED:
+                    return self.report(
+                        ErrorKind.USE_AFTER_FREE, site, address=address,
+                        detail="address burned by a previous free",
+                    )
+                if address + size > base + requested:
+                    return self.report(
+                        ErrorKind.OOB_UPPER, site, address=address,
+                        detail="access straddles the object's end",
+                    )
+                return None
+        return self.report(ErrorKind.UNADDRESSABLE, site, address=address,
+                           detail="no object maps this address")
+
+    def heap_bytes_reserved(self) -> int:
+        return self._reserved

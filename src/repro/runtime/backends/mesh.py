@@ -1,0 +1,279 @@
+"""MESH-style backend: meshable spans with page-compaction stats.
+
+Models *MESH* (PAPERS.md): allocations are served from 4 KiB spans of
+fixed-size slots with randomized slot placement.  When two spans of the
+same size class have **disjoint** occupancy bitmaps, they are *meshed*:
+the donor span's live slots are copied into the partner's page at their
+original offsets and the donor's virtual page is aliased onto the
+partner's physical page (:meth:`repro.vm.memory.Memory.alias_range`) —
+both virtual addresses stay valid, one physical page is released.
+``memory_stats`` reports the resulting efficiency (``meshes`` /
+``pages_freed`` drive ``reserved_bytes`` down toward the live set).
+
+MESH is a memory-efficiency defense, not a detector: the only memory
+errors it catches deterministically are invalid and double frees (the
+occupancy bitmap refuses them).  Out-of-bounds or stale accesses are
+reported only when they land outside every span — within-span overflows
+into other slots are honest misses, which is exactly the row the
+shootout matrix should show for it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.faults import injector as _faults
+from repro.layout import NUM_SIZE_CLASSES, region_base
+from repro.runtime.backends.base import (
+    POISON_BYTE,
+    HardenedHeapRuntime,
+    align16,
+    next_pow2,
+)
+from repro.runtime.reporting import ErrorKind, MemoryErrorReport
+
+HEAP_BASE = region_base(NUM_SIZE_CLASSES + 2)
+HEAP_LIMIT = region_base(NUM_SIZE_CLASSES + 3)
+
+SPAN_SIZE = 4096
+#: Largest slot class served from meshable spans; bigger requests get
+#: dedicated page runs.
+MAX_SLOT_CLASS = 2048
+MAX_REQUEST = 1 << 26
+
+_PAGE_SHIFT = 12
+
+
+class _Span:
+    __slots__ = ("base", "cls", "slots", "bitmap", "requested", "ever",
+                 "merged_into")
+
+    def __init__(self, base: int, cls: int) -> None:
+        self.base = base
+        self.cls = cls
+        self.slots = SPAN_SIZE // cls
+        self.bitmap = 0
+        #: slot index -> requested bytes, for exact usable_size/realloc.
+        self.requested: Dict[int, int] = {}
+        #: Slot indices that were ever live (classifies bad frees).
+        self.ever: Set[int] = set()
+        #: Set on the donor after meshing; all state lives on the target.
+        self.merged_into: Optional["_Span"] = None
+
+
+class MeshRuntime(HardenedHeapRuntime):
+    """Meshing span allocator with compaction statistics."""
+
+    name = "mesh"
+    capabilities = frozenset({"double-free", "invalid-free"})
+    #: Meshing work happens on free/allocate paths; accesses are native.
+    HEAP_EVENT_COST = 140.0
+
+    def __init__(self, mode: str = "log", seed: int = 1, telemetry=None) -> None:
+        super().__init__(mode=mode, seed=seed, telemetry=telemetry)
+        self._cursor = HEAP_BASE
+        #: page index -> span covering that virtual page (small spans).
+        self._pages: Dict[int, _Span] = {}
+        self._spans_by_class: Dict[int, List[_Span]] = {}
+        #: base -> requested bytes for dedicated large runs.
+        self._large: Dict[int, int] = {}
+        self._large_freed: Dict[int, int] = {}
+        self.meshes = 0
+        self.pages_freed = 0
+        #: Bogus merge candidates rejected by the disjointness validator
+        #: (the accounted survival of ``runtime.mesh.merge``).
+        self.meshes_vetoed = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        if size <= 0:
+            size = 1
+        if size > MAX_REQUEST:
+            return 0
+        if size > MAX_SLOT_CLASS:
+            return self._malloc_large(size)
+        cls = max(16, next_pow2(size) if size > 16 else 16)
+        span = self._open_span(cls)
+        if span is None:
+            return 0
+        free_indices = [i for i in range(span.slots)
+                        if not span.bitmap >> i & 1]
+        index = free_indices[self._rng.randrange(len(free_indices))]
+        span.bitmap |= 1 << index
+        span.requested[index] = size
+        span.ever.add(index)
+        self._account_alloc(size)
+        return span.base + index * cls
+
+    def _open_span(self, cls: int) -> Optional[_Span]:
+        spans = self._spans_by_class.setdefault(cls, [])
+        for span in spans:
+            if span.merged_into is None and span.bitmap.bit_count() < span.slots:
+                return span
+        base = self._cursor
+        if base + SPAN_SIZE > HEAP_LIMIT:
+            return None
+        self._cursor = base + SPAN_SIZE
+        self.cpu.memory.map_range(base, SPAN_SIZE)
+        span = _Span(base, cls)
+        spans.append(span)
+        self._pages[base >> _PAGE_SHIFT] = span
+        return span
+
+    def _malloc_large(self, size: int) -> int:
+        span_bytes = (size + SPAN_SIZE - 1) & ~(SPAN_SIZE - 1)
+        base = self._cursor
+        if base + span_bytes > HEAP_LIMIT:
+            return 0
+        self._cursor = base + span_bytes
+        self.cpu.memory.map_range(base, span_bytes)
+        self._large[base] = size
+        self._account_alloc(size)
+        return base
+
+    # -- release + meshing --------------------------------------------------
+
+    def free(self, address: int) -> None:
+        if address == 0:
+            return
+        site = self.cpu.rip if self.cpu is not None else 0
+        if address in self._large:
+            size = self._large.pop(address)
+            self._large_freed[address] = size
+            self.cpu.memory.write(address, bytes([POISON_BYTE]) * size)
+            self._account_free(size)
+            return
+        if address in self._large_freed:
+            self._deliver(self.report(
+                ErrorKind.INVALID_FREE, site, address=address,
+                detail="double free of a large run",
+            ))
+            return
+        span = self._pages.get(address >> _PAGE_SHIFT)
+        if span is None:
+            self._deliver(self.report(
+                ErrorKind.INVALID_FREE, site, address=address,
+                detail="pointer outside every span",
+            ))
+            return
+        rep = self._resolve(span)
+        offset = address - span.base
+        if offset % span.cls:
+            self._deliver(self.report(
+                ErrorKind.INVALID_FREE, site, address=address,
+                detail="interior pointer (not a slot base)",
+            ))
+            return
+        index = offset // span.cls
+        if not rep.bitmap >> index & 1:
+            detail = ("double free (slot bitmap already clear)"
+                      if index in rep.ever else "free of a never-allocated slot")
+            self._deliver(self.report(
+                ErrorKind.INVALID_FREE, site, address=address, detail=detail,
+            ))
+            return
+        rep.bitmap &= ~(1 << index)
+        requested = rep.requested.pop(index, span.cls)
+        self.cpu.memory.write(address, bytes([POISON_BYTE]) * requested)
+        self._account_free(requested)
+        self._maybe_mesh(span.cls)
+
+    @staticmethod
+    def _resolve(span: _Span) -> _Span:
+        while span.merged_into is not None:
+            span = span.merged_into
+        return span
+
+    def _maybe_mesh(self, cls: int) -> None:
+        pair = self._find_mesh_pair(cls)
+        if _faults.active() is not None and _faults.fault_point(
+            "runtime.mesh.merge"
+        ):
+            # Corrupt the candidate scan: fabricate a self-mesh, the
+            # classic aliasing bug a broken scan would produce.
+            spans = [s for s in self._spans_by_class.get(cls, ())
+                     if s.merged_into is None]
+            if spans:
+                bogus = _faults.payload_rng().choice(spans)
+                pair = (bogus, bogus)
+        if pair is None:
+            return
+        target, donor = pair
+        # The merge validator re-checks the invariant independently of
+        # the scan: distinct spans, same class, disjoint occupancy.
+        if (
+            target is donor
+            or target.cls != donor.cls
+            or target.bitmap & donor.bitmap
+            or target.merged_into is not None
+            or donor.merged_into is not None
+        ):
+            self.meshes_vetoed += 1
+            self._degrade("mesh merge vetoed: candidate pair failed the "
+                          "disjointness invariant")
+            return
+        self._mesh(target, donor)
+
+    def _find_mesh_pair(self, cls: int):
+        spans = [s for s in self._spans_by_class.get(cls, ())
+                 if s.merged_into is None]
+        for i, target in enumerate(spans):
+            for donor in spans[i + 1:]:
+                if target.bitmap & donor.bitmap == 0:
+                    return target, donor
+        return None
+
+    def _mesh(self, target: _Span, donor: _Span) -> None:
+        memory = self.cpu.memory
+        live = [(index, memory.read(donor.base + index * donor.cls, donor.cls))
+                for index in range(donor.slots) if donor.bitmap >> index & 1]
+        memory.alias_range(donor.base, target.base, SPAN_SIZE)
+        for index, payload in live:
+            memory.write(donor.base + index * donor.cls, payload)
+        target.bitmap |= donor.bitmap
+        target.requested.update(donor.requested)
+        target.ever |= donor.ever
+        donor.bitmap = 0
+        donor.requested = {}
+        donor.merged_into = target
+        self.meshes += 1
+        self.pages_freed += 1
+        if self.telemetry is not None:
+            self.telemetry.count("runtime.mesh.meshes")
+
+    def usable_size(self, address: int) -> int:
+        if address in self._large:
+            return self._large[address]
+        span = self._pages.get(address >> _PAGE_SHIFT)
+        if span is None:
+            return 0
+        rep = self._resolve(span)
+        offset = address - span.base
+        if offset % span.cls:
+            return 0
+        return rep.requested.get(offset // span.cls, 0)
+
+    # -- the per-access oracle ----------------------------------------------
+
+    def check_access(
+        self, address: int, size: int, is_write: bool, site: int
+    ) -> Optional[MemoryErrorReport]:
+        if not HEAP_BASE <= address < HEAP_LIMIT:
+            return None
+        if address >= self._cursor:
+            return self.report(ErrorKind.UNADDRESSABLE, site, address=address,
+                               detail="past the span frontier")
+        # Within the claimed window everything is page-backed: MESH makes
+        # no per-slot promise, so within-span errors are honest misses.
+        return None
+
+    def heap_bytes_reserved(self) -> int:
+        return self._cursor - HEAP_BASE - self.pages_freed * SPAN_SIZE
+
+    def memory_stats(self) -> dict:
+        stats = super().memory_stats()
+        stats["meshes"] = self.meshes
+        stats["pages_freed"] = self.pages_freed
+        stats["meshes_vetoed"] = self.meshes_vetoed
+        return stats

@@ -1,0 +1,233 @@
+"""S2Malloc-style backend: randomized in-slot placement + canaries.
+
+Models the defense of *S2Malloc* (PAPERS.md): every allocation gets a
+power-of-two slot larger than the request, the object is placed at a
+random 16-byte-aligned offset inside the slot, and secret canary words
+bracket the payload.  Freed slots pass through a FIFO quarantine before
+reuse, so stale pointers keep landing on poisoned memory for a while.
+
+Detection envelope (what :meth:`check_access` reports):
+
+- Accesses to the slot's guard bytes (the randomized slack around the
+  payload, backed by canaries in the real allocator) — deterministic
+  overflow/underflow detection *within* the slot.
+- Accesses to quarantined or free slots — use-after-free, probabilistic
+  in the real allocator (the slot may be reused), modeled here for as
+  long as the quarantine holds the slot.
+- Canary validation on ``free`` — the allocator-side detection the real
+  defense actually performs.
+
+An overflow long enough to jump into a *live* neighbouring object is an
+honest miss: randomized placement makes it unlikely, not impossible.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional
+
+from repro.faults import injector as _faults
+from repro.layout import NUM_SIZE_CLASSES, region_base
+from repro.runtime.backends.base import (
+    POISON_BYTE,
+    HardenedHeapRuntime,
+    align16,
+    next_pow2,
+)
+from repro.runtime.reporting import ErrorKind, MemoryErrorReport
+
+#: Private non-fat window: one region above the low-fat subheaps.
+HEAP_BASE = region_base(NUM_SIZE_CLASSES + 1)
+HEAP_LIMIT = region_base(NUM_SIZE_CLASSES + 2)
+
+CANARY_SIZE = 8
+MIN_SLOT = 64
+MAX_REQUEST = 1 << 26
+#: Freed slots sit out this many subsequent frees before reuse.
+QUARANTINE_DEPTH = 16
+
+_LIVE, _QUARANTINED, _FREE = 0, 1, 2
+
+
+class _Slot:
+    __slots__ = ("base", "size", "obj", "payload", "requested", "state")
+
+    def __init__(self, base: int, size: int) -> None:
+        self.base = base
+        self.size = size
+        self.obj = 0
+        self.payload = 0
+        self.requested = 0
+        self.state = _FREE
+
+
+class S2MallocRuntime(HardenedHeapRuntime):
+    """Randomized-slot, canary-guarded allocator runtime."""
+
+    name = "s2malloc"
+    capabilities = frozenset({"oob", "uaf", "double-free", "probabilistic"})
+    #: Allocator-only defense: heap events pay for placement randomness
+    #: and canary bookkeeping; accesses are native-speed.
+    HEAP_EVENT_COST = 180.0
+
+    def __init__(self, mode: str = "log", seed: int = 1, telemetry=None) -> None:
+        super().__init__(mode=mode, seed=seed, telemetry=telemetry)
+        self._cursor = HEAP_BASE
+        self._bases: List[int] = []
+        self._slots: Dict[int, _Slot] = {}
+        self._free_lists: Dict[int, List[_Slot]] = {}
+        self._quarantine: List[_Slot] = []
+        self._canary_secret = self._rng.getrandbits(64)
+        #: Placement invariants repaired after the ``runtime.s2malloc.slot``
+        #: fault point corrupted the in-slot offset.
+        self.placement_repairs = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        if size <= 0:
+            size = 1
+        if size > MAX_REQUEST:
+            return 0
+        payload = align16(size)
+        slot_size = max(MIN_SLOT, next_pow2(payload + 2 * CANARY_SIZE + 16))
+        slot = self._take_slot(slot_size)
+        if slot is None:
+            return 0
+        # The object lands at a random 16-aligned offset; the front canary
+        # occupies the 8 bytes just below it, the back canary the 8 bytes
+        # just past the payload.
+        positions = (slot.size - payload - CANARY_SIZE - 16) // 16 + 1
+        offset = 16 * (1 + self._rng.randrange(positions))
+        if _faults.active() is not None and _faults.fault_point(
+            "runtime.s2malloc.slot"
+        ):
+            offset = _faults.payload_rng().randrange(2 * slot.size)
+        # Placement invariant: 16-aligned, room for both canaries.  A
+        # corrupt offset is repaired to the first legal position —
+        # degraded (entropy lost), never unsafe.
+        if (
+            offset < 16
+            or offset % 16
+            or offset + payload + CANARY_SIZE > slot.size
+        ):
+            offset = 16
+            self.placement_repairs += 1
+            self._degrade("in-slot placement violated its invariant; "
+                          "object re-pinned to the first legal offset")
+        slot.obj = slot.base + offset
+        slot.payload = payload
+        slot.requested = size
+        slot.state = _LIVE
+        self._write_canaries(slot)
+        self._account_alloc(size)
+        return slot.obj
+
+    def _take_slot(self, slot_size: int) -> Optional[_Slot]:
+        free_list = self._free_lists.get(slot_size)
+        if free_list:
+            return free_list.pop()
+        base = self._cursor
+        if base + slot_size > HEAP_LIMIT:
+            return None
+        self._cursor = base + slot_size
+        self.cpu.memory.map_range(base, slot_size)
+        slot = _Slot(base, slot_size)
+        self._bases.append(base)  # bump order == sorted order
+        self._slots[base] = slot
+        return slot
+
+    def _canary_for(self, slot: _Slot) -> bytes:
+        return ((self._canary_secret ^ slot.obj) & (1 << 64) - 1).to_bytes(
+            8, "little"
+        )
+
+    def _write_canaries(self, slot: _Slot) -> None:
+        canary = self._canary_for(slot)
+        memory = self.cpu.memory
+        memory.write(slot.obj - CANARY_SIZE, canary)
+        memory.write(slot.obj + slot.payload, canary)
+
+    # -- release ------------------------------------------------------------
+
+    def free(self, address: int) -> None:
+        if address == 0:
+            return
+        site = self.cpu.rip if self.cpu is not None else 0
+        slot = self._slot_containing(address)
+        if slot is None or slot.state == _FREE or address != slot.obj:
+            self._deliver(self.report(
+                ErrorKind.INVALID_FREE, site, address=address,
+                detail="not an allocation base",
+            ))
+            return
+        if slot.state == _QUARANTINED:
+            self._deliver(self.report(
+                ErrorKind.INVALID_FREE, site, address=address,
+                detail="double free (slot in quarantine)",
+            ))
+            return
+        self._check_canaries(slot, site)
+        memory = self.cpu.memory
+        memory.write(slot.obj, bytes([POISON_BYTE]) * slot.payload)
+        self._account_free(slot.requested)
+        slot.state = _QUARANTINED
+        self._quarantine.append(slot)
+        if len(self._quarantine) > QUARANTINE_DEPTH:
+            recycled = self._quarantine.pop(0)
+            recycled.state = _FREE
+            self._free_lists.setdefault(recycled.size, []).append(recycled)
+
+    def _check_canaries(self, slot: _Slot, site: int) -> None:
+        canary = self._canary_for(slot)
+        memory = self.cpu.memory
+        if memory.read(slot.obj - CANARY_SIZE, CANARY_SIZE) != canary:
+            self._deliver(self.report(
+                ErrorKind.OOB_LOWER, site, address=slot.obj - CANARY_SIZE,
+                detail="front canary clobbered, caught at free",
+            ))
+        if memory.read(slot.obj + slot.payload, CANARY_SIZE) != canary:
+            self._deliver(self.report(
+                ErrorKind.OOB_UPPER, site, address=slot.obj + slot.payload,
+                detail="back canary clobbered, caught at free",
+            ))
+
+    def usable_size(self, address: int) -> int:
+        slot = self._slot_containing(address)
+        if slot is not None and slot.state == _LIVE and address == slot.obj:
+            return slot.requested
+        return 0
+
+    # -- the per-access oracle ----------------------------------------------
+
+    def _slot_containing(self, address: int) -> Optional[_Slot]:
+        index = bisect.bisect_right(self._bases, address) - 1
+        if index < 0:
+            return None
+        slot = self._slots[self._bases[index]]
+        if address < slot.base + slot.size:
+            return slot
+        return None
+
+    def check_access(
+        self, address: int, size: int, is_write: bool, site: int
+    ) -> Optional[MemoryErrorReport]:
+        if not HEAP_BASE <= address < HEAP_LIMIT:
+            return None
+        slot = self._slot_containing(address)
+        if slot is None:
+            return self.report(ErrorKind.UNADDRESSABLE, site, address=address,
+                               detail="no slot maps this address")
+        if slot.state != _LIVE:
+            return self.report(ErrorKind.USE_AFTER_FREE, site, address=address,
+                               detail="slot quarantined after free")
+        if address < slot.obj:
+            return self.report(ErrorKind.OOB_LOWER, site, address=address,
+                               detail="guard bytes below the object")
+        if address + size > slot.obj + slot.requested:
+            return self.report(ErrorKind.OOB_UPPER, site, address=address,
+                               detail="guard bytes above the object")
+        return None
+
+    def heap_bytes_reserved(self) -> int:
+        return self._cursor - HEAP_BASE

@@ -63,3 +63,9 @@ class GlibcRuntime(RuntimeEnvironment):
     @property
     def live_allocations(self) -> int:
         return len(self._sizes)
+
+    def memory_stats(self) -> dict:
+        return {
+            "reserved_bytes": self._cursor - GLIBC_HEAP_BASE,
+            "live_bytes": sum(self._sizes.values()),
+        }

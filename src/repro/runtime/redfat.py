@@ -36,6 +36,11 @@ class RedFatRuntime(RuntimeEnvironment):
     """The preloaded hardening runtime."""
 
     name = "redfat"
+    capabilities = frozenset({"oob", "uaf", "double-free", "metadata"})
+    #: The checks live inside the rewritten binary; their cost is the
+    #: *real* instruction expansion measured by the VM, not a model.
+    needs_hardened_binary = True
+    HEAP_EVENT_COST = 150.0
 
     def __init__(
         self,
@@ -146,6 +151,11 @@ class RedFatRuntime(RuntimeEnvironment):
         if base == 0:
             return 0
         return self.cpu.memory.read_int(base + META_SIZE_OFFSET, 8)
+
+    def memory_stats(self) -> dict:
+        if self._allocator is None:
+            return {}
+        return {"reserved_bytes": self._allocator.heap_bytes_reserved()}
 
     # -- python-side check (reference model for the generated asm) ----------
 

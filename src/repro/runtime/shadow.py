@@ -72,6 +72,13 @@ class ShadowRuntime(RuntimeEnvironment):
     """Redzone-only runtime: shadow map + redzone-padding allocator."""
 
     name = "shadow"
+    capabilities = frozenset({"oob", "uaf", "probabilistic"})
+    #: Memcheck's cost profile: DBI translation expands every guest
+    #: instruction, each access pays a shadow lookup, each heap event an
+    #: intercept (mirrors :mod:`repro.baselines.memcheck`).
+    DBI_EXPANSION = 4.0
+    ACCESS_CHECK_COST = 24.0
+    HEAP_EVENT_COST = 150.0
 
     def __init__(self, mode: str = "log", redzone: int = REDZONE_SIZE) -> None:
         super().__init__()
@@ -81,8 +88,29 @@ class ShadowRuntime(RuntimeEnvironment):
         self.redzone = redzone
         self.shadow = ShadowMap()
         self.errors = ErrorLog()
+        self.accesses = 0
+        self.heap_events = 0
         self._cursor = GLIBC_HEAP_BASE
         self._sizes: Dict[int, int] = {}
+
+    def attach(self, cpu) -> None:
+        super().attach(cpu)
+
+        # The DBI vehicle: observe every access against the shadow map.
+        # (The Memcheck baseline installs its own counting hook over
+        # this one; either way the VM runs its single-step loop.)
+        def hook(address, size, is_read, is_write, instruction):
+            self.accesses += 1
+            self.check_access(address, size, is_write,
+                              site=instruction.address)
+
+        cpu.access_hook = hook
+
+    def memory_stats(self) -> dict:
+        return {
+            "reserved_bytes": self._cursor - GLIBC_HEAP_BASE,
+            "live_bytes": sum(self._sizes.values()),
+        }
 
     # -- allocator with inter-object redzones ------------------------------
 
@@ -90,6 +118,7 @@ class ShadowRuntime(RuntimeEnvironment):
         if size <= 0:
             size = 1
         rounded = (size + 15) & ~15
+        self.heap_events += 1
         address = self._cursor + self.redzone
         if address + rounded + self.redzone > GLIBC_HEAP_LIMIT:
             return 0
@@ -106,6 +135,7 @@ class ShadowRuntime(RuntimeEnvironment):
     def free(self, address: int) -> None:
         if address == 0:
             return
+        self.heap_events += 1
         size = self._sizes.pop(address, None)
         if size is None:
             raise AllocatorError(f"free of non-allocated pointer {address:#x}")

@@ -4,7 +4,8 @@ A stdlib-only daemon (:class:`ThreadingHTTPServer`) exposing the farm as
 an async job API:
 
 - ``POST /v1/jobs`` — submit a binary image (raw request body; options
-  preset / label / client in ``X-RedFat-*`` headers).  Answers ``202``
+  preset / label / client / runtime spec in ``X-RedFat-*`` headers,
+  e.g. ``X-RedFat-Runtime: s2malloc:seed=7``).  Answers ``202``
   with the queued job, or ``429`` + ``Retry-After`` when a quota, the
   queue bound, or a circuit breaker rejects;
 - ``GET /v1/jobs`` / ``GET /v1/jobs/<id>`` — poll job state;
@@ -150,9 +151,11 @@ class _Handler(BaseHTTPRequestHandler):
         options = self.headers.get("X-RedFat-Options", "") or None
         label = self.headers.get("X-RedFat-Label", "")
         client = self.headers.get("X-RedFat-Client", "anonymous")
+        runtime = self.headers.get("X-RedFat-Runtime", "") or "redfat"
         try:
             job = self.service.manager.submit(
                 blob, options=options, label=label, client=client,
+                runtime=runtime,
             )
         except (QuotaExceededError, BackpressureError, CircuitOpenError) as error:
             self._reply_error(429, error,

@@ -97,6 +97,10 @@ class Job:
     options_spec: str
     #: Content address of the input bytes under ``inputs/``.
     input_sha: str
+    #: Runtime registry spec the artifact is intended to run under
+    #: (see :mod:`repro.runtime.registry`).  Pre-registry journals have
+    #: no such field; replay defaults them to ``"redfat"``.
+    runtime: str = "redfat"
     state: str = QUEUED
     error: str = ""
     attempts: int = 0
@@ -117,6 +121,7 @@ class Job:
             "client": self.client,
             "options": self.options_spec,
             "input": self.input_sha,
+            "runtime": self.runtime,
             "state": self.state,
             "error": self.error,
             "attempts": self.attempts,
@@ -275,15 +280,21 @@ class JobManager:
         options: Union[RedFatOptions, str, None] = None,
         label: str = "",
         client: str = "anonymous",
+        runtime: str = "redfat",
     ) -> Job:
         """Admit one hardening request; returns the queued :class:`Job`.
 
-        Raises the typed 429 family — :class:`QuotaExceededError`,
-        :class:`BackpressureError`, :class:`CircuitOpenError` — or
-        :class:`ServiceError` when the manager is draining.
+        *runtime* is the registry spec the caller intends to run the
+        artifact under; unknown names are rejected up front with
+        :class:`~repro.errors.UnknownRuntimeError` (a ``ValueError``,
+        so the daemon answers 400).  Raises the typed 429 family —
+        :class:`QuotaExceededError`, :class:`BackpressureError`,
+        :class:`CircuitOpenError` — or :class:`ServiceError` when the
+        manager is draining.
         """
         if self._draining:
             raise ServiceError("service is draining; not accepting jobs")
+        runtime = self._resolve_runtime(runtime)
         try:
             self.quota.admit(client)
         except ServiceError:
@@ -316,14 +327,15 @@ class JobManager:
             job = Job(
                 id=f"job-{self._seq:06d}", key=key,
                 label=label or f"job-{self._seq:06d}", client=client,
-                options_spec=spec, input_sha=input_sha, options=opts,
+                options_spec=spec, input_sha=input_sha, runtime=runtime,
+                options=opts,
             )
             self._jobs[job.id] = job
             self._order.append(job.id)
             self.journal.append(
                 "submit", job=job.id, key=job.key, label=job.label,
                 client=job.client, options=job.options_spec,
-                input=job.input_sha,
+                input=job.input_sha, runtime=job.runtime,
             )
             self._queue.append(job.id)
             self._cond.notify()
@@ -360,6 +372,23 @@ class JobManager:
             partial.write_bytes(blob)
             partial.replace(final)
         return sha
+
+    @staticmethod
+    def _resolve_runtime(runtime: str) -> str:
+        """Validate the job's runtime spec against the registry.
+
+        The canonical name replaces any alias; the spec's options are
+        preserved verbatim.  Raises ``UnknownRuntimeError`` (a
+        ``ValueError``) for names outside the zoo.
+        """
+        from repro.runtime import registry
+
+        spec = registry.parse_spec(runtime or "redfat")
+        info = registry.resolve(spec.name)
+        if not spec.options:
+            return info.name
+        options = ",".join(f"{k}={v}" for k, v in sorted(spec.options.items()))
+        return f"{info.name}:{options}"
 
     @staticmethod
     def _resolve_options(
@@ -592,6 +621,9 @@ class JobManager:
                 client=str(record.get("client", "anonymous")),
                 options_spec=str(record.get("options", "")),
                 input_sha=str(record.get("input", "")),
+                # Journals written before the runtime registry carry no
+                # runtime field: those jobs were libredfat runs.
+                runtime=str(record.get("runtime", "") or "redfat"),
             )
             self._jobs[job_id] = job
             self._order.append(job_id)
@@ -621,6 +653,7 @@ class JobManager:
                     "v": 1, "seq": 0, "kind": "submit", "job": job.id,
                     "key": job.key, "label": job.label, "client": job.client,
                     "options": job.options_spec, "input": job.input_sha,
+                    "runtime": job.runtime,
                 })
                 if job.state == DONE:
                     records.append({"v": 1, "seq": 0, "kind": "done",

@@ -48,6 +48,26 @@ class Memory:
         for page_index in range(first, last):
             self._pages.pop(page_index, None)
 
+    def alias_range(self, address: int, target: int, size: int) -> None:
+        """Alias the pages of [address, +size) onto [target, +size).
+
+        Both ranges must be page-aligned and the target pages mapped.
+        After the call the two virtual ranges share backing storage —
+        the primitive behind MESH-style page meshing, where two spans
+        with disjoint live slots collapse onto one physical page.
+        """
+        if address & _PAGE_MASK or target & _PAGE_MASK:
+            raise ValueError("alias_range requires page-aligned ranges")
+        count = (size + _PAGE_MASK) >> _PAGE_SHIFT
+        first_src = address >> _PAGE_SHIFT
+        first_dst = target >> _PAGE_SHIFT
+        pages = self._pages
+        for index in range(count):
+            backing = pages.get(first_dst + index)
+            if backing is None:
+                raise VMFault((first_dst + index) << _PAGE_SHIFT)
+            pages[first_src + index] = backing
+
     def is_mapped(self, address: int, size: int = 1) -> bool:
         first = address >> _PAGE_SHIFT
         last = (address + size - 1) >> _PAGE_SHIFT

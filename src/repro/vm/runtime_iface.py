@@ -54,8 +54,34 @@ class RuntimeEnvironment:
     #: (see :class:`repro.runtime.redfat.RedFatRuntime`).
     telemetry = None
 
+    #: Detection capabilities advertised to the registry/shootout, e.g.
+    #: ``{"oob", "uaf", "double-free"}``; ``"probabilistic"`` marks a
+    #: defense whose detections can miss by design.
+    capabilities: frozenset = frozenset()
+
+    #: True when the defense only works on a rewritten (hardened) binary
+    #: — redfat's inlined checks, as opposed to LD_PRELOAD-only runtimes.
+    needs_hardened_binary = False
+
+    # -- cost-model constants (see DESIGN.md §6) ---------------------------
+    #: Instruction-expansion factor of the defense's execution vehicle
+    #: (1.0 = native/static rewriting, >1 = DBI-style translation).
+    DBI_EXPANSION = 1.0
+    #: Modeled cost per checked memory access, in baseline instructions.
+    ACCESS_CHECK_COST = 0.0
+    #: Modeled cost per intercepted heap event (malloc/free/realloc).
+    HEAP_EVENT_COST = 0.0
+
     def __init__(self) -> None:
         self.output: List[str] = []
+
+    def memory_stats(self) -> dict:
+        """Allocator memory accounting for the shootout's memory column.
+
+        Baseline runtimes return ``{}``; hardened backends report at
+        least ``reserved_bytes`` / ``live_peak_bytes``.
+        """
+        return {}
 
     def attach(self, cpu) -> None:
         """Called once when the VM is created; gives access to memory."""

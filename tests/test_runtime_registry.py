@@ -1,0 +1,206 @@
+"""The runtime registry, spec grammar, and the ``preload=`` shims.
+
+The registry is the single entry point every layer uses to pick a
+runtime (API, CLI, farm, service, shootout), so its contract gets its
+own suite: name/alias resolution, the ``name:key=val,...`` spec grammar
+with option coercion, the typed :class:`UnknownRuntimeError`, the
+deprecated ``preload=`` spellings, and the service's journal-compatible
+``runtime`` job field.
+"""
+
+import pytest
+
+import repro.api as api
+from repro.cc import compile_source
+from repro.errors import ReproError, UnknownRuntimeError
+from repro.runtime import registry
+from repro.runtime.backends.s2malloc import S2MallocRuntime
+from repro.runtime.redfat import RedFatRuntime
+from repro.runtime.registry import RuntimeSpec
+from repro.runtime.shadow import ShadowRuntime
+from repro.service import JobManager
+from repro.service.journal import decode_line, encode_record
+
+SOURCE = """
+int main() {
+    int *a = malloc(32);
+    a[0] = arg(0);
+    int v = a[0];
+    free(a);
+    print(v);
+    return 0;
+}
+"""
+
+ZOO = {"glibc", "redfat", "shadow", "s2malloc", "mesh", "camp", "frp"}
+
+
+# -- names, aliases, discovery ----------------------------------------------
+
+
+class TestRegistrySurface:
+    def test_the_whole_zoo_is_registered(self):
+        assert ZOO <= set(registry.names())
+
+    def test_available_is_sorted_and_described(self):
+        infos = registry.available()
+        assert [info.name for info in infos] == sorted(i.name for i in infos)
+        assert all(info.description for info in infos)
+
+    def test_alias_resolves_to_primary(self):
+        assert registry.resolve("memcheck").name == "shadow"
+
+    def test_only_redfat_needs_the_hardened_binary(self):
+        needy = {info.name for info in registry.available()
+                 if info.needs_hardened_binary}
+        assert needy == {"redfat"}
+
+    def test_unknown_name_raises_typed_error(self):
+        with pytest.raises(UnknownRuntimeError) as info:
+            registry.resolve("banana")
+        assert isinstance(info.value, ValueError)  # pre-registry contract
+        assert isinstance(info.value, ReproError)
+        assert info.value.runtime_name == "banana"
+        assert "s2malloc" in str(info.value)  # says what *would* work
+
+
+# -- the spec grammar --------------------------------------------------------
+
+
+class TestSpecGrammar:
+    def test_bare_name(self):
+        spec = registry.parse_spec("redfat")
+        assert spec == RuntimeSpec("redfat", {})
+
+    def test_options_are_coerced(self):
+        spec = registry.parse_spec("s2malloc:seed=7,randomize=true,tag=hot")
+        assert spec.options == {"seed": 7, "randomize": True, "tag": "hot"}
+
+    def test_whitespace_and_empty_items_tolerated(self):
+        spec = registry.parse_spec("shadow: redzone = 32 ,, mode=log ")
+        assert spec.name == "shadow"
+        assert spec.options == {"redzone": 32, "mode": "log"}
+
+    def test_malformed_option_raises(self):
+        with pytest.raises(ValueError, match="key=value"):
+            registry.parse_spec("s2malloc:seed")
+
+    def test_spec_instance_passes_through(self):
+        spec = RuntimeSpec("frp", {"seed": 3})
+        assert registry.parse_spec(spec) is spec
+
+
+# -- create ------------------------------------------------------------------
+
+
+class TestCreate:
+    def test_spec_options_override_plumbing_kwargs(self):
+        runtime = registry.create("s2malloc:seed=9,mode=abort",
+                                  mode="log", seed=1)
+        assert runtime.seed == 9
+        assert runtime.mode == "abort"
+
+    def test_backend_specific_option(self):
+        runtime = registry.create("shadow:redzone=32")
+        assert isinstance(runtime, ShadowRuntime)
+        assert runtime.redzone == 32
+
+    def test_instance_passes_through(self):
+        instance = ShadowRuntime(mode="log")
+        assert registry.create(instance) is instance
+
+    def test_rejected_option_is_a_value_error_naming_the_backend(self):
+        with pytest.raises(ValueError, match="s2malloc"):
+            registry.create("s2malloc:wibble=1")
+
+    def test_unknown_name_propagates(self):
+        with pytest.raises(UnknownRuntimeError):
+            registry.create("banana:seed=1")
+
+
+# -- the deprecated preload= spellings ---------------------------------------
+
+
+class TestPreloadShims:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return compile_source(SOURCE)
+
+    @pytest.fixture(scope="class")
+    def hardened(self, program):
+        return api.harden(program.binary.strip())
+
+    def test_api_run_preload_warns_but_works(self, program):
+        with pytest.warns(DeprecationWarning, match="preload"):
+            result = api.run(program, args=[4], preload="glibc")
+        assert result.status == 0
+
+    def test_api_run_runtime_wins_over_preload(self, program):
+        with pytest.warns(DeprecationWarning):
+            result = api.run(program, args=[4], runtime="glibc",
+                             preload="banana")  # ignored, never resolved
+        assert result.status == 0
+
+    def test_create_runtime_preload_warns_and_maps(self, hardened):
+        with pytest.warns(DeprecationWarning, match="preload"):
+            runtime = hardened.create_runtime(mode="log",
+                                              preload="s2malloc:seed=5")
+        assert isinstance(runtime, S2MallocRuntime)
+        assert runtime.seed == 5
+        assert runtime.site_resolver is not None
+
+    def test_create_runtime_defaults_to_redfat(self, hardened):
+        runtime = hardened.create_runtime(mode="log")
+        assert isinstance(runtime, RedFatRuntime)
+
+    def test_create_runtime_runtime_spec(self, hardened):
+        runtime = hardened.create_runtime(mode="abort", runtime="s2malloc")
+        assert isinstance(runtime, S2MallocRuntime)
+        assert runtime.mode == "abort"
+        assert runtime.site_resolver is not None
+
+
+# -- the service's runtime job field -----------------------------------------
+
+
+class TestServiceRuntimeField:
+    @pytest.fixture(scope="class")
+    def blob(self):
+        return compile_source(SOURCE).binary.to_bytes()
+
+    def test_submit_normalizes_alias_and_options(self, tmp_path, blob):
+        with JobManager(tmp_path, executors=0) as manager:
+            job = manager.submit(blob, runtime="memcheck:redzone=32")
+            assert job.runtime == "shadow:redzone=32"
+            assert manager.jobs()[0].as_dict()["runtime"] == \
+                "shadow:redzone=32"
+
+    def test_submit_rejects_unknown_runtime(self, tmp_path, blob):
+        with JobManager(tmp_path, executors=0) as manager:
+            with pytest.raises(UnknownRuntimeError):
+                manager.submit(blob, runtime="banana")
+            assert manager.jobs() == []  # nothing journaled
+
+    def test_runtime_survives_journal_replay(self, tmp_path, blob):
+        with JobManager(tmp_path, executors=0) as manager:
+            manager.submit(blob, label="j", runtime="s2malloc:seed=3")
+        with JobManager(tmp_path, executors=0) as manager:
+            manager.recover()
+            assert manager.jobs()[0].runtime == "s2malloc:seed=3"
+
+    def test_pre_registry_journal_replays_as_redfat(self, tmp_path, blob):
+        with JobManager(tmp_path, executors=0) as manager:
+            manager.submit(blob, label="old")
+        journal = tmp_path / "journal.jsonl"
+        lines = []
+        for line in journal.read_text().splitlines():
+            record = decode_line(line)
+            assert record is not None
+            # Rewrite the journal as a pre-registry daemon wrote it.
+            record.pop("runtime", None)
+            lines.append(encode_record(record))
+        journal.write_text("".join(lines))
+        with JobManager(tmp_path, executors=0) as manager:
+            manager.recover()
+            job = manager.jobs()[0]
+            assert job.runtime == "redfat"
