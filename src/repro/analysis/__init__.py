@@ -11,7 +11,15 @@ three client analyses feeding the instrumentation pipeline:
   replacing the everything-live-at-block-boundary assumption in
   trampoline specialization;
 - :mod:`repro.analysis.dominators` — intra-procedural dominators and
-  dominated-redundancy removal for identical checked accesses.
+  dominated-redundancy removal for identical checked accesses;
+- :mod:`repro.analysis.callgraph` — call-graph recovery with bottom-up
+  per-function summaries (clobbers, frees, store targets, symbolic
+  returns);
+- :mod:`repro.analysis.ranges` — interprocedural value-range/stride
+  domain over registers and stack slots; justifies the
+  ``eliminated_range`` check-elimination reason;
+- :mod:`repro.analysis.audit` — the static memory-error auditor
+  (``redfat audit``) built on the range facts.
 
 Entry point: :func:`analyze_control_flow`, returning a
 :class:`DataflowInfo` bundle that degrades gracefully (see

@@ -1,0 +1,401 @@
+"""``redfat audit`` — the static memory-error scanner.
+
+Where the rest of the pipeline *hardens* a binary so errors trap at run
+time, the auditor walks the interprocedural range facts
+(:mod:`repro.analysis.ranges`) and reports memory errors **without
+executing**:
+
+``oob-write`` / ``oob-read``
+    An access through an allocation-derived pointer whose provable
+    offset interval misses (``must``) or straddles (``may``) the
+    allocation's size interval.  *must* holds whenever every possible
+    offset is out of bounds — sound even on widened intervals, since
+    widening only grows them.  *may* is only reported for bounded,
+    unwidened intervals, which keeps ordinary (unbounded-widened) loops
+    from drowning the report in noise.
+
+``double-free``
+    A ``free`` reaching an allocation whose per-site freed state is
+    already ``yes`` (``must``) or ``maybe`` (``may``) on some path.
+
+``invalid-free``
+    A ``free`` of a provably non-heap value: a non-null integer, an
+    interior pointer (offset provably non-zero), or a value whose
+    intra-procedural provenance is stack/global.
+
+Findings are emitted as a schema-validated JSON report
+(``audit_schema.json``; the same mini JSON-Schema dialect as the
+telemetry exports).  The report never claims more than the analysis
+proved: when the interprocedural layer degrades (divergence or fault
+injection), ``degraded`` is set and only provenance-based invalid-free
+findings survive.  :mod:`repro.workloads.auditcorpus` scores the auditor
+against the seeded Juliet/CVE ground truth and prints the
+precision/recall row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis import ranges as ranges_mod
+from repro.analysis.engine import DataflowInfo, analyze_control_flow
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Imm
+from repro.isa.registers import ARG_REGS, RDI
+from repro.telemetry.validate import validate as validate_schema
+
+_SCHEMA_PATH = Path(__file__).with_name("audit_schema.json")
+
+MUST = "must"
+MAY = "may"
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One reported (potential) memory error."""
+
+    site: int            # instruction address
+    kind: str            # oob-write | oob-read | double-free | invalid-free
+    confidence: str      # must | may
+    detail: str
+    witness: Dict[str, Optional[int]] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "confidence": self.confidence,
+            "detail": self.detail,
+            "witness": dict(self.witness),
+        }
+
+
+@dataclass
+class AuditReport:
+    """All findings over one binary plus coverage stats."""
+
+    findings: List[AuditFinding] = field(default_factory=list)
+    blocks: int = 0
+    functions: int = 0
+    accesses_classified: int = 0
+    degraded: bool = False
+    degraded_reason: str = ""
+    target: str = ""
+
+    @property
+    def must_findings(self) -> List[AuditFinding]:
+        return [f for f in self.findings if f.confidence == MUST]
+
+    def kinds(self) -> "set[str]":
+        return {finding.kind for finding in self.findings}
+
+    def as_dict(self) -> Dict[str, object]:
+        document: Dict[str, object] = {
+            "meta": {"kind": "audit", "tool": "redfat", "target": self.target},
+            "findings": [finding.as_dict() for finding in self.findings],
+            "stats": {
+                "blocks": self.blocks,
+                "functions": self.functions,
+                "accesses_classified": self.accesses_classified,
+                "must": len(self.must_findings),
+                "may": len(self.findings) - len(self.must_findings),
+            },
+        }
+        if self.degraded:
+            document["degraded"] = True
+            document["degraded_reason"] = self.degraded_reason
+        return document
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+
+def load_schema() -> Dict[str, object]:
+    return json.loads(_SCHEMA_PATH.read_text())
+
+
+def validate_report(document: Dict[str, object]) -> List[str]:
+    """Schema-validate an audit report document; return the error list."""
+    return validate_schema(document, load_schema())
+
+
+def _witness(verdict: ranges_mod.AccessVerdict,
+             alloc_site: Optional[int] = None) -> Dict[str, Optional[int]]:
+    witness: Dict[str, Optional[int]] = {
+        "offset_lo": verdict.offset_lo,
+        "offset_hi": verdict.offset_hi,
+        "size_lo": verdict.size_lo,
+        "size_hi": verdict.size_hi,
+        "width": verdict.width,
+    }
+    if alloc_site is not None:
+        witness["alloc_site"] = alloc_site
+    return witness
+
+
+def _bounds(value: Optional[int]) -> str:
+    return "?" if value is None else str(value)
+
+
+def _audit_access(instruction, state, findings: List[AuditFinding]) -> bool:
+    """Classify one memory access; returns True when it was classifiable."""
+    access = instruction.memory_access()
+    if access is None or state is None:
+        return False
+    mem, is_read, is_write, width = access
+    verdict = ranges_mod.classify_access(state, mem, width)
+    if verdict is None:
+        return False
+    if verdict.kind in ("must-oob", "may-oob"):
+        kind = "oob-write" if is_write else "oob-read"
+        confidence = MUST if verdict.kind == "must-oob" else MAY
+        base = state.regs.get(mem.base)
+        detail = (
+            f"{width}-byte {'write' if is_write else 'read'} at offset "
+            f"[{_bounds(verdict.offset_lo)}, {_bounds(verdict.offset_hi)}] "
+            f"into allocation of size "
+            f"[{_bounds(verdict.size_lo)}, {_bounds(verdict.size_hi)}]"
+        )
+        findings.append(AuditFinding(
+            site=instruction.address, kind=kind, confidence=confidence,
+            detail=detail,
+            witness=_witness(verdict, base.ident if base is not None else None),
+        ))
+    return True
+
+
+def _audit_free_value(site, value, state, provenance_facts,
+                      findings: List[AuditFinding],
+                      may_double_free: bool) -> None:
+    """Flag a double-free or a free of a non-heap value, given the
+    abstract value reaching a freeing site.
+
+    *may_double_free* gates the "maybe freed" verdict: it is sound at a
+    call site (the join there is over the caller's own paths) but noise
+    at a shared free-stub's rtcall, where the join spans unrelated call
+    contexts.
+    """
+    if value is not None and value.base == "alloc":
+        if value.lo is not None and value.hi is not None and (
+                value.lo > 0 or value.hi < 0) and not value.widened:
+            findings.append(AuditFinding(
+                site=site, kind="invalid-free", confidence=MUST,
+                detail=(f"free of interior pointer (offset "
+                        f"[{value.lo}, {value.hi}]) into allocation at "
+                        f"{value.ident:#x}"),
+                witness={"offset_lo": value.lo, "offset_hi": value.hi,
+                         "alloc_site": value.ident},
+            ))
+            return
+        freed = state.freed_state(value.ident)
+        if freed == ranges_mod.FREED_YES:
+            findings.append(AuditFinding(
+                site=site, kind="double-free", confidence=MUST,
+                detail=(f"allocation at {value.ident:#x} is already freed "
+                        "on every path reaching this free"),
+                witness={"alloc_site": value.ident},
+            ))
+        elif (may_double_free and freed == ranges_mod.FREED_MAYBE
+                and not state.freed_unknown):
+            findings.append(AuditFinding(
+                site=site, kind="double-free", confidence=MAY,
+                detail=(f"allocation at {value.ident:#x} may already be "
+                        "freed on some path reaching this free"),
+                witness={"alloc_site": value.ident},
+            ))
+        return
+    if (value is not None and value.base == "num"
+            and value.lo is not None and value.hi is not None
+            and not value.widened
+            and (value.lo > 0 or value.hi < 0)):
+        findings.append(AuditFinding(
+            site=site, kind="invalid-free", confidence=MUST,
+            detail=(f"free of non-pointer value "
+                    f"[{value.lo}, {value.hi}]"),
+            witness={"offset_lo": value.lo, "offset_hi": value.hi},
+        ))
+        return
+    # Fall back to the intra-procedural provenance: a stack/global/
+    # constant-derived pointer is never a heap object.
+    if provenance_facts is not None:
+        from repro.analysis import provenance
+
+        fact = provenance_facts.get(RDI)
+        if fact is not None and fact[0].is_nonheap:
+            if fact[0] is not provenance.Kind.CONST:
+                findings.append(AuditFinding(
+                    site=site, kind="invalid-free", confidence=MUST,
+                    detail=(f"free of {fact[0].name.lower()}-derived "
+                            "pointer (never heap-allocated)"),
+                    witness={},
+                ))
+
+
+def _audit_rtcall_free(instruction, state, provenance_facts,
+                       findings: List[AuditFinding]) -> None:
+    """Audit a direct ``free``/``realloc`` rtcall site."""
+    operands = instruction.operands
+    if (not operands or not isinstance(operands[0], Imm)
+            or operands[0].value not in ranges_mod.FREEING_SERVICES):
+        return
+    value = state.reg(RDI) if state is not None else None
+    _audit_free_value(instruction.address, value, state, provenance_facts,
+                      findings, may_double_free=False)
+
+
+def _audit_call_frees(instruction, block_start, state, summaries, calls,
+                      findings: List[AuditFinding]) -> None:
+    """Audit a direct call whose callee (per its summary) frees some of
+    its arguments — this is where the double-free verdict is precise,
+    since the caller's own state is not joined with other contexts."""
+    if state is None or summaries is None:
+        return
+    target = calls.get(block_start)  # calls are keyed by block start
+    summary = summaries.get(target) if target is not None else None
+    if summary is None or summary.widened:
+        return
+    for index in sorted(summary.frees_args):
+        if index >= len(ARG_REGS):
+            continue
+        _audit_free_value(instruction.address, state.reg(ARG_REGS[index]),
+                          state, None, findings, may_double_free=True)
+
+
+def audit_dataflow(info: DataflowInfo, target: str = "") -> AuditReport:
+    """Produce an :class:`AuditReport` from an analyzed binary."""
+    report = AuditReport(target=target, blocks=len(info.graph.blocks))
+    if info.fallback:
+        report.degraded = True
+        report.degraded_reason = info.fallback_reason
+        return report
+    if info.interproc_fallback or info.range_facts is None:
+        report.degraded = True
+        report.degraded_reason = info.interproc_reason or "interproc disabled"
+    if info.summaries is not None:
+        report.functions = len(info.summaries)
+    calls: Dict[int, int] = {}
+    if info.callgraph is not None:
+        for function in info.callgraph.functions.values():
+            calls.update(function.calls)
+    findings: List[AuditFinding] = []
+    for block in info.graph.blocks:
+        entry = (info.range_facts or {}).get(block.start)
+        state = entry.copy() if entry is not None and not entry.havoc else None
+        for instruction in block.instructions:
+            if instruction.opcode is Opcode.RTCALL:
+                _audit_rtcall_free(
+                    instruction, state,
+                    info.facts_before(instruction.address), findings,
+                )
+            elif instruction.opcode is Opcode.CALL:
+                _audit_call_frees(instruction, block.start, state,
+                                  info.summaries, calls, findings)
+            elif _audit_access(instruction, state, findings):
+                report.accesses_classified += 1
+            if state is not None:
+                ranges_mod.apply_instruction(state, instruction)
+                if state.havoc:
+                    state = None
+    # One finding per (site, kind): re-visits through joins don't stack.
+    unique: Dict[tuple, AuditFinding] = {}
+    for finding in findings:
+        key = (finding.site, finding.kind)
+        current = unique.get(key)
+        if current is None or (current.confidence == MAY
+                               and finding.confidence == MUST):
+            unique[key] = finding
+    report.findings = sorted(
+        unique.values(), key=lambda f: (f.site, f.kind)
+    )
+    return report
+
+
+def audit(target, telemetry=None, output=None) -> AuditReport:
+    """Audit *target* (path / Binary / CompiledProgram) statically.
+
+    Returns the :class:`AuditReport`; *output* additionally writes the
+    schema-validated JSON document to disk.
+    """
+    from repro.api import load
+    from repro.rewriter.cfg import recover_control_flow
+    from repro.telemetry.hub import coerce
+
+    tele = coerce(telemetry)
+    program = load(target)
+    with tele.span("audit"):
+        control_flow = recover_control_flow(program.binary, telemetry=tele)
+        info = analyze_control_flow(control_flow, telemetry=tele)
+        report = audit_dataflow(info, target=str(target))
+    tele.count("audit.findings", len(report.findings))
+    tele.count("audit.must_findings", len(report.must_findings))
+    document = report.as_dict()
+    errors = validate_report(document)
+    if errors:  # never write (or return) an off-contract document
+        raise ValueError(f"audit report failed schema validation: {errors}")
+    if output is not None:
+        Path(output).write_text(report.to_json() + "\n")
+    return report
+
+
+def render_report(report: AuditReport) -> str:
+    """Human-readable finding list (the CLI's default output)."""
+    lines = [
+        f"audit: {len(report.findings)} finding(s) "
+        f"({len(report.must_findings)} must) over {report.blocks} blocks, "
+        f"{report.functions} function(s), "
+        f"{report.accesses_classified} classified access(es)"
+    ]
+    if report.degraded:
+        lines.append(f"  [degraded: {report.degraded_reason}]")
+    for finding in report.findings:
+        lines.append(
+            f"  {finding.site:#x}  {finding.kind:<12} {finding.confidence:<4} "
+            f"{finding.detail}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.audit",
+        description="Statically audit a binary for memory errors.",
+    )
+    parser.add_argument("target", nargs="?", help=".melf binary or .c source")
+    parser.add_argument("-o", "--output", help="write the JSON report here")
+    parser.add_argument("--json", action="store_true",
+                        help="print the JSON document instead of text")
+    parser.add_argument("--fail-on-findings", action="store_true",
+                        help="exit 1 when any must-finding is reported")
+    parser.add_argument("--validate", metavar="REPORT",
+                        help="validate an existing report file and exit")
+    arguments = parser.parse_args(argv)
+    if arguments.validate is not None:
+        try:
+            document = json.loads(Path(arguments.validate).read_text())
+        except (OSError, ValueError) as error:
+            print(f"audit: cannot read {arguments.validate}: {error}",
+                  file=sys.stderr)
+            return 2
+        errors = validate_report(document)
+        if errors:
+            for error in errors:
+                print(f"audit: {error}", file=sys.stderr)
+            return 1
+        print(f"{arguments.validate}: ok")
+        return 0
+    if arguments.target is None:
+        parser.error("target is required unless --validate is given")
+    report = audit(arguments.target, output=arguments.output)
+    print(report.to_json() if arguments.json else render_report(report))
+    if arguments.fail_on_findings and report.must_findings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,8 +34,24 @@ from typing import Dict, FrozenSet, Iterable, List, Set
 
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode
+from repro.isa.operands import Imm
 from repro.analysis.graph import CALL_OPCODES, BlockGraph
 from repro.analysis import solver
+from repro.vm.runtime_iface import Service
+
+#: Runtime services that can neither free nor move a heap object: a
+#: ``rtcall`` to one of these behaves like a plain instruction that
+#: clobbers the caller-saved registers.  ``free``/``realloc`` (and any
+#: unknown service id) may change the object's allocation state between
+#: check and access, so they always clobber.
+_SAFE_SERVICES = frozenset({
+    int(Service.EXIT),
+    int(Service.MALLOC),
+    int(Service.CALLOC),
+    int(Service.PRINT_INT),
+    int(Service.PRINT_CHAR),
+    int(Service.PROFILE),
+})
 
 
 def compute_dominators(graph: BlockGraph) -> Dict[int, FrozenSet[int]]:
@@ -56,6 +72,15 @@ def compute_dominators(graph: BlockGraph) -> Dict[int, FrozenSet[int]]:
 
 
 def _clobbers(instruction: Instruction, registers: FrozenSet) -> bool:
+    if instruction.opcode is Opcode.RTCALL:
+        # The runtime service is a known quantity, unlike an arbitrary
+        # callee: services that cannot free/move heap objects only
+        # clobber the caller-saved registers (regs_written covers them).
+        operands = instruction.operands
+        if (operands and isinstance(operands[0], Imm)
+                and operands[0].value in _SAFE_SERVICES):
+            return bool(instruction.regs_written() & registers)
+        return True  # free/realloc (or unknown): allocation state may change
     if instruction.opcode in CALL_OPCODES:
         return True  # a callee may free() the object between check and use
     return bool(instruction.regs_written() & registers)

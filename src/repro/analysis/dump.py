@@ -8,7 +8,9 @@ For every basic block: its address range, successors/predecessors,
 immediate dominator set, the provenance facts at block entry, and the
 effective live-out.  ``--sites`` additionally classifies every memory
 operand the way the instrumentation pipeline would (checked, or
-eliminated and by which rule).
+eliminated and by which rule).  ``--facts callgraph|summaries|ranges``
+switches to the interprocedural layer: the recovered call graph, the
+bottom-up function summaries, or the per-block value-range facts.
 """
 
 from __future__ import annotations
@@ -95,6 +97,121 @@ def render_dataflow(info: DataflowInfo, sites: bool = False) -> List[str]:
     return lines
 
 
+def _render_range_value(value) -> str:
+    def bound(b):
+        return "-inf" if b is None else str(b)
+
+    if value.base == "num":
+        rendered = f"[{bound(value.lo)}, {value.hi if value.hi is not None else '+inf'}]"
+        if value.stride:
+            rendered += f"/{value.stride}"
+    elif value.base == "alloc":
+        if value.size_lo is None and value.size_hi is None:
+            size = "?"
+            if value.size_args:
+                size = "*".join(f"arg({i})" for i in value.size_args)
+        elif value.size_lo == value.size_hi:
+            size = f"{value.size_lo}"
+        else:
+            size = f"[{value.size_lo}, {value.size_hi}]"
+        rendered = (f"alloc@{value.ident:#x}+[{bound(value.lo)}, "
+                    f"{value.hi if value.hi is not None else '+inf'}] "
+                    f"size={size}")
+    else:
+        scaled = f"{value.scale}*" if value.scale != 1 else ""
+        rendered = (f"{scaled}arg({value.ident})+[{bound(value.lo)}, "
+                    f"{value.hi if value.hi is not None else '+inf'}]")
+    if value.widened:
+        rendered += " (widened)"
+    return rendered
+
+
+def render_callgraph(info: DataflowInfo) -> List[str]:
+    """The recovered call graph, callees first."""
+    lines: List[str] = []
+    if info.callgraph is None:
+        return [f"(no call graph: {info.interproc_reason or 'interproc disabled'})"]
+    graph = info.callgraph
+    for entry in graph.callees_first:
+        function = graph.functions[entry]
+        flags = []
+        if function.recursive:
+            flags.append("recursive")
+        if function.has_indirect:
+            flags.append("indirect-calls")
+        if function.leaky:
+            flags.append("leaky")
+        if function.widened:
+            flags.append("widened")
+        suffix = f"  [{' '.join(flags)}]" if flags else ""
+        lines.append(f"function {entry:#x} "
+                     f"({len(function.blocks)} blocks){suffix}")
+        for site, target in sorted(function.calls.items()):
+            lines.append(f"  calls {target:#x} (from block {site:#x})")
+    return lines
+
+
+def render_summaries(info: DataflowInfo) -> List[str]:
+    """The bottom-up per-function summaries."""
+    if info.summaries is None:
+        return [f"(no summaries: {info.interproc_reason or 'interproc disabled'})"]
+    lines: List[str] = []
+    for entry in sorted(info.summaries):
+        summary = info.summaries[entry]
+        lines.append(f"function {entry:#x}"
+                     + ("  [widened]" if summary.widened else ""))
+        clobbered = sorted(summary.clobbered, key=int)
+        lines.append("  clobbers: "
+                     + (" ".join(r.att_name for r in clobbered) or "(none)"))
+        if summary.frees_args:
+            lines.append(f"  frees args: {sorted(summary.frees_args)}")
+        if summary.frees_other:
+            lines.append("  frees: unaccounted pointers")
+        if summary.pointer_store_args:
+            lines.append(
+                f"  stores through args: {sorted(summary.pointer_store_args)}")
+        if summary.stack_stores or summary.unknown_stores:
+            lines.append("  stores: may alias caller stack")
+        if summary.returns is not None:
+            lines.append(f"  returns: {_render_range_value(summary.returns)}")
+    return lines
+
+
+def render_ranges(info: DataflowInfo) -> List[str]:
+    """The per-block value-range facts (block entry states)."""
+    if info.range_facts is None:
+        return [f"(no range facts: {info.interproc_reason or 'interproc disabled'})"]
+    lines: List[str] = []
+    for block in info.graph.blocks:
+        state = info.range_facts.get(block.start)
+        if state is None:
+            lines.append(f"block {block.start:#x}: (unreached)")
+            continue
+        if state.havoc:
+            lines.append(f"block {block.start:#x}: (havoc)")
+            continue
+        lines.append(f"block {block.start:#x}:")
+        for register in sorted(state.regs, key=int):
+            lines.append(f"  {register.att_name} = "
+                         f"{_render_range_value(state.regs[register])}")
+        for offset in sorted(state.slots):
+            lines.append(f"  [rsp{offset:+#x}@entry] = "
+                         f"{_render_range_value(state.slots[offset])}")
+        for site in sorted(state.freed):
+            lines.append(f"  freed alloc@{site:#x}: {state.freed[site]}")
+        if state.freed_unknown:
+            lines.append("  free-history unknown (conservative)")
+    return lines
+
+
+#: ``--facts`` choice -> renderer.
+FACT_RENDERERS = {
+    "callgraph": render_callgraph,
+    "summaries": render_summaries,
+    "ranges": render_ranges,
+}
+
+
 def _classify_sites(info: DataflowInfo) -> dict:
     """site address -> how the default pipeline treats its operand."""
     from repro.core.analysis import find_candidate_sites
@@ -131,13 +248,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("binary", help="binary image or MiniC source (.c)")
     parser.add_argument("--sites", action="store_true",
                         help="also classify every memory operand")
+    parser.add_argument("--facts", choices=sorted(FACT_RENDERERS),
+                        help="print an interprocedural fact table instead "
+                             "of the per-block dataflow report")
     arguments = parser.parse_args(argv)
     try:
         info = analyze_target(arguments.binary)
     except FileNotFoundError as error:
         print(f"dump: {error}", file=sys.stderr)
         return 2
-    for line in render_dataflow(info, sites=arguments.sites):
+    if arguments.facts:
+        lines = FACT_RENDERERS[arguments.facts](info)
+    else:
+        lines = render_dataflow(info, sites=arguments.sites)
+    for line in lines:
         print(line)
     return 0
 

@@ -22,9 +22,11 @@ from repro.errors import InstrumentationError
 from repro.faults.injector import fault_point, payload_rng
 from repro.isa.registers import RSP
 from repro.rewriter.cfg import BasicBlock, ControlFlowInfo
+from repro.analysis import callgraph as callgraph_mod
 from repro.analysis import dominators as dominators_mod
 from repro.analysis import liveness as liveness_mod
 from repro.analysis import provenance as provenance_mod
+from repro.analysis import ranges as ranges_mod
 from repro.analysis.graph import BlockGraph, build_block_graph
 
 
@@ -43,6 +45,16 @@ class DataflowInfo:
     #: syntactic/block-local fallbacks.
     fallback: bool = False
     fallback_reason: str = ""
+    #: Interprocedural layer (None when disabled or degraded): the
+    #: recovered call graph, the per-function summaries, and the
+    #: block-entry range states of the top-down concrete pass.
+    callgraph: Optional[callgraph_mod.CallGraph] = None
+    summaries: Optional[Dict[int, callgraph_mod.FunctionSummary]] = None
+    range_facts: Optional[Dict[int, ranges_mod.RangeState]] = None
+    #: True when only the interprocedural layer failed — the
+    #: intra-procedural facts above are still valid and in use.
+    interproc_fallback: bool = False
+    interproc_reason: str = ""
 
     # -- per-site queries ---------------------------------------------------
 
@@ -99,6 +111,29 @@ class DataflowInfo:
             return None
         return liveness_mod.flags_dead_at(block.instructions, index, live_out)
 
+    def range_before(self, address: int) -> Optional[ranges_mod.RangeState]:
+        """Range state immediately before the instruction at *address*.
+
+        None when the interprocedural layer is unavailable, the block
+        was never reached, or the state is havoc.
+        """
+        if self.fallback or self.range_facts is None:
+            return None
+        block = self.graph.control_flow.block_of.get(address)
+        if block is None:
+            return None
+        entry = self.range_facts.get(block.start)
+        if entry is None or entry.havoc:
+            return None
+        state = entry.copy()
+        for instruction in block.instructions:
+            if instruction.address == address:
+                return state
+            ranges_mod.apply_instruction(state, instruction)
+            if state.havoc:
+                return None
+        return None
+
     def dominated_redundant(self, sites: List) -> Set[int]:
         """Addresses of candidate sites whose check a dominating,
         identical, kept check already performs."""
@@ -126,16 +161,58 @@ def _corrupt_facts(entry_facts: Dict[int, provenance_mod.RegFacts]) -> None:
 
 
 def analyze_control_flow(
-    control_flow: ControlFlowInfo, telemetry=None
+    control_flow: ControlFlowInfo, telemetry=None, interproc: bool = True
 ) -> DataflowInfo:
-    """Run the fixpoint analyses; degrade to a fallback bundle on failure."""
+    """Run the fixpoint analyses; degrade to a fallback bundle on failure.
+
+    With *interproc* (the default) the call-graph/summary and range
+    passes run first; their failures — genuine divergence or the
+    ``analysis.callgraph`` / ``analysis.ranges`` fault points — degrade
+    only the interprocedural layer (``interproc_fallback=True``,
+    ``analysis.interproc_fallbacks`` telemetry) while the
+    intra-procedural facts below survive unchanged.
+    """
     from repro.telemetry.hub import coerce
 
     tele = coerce(telemetry)
     graph = build_block_graph(control_flow)
+    call_graph = summaries = range_facts = None
+    interproc_fallback = False
+    interproc_reason = ""
+
+    def degrade_interproc(error: InstrumentationError) -> None:
+        nonlocal interproc_fallback, interproc_reason
+        interproc_fallback = True
+        interproc_reason = str(error)
+        tele.count("analysis.interproc_fallbacks")
+        tele.event("interproc_fallback", reason=str(error))
+
     with tele.span("dataflow", blocks=len(graph.blocks)):
+        # A transfer to a non-block-start address could re-enter a block
+        # mid-frame, invalidating every stack-slot fact; the
+        # intra-procedural layer tolerates this, the summaries cannot.
+        if interproc and not graph.leaky:
+            try:
+                call_graph_local = callgraph_mod.build_call_graph(graph)
+                summaries_local = callgraph_mod.compute_summaries(
+                    call_graph_local, graph
+                )
+                if fault_point("analysis.callgraph"):
+                    callgraph_mod._corrupt_summaries(
+                        summaries_local, payload_rng().random()
+                    )
+                if not callgraph_mod.validate_summaries(
+                        call_graph_local, summaries_local):
+                    raise InstrumentationError(
+                        "function summaries failed validation (corrupted)"
+                    )
+                call_graph, summaries = call_graph_local, summaries_local
+            except InstrumentationError as error:
+                degrade_interproc(error)
         try:
-            entry_facts = provenance_mod.compute_entry_facts(graph)
+            entry_facts = provenance_mod.compute_entry_facts(
+                graph, summaries=summaries
+            )
             if fault_point("analysis.facts"):
                 _corrupt_facts(entry_facts)
             if not provenance_mod.validate_facts(entry_facts):
@@ -150,10 +227,34 @@ def analyze_control_flow(
             return DataflowInfo(
                 graph=graph, fallback=True, fallback_reason=str(error)
             )
+        if summaries is not None:
+            try:
+                range_facts_local = ranges_mod.compute_range_facts(
+                    graph, call_graph, summaries
+                )
+                if fault_point("analysis.ranges"):
+                    ranges_mod._corrupt_range_facts(
+                        range_facts_local, payload_rng().random()
+                    )
+                if not ranges_mod.validate_range_facts(range_facts_local):
+                    raise InstrumentationError(
+                        "range facts failed validation (corrupted solution)"
+                    )
+                range_facts = range_facts_local
+            except InstrumentationError as error:
+                call_graph = summaries = range_facts = None
+                degrade_interproc(error)
     tele.count("analysis.dataflow_blocks", len(graph.blocks))
+    if summaries is not None:
+        tele.count("analysis.functions", len(summaries))
     return DataflowInfo(
         graph=graph,
         entry_facts=entry_facts,
         live_out=live_out,
         dominators=dominators,
+        callgraph=call_graph,
+        summaries=summaries,
+        range_facts=range_facts,
+        interproc_fallback=interproc_fallback,
+        interproc_reason=interproc_reason,
     )

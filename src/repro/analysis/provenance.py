@@ -241,13 +241,17 @@ def operand_provenance(facts: RegFacts, mem: Mem) -> Optional[Prov]:
     return value
 
 
-def compute_entry_facts(graph) -> Dict[int, RegFacts]:
+def compute_entry_facts(graph, summaries=None) -> Dict[int, RegFacts]:
     """Solve the forward problem: block entry facts per start address.
 
     Call-terminated blocks propagate the conservative boundary fact over
     their fall-through edge — an unknown callee may leave anything in
     any register; only the stack pointer provably survives (the matched
-    ``call``/``ret`` restores it).
+    ``call``/``ret`` restores it).  When interprocedural *summaries*
+    (:mod:`repro.analysis.callgraph`) are available, a direct call to a
+    precisely-summarized callee only wipes the callee's clobber set: a
+    register the callee provably never writes keeps its value, hence its
+    provenance.  ``callr`` stays fully conservative either way.
     """
     from repro.analysis import solver
 
@@ -256,6 +260,17 @@ def compute_entry_facts(graph) -> Dict[int, RegFacts]:
 
     def edge(source, sink, fact: RegFacts) -> RegFacts:
         last = graph.block_at(source).instructions[-1]
+        if last.opcode is Opcode.CALL and summaries is not None:
+            target = last.jump_target()
+            summary = summaries.get(target) if target is not None else None
+            if summary is not None and not summary.widened:
+                kept = {
+                    register: value
+                    for register, value in fact.items()
+                    if register not in summary.clobbered
+                }
+                kept[RSP] = STACK0
+                return kept
         if last.opcode in (Opcode.CALL, Opcode.CALLR):
             return call_edge(fact)
         return fact

@@ -54,6 +54,8 @@ def solve(
     join: Callable[[object, object], object],
     edge: Optional[Callable[[int, int, object], object]] = None,
     roots: Optional[Iterable[int]] = None,
+    boundaries: Optional[Dict[int, object]] = None,
+    budget: Optional[int] = None,
 ) -> Dict[int, object]:
     """Run the worklist to fixpoint; return the input-side fact per node.
 
@@ -61,6 +63,12 @@ def solve(
     successor edges) or ``"backward"`` (facts at block exit, propagated
     along predecessor edges).  *roots* overrides the graph's root set —
     backward problems seed exit-less blocks instead of entry blocks.
+    *boundaries* overrides the seed fact per node (nodes listed there are
+    added to the root set; others keep *boundary*) — the interprocedural
+    pass uses it to give a function entry its call-site fact while other
+    roots stay at the conservative boundary.  *budget* overrides the
+    iterations-per-node limit (tests pin it to exercise the divergence
+    path deterministically).
     """
     if direction == "forward":
         out_edges = graph.succs
@@ -72,14 +80,20 @@ def solve(
         raise FixpointDiverged("injected fixpoint divergence")
 
     root_set = set(graph.roots if roots is None else roots)
+    if boundaries:
+        root_set |= set(boundaries)
     facts: Dict[int, object] = {}
     for node in root_set:
-        facts[node] = boundary
+        if boundaries and node in boundaries:
+            facts[node] = boundaries[node]
+        else:
+            facts[node] = boundary
 
     worklist = sorted(root_set)
     queued = set(worklist)
     visits: Dict[int, int] = {}
-    budget = max(MAX_VISITS_PER_NODE, 2 * len(graph.blocks) + 8)
+    if budget is None:
+        budget = max(MAX_VISITS_PER_NODE, 2 * len(graph.blocks) + 8)
     while worklist:
         node = worklist.pop()
         queued.discard(node)

@@ -156,6 +156,24 @@ def serve(
     return HardeningService(config, telemetry=telemetry).start()
 
 
+def audit(
+    target: Target,
+    telemetry: Optional[Telemetry] = None,
+    output: Optional[Union[str, Path]] = None,
+):
+    """Statically audit *target* for memory errors (``redfat audit``).
+
+    No execution happens: the interprocedural value-range facts are
+    walked for must/may out-of-bounds accesses, double-frees and frees
+    of non-heap pointers.  Returns the
+    :class:`~repro.analysis.audit.AuditReport`; *output* additionally
+    writes the schema-validated JSON findings document.
+    """
+    from repro.analysis.audit import audit as _audit
+
+    return _audit(target, telemetry=telemetry, output=output)
+
+
 def profile(
     target: Target,
     args: Sequence[int] = (),
@@ -246,6 +264,7 @@ __all__ = [
     "resolve_options",
     "harden",
     "harden_many",
+    "audit",
     "profile",
     "run",
     "serve",

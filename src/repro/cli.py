@@ -18,6 +18,9 @@ Subcommands::
     redfat shootout [--backends a,b,...] [--juliet N] [-o report.json]
                     [--validate report.json]
     redfat analyze  prog.melf [--sites] [--metrics out.json]
+                    [--facts callgraph|summaries|ranges]
+    redfat audit    prog.melf [-o report.json] [--json]
+                    [--fail-on-findings] [--metrics out.json]
     redfat disasm   prog.melf
     redfat perf     [--quick] [--check] [--repeats N] [--snapshot FILE]
                     [--min-speedup X] [--no-write]
@@ -281,13 +284,36 @@ def _cmd_perf(arguments) -> int:
 
 
 def _cmd_analyze(arguments) -> int:
-    from repro.analysis.dump import analyze_target, render_dataflow
+    from repro.analysis.dump import (FACT_RENDERERS, analyze_target,
+                                     render_dataflow)
 
     telemetry = _make_metrics_hub(arguments, kind="analyze")
     info = analyze_target(arguments.binary, telemetry=telemetry)
-    for line in render_dataflow(info, sites=arguments.sites):
+    if arguments.facts:
+        lines = FACT_RENDERERS[arguments.facts](info)
+    else:
+        lines = render_dataflow(info, sites=arguments.sites)
+    for line in lines:
         print(line)
     _flush_metrics(telemetry, arguments)
+    return 0
+
+
+def _cmd_audit(arguments) -> int:
+    from repro.analysis.audit import render_report
+
+    telemetry = _make_metrics_hub(arguments, kind="audit")
+    report = api.audit(arguments.binary, telemetry=telemetry,
+                       output=arguments.output)
+    if arguments.json:
+        print(report.to_json())
+    else:
+        print(render_report(report))
+    if arguments.output:
+        print(f"wrote {arguments.output} (audit report)", file=sys.stderr)
+    _flush_metrics(telemetry, arguments)
+    if arguments.fail_on_findings and report.must_findings:
+        return 1
     return 0
 
 
@@ -452,9 +478,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--sites", action="store_true",
         help="classify every memory operand (checked vs eliminated)")
     analyze_cmd.add_argument(
+        "--facts", choices=("callgraph", "summaries", "ranges"),
+        help="print an interprocedural fact table (call graph, function "
+             "summaries, or per-block value ranges) instead")
+    analyze_cmd.add_argument(
         "--metrics", metavar="OUT.json",
         help="export the analysis telemetry (dataflow span, block counts)")
     analyze_cmd.set_defaults(handler=_cmd_analyze)
+
+    audit_cmd = commands.add_parser(
+        "audit", help="statically scan a binary for memory errors "
+                      "(must/may OOB, double-free, invalid free)")
+    audit_cmd.add_argument("binary")
+    audit_cmd.add_argument(
+        "-o", "--output", metavar="OUT.json",
+        help="write the schema-validated JSON findings report here")
+    audit_cmd.add_argument("--json", action="store_true",
+                           help="print the JSON document instead of text")
+    audit_cmd.add_argument(
+        "--fail-on-findings", action="store_true",
+        help="exit 1 when any must-confidence finding is reported")
+    audit_cmd.add_argument(
+        "--metrics", metavar="OUT.json",
+        help="export the audit telemetry (spans, finding counters)")
+    audit_cmd.set_defaults(handler=_cmd_audit)
 
     disasm_cmd = commands.add_parser("disasm", help="disassemble text segments")
     disasm_cmd.add_argument("binary")

@@ -80,6 +80,10 @@ class AnalysisStats:
     #: Checks dropped because an identical dominating check (no
     #: intervening clobber/call) already performs them.
     eliminated_dominated: int = 0
+    #: Checks dropped by the interprocedural value-range analysis —
+    #: constant-offset accesses provably inside a known-size,
+    #: provably-unfreed allocation.
+    eliminated_range: int = 0
     candidates: int = 0
     #: Sites that fell from lowfat+redzone to redzone-only because full
     #: check generation failed (the graceful-degradation ladder).
@@ -93,6 +97,9 @@ class AnalysisStats:
     #: 1 when the dataflow analyses failed and the pipeline reverted to
     #: the syntactic/block-local rules for this run.
     analysis_fallbacks: int = 0
+    #: 1 when only the interprocedural layer (call graph / summaries /
+    #: ranges) failed and the run kept its intra-procedural facts.
+    interproc_fallbacks: int = 0
 
     def as_dict(self) -> "dict[str, int]":
         """The common stats protocol (telemetry export / ``--metrics``)."""
@@ -102,11 +109,13 @@ class AnalysisStats:
             "eliminated": self.eliminated,
             "eliminated_provenance": self.eliminated_provenance,
             "eliminated_dominated": self.eliminated_dominated,
+            "eliminated_range": self.eliminated_range,
             "candidates": self.candidates,
             "degraded_sites": self.degraded_sites,
             "quarantined_sites": self.quarantined_sites,
             "liveness_spills_avoided": self.liveness_spills_avoided,
             "analysis_fallbacks": self.analysis_fallbacks,
+            "interproc_fallbacks": self.interproc_fallbacks,
         }
 
     def elimination_reasons(self) -> "dict[str, int]":
@@ -115,6 +124,7 @@ class AnalysisStats:
             "syntactic": self.eliminated,
             "provenance": self.eliminated_provenance,
             "dominated": self.eliminated_dominated,
+            "range": self.eliminated_range,
         }
 
 
@@ -137,6 +147,19 @@ def _provenance_eliminable(dataflow, instruction: Instruction, mem: Mem) -> bool
     return provenance.operand_provenance(facts, mem) is not None
 
 
+def _range_eliminable(dataflow, instruction: Instruction, mem: Mem,
+                      width: int) -> bool:
+    """Does the interprocedural range analysis prove the access in
+    bounds of a known-size, provably-unfreed allocation?"""
+    from repro.analysis import ranges
+
+    state = dataflow.range_before(instruction.address)
+    if state is None:
+        return False
+    verdict = ranges.classify_access(state, mem, width)
+    return verdict is not None and verdict.kind == "in"
+
+
 def find_candidate_sites(
     control_flow: ControlFlowInfo,
     options: RedFatOptions,
@@ -152,8 +175,16 @@ def find_candidate_sites(
     stats = AnalysisStats()
     if dataflow is not None and dataflow.fallback:
         stats.analysis_fallbacks = 1
+    if dataflow is not None and getattr(dataflow, "interproc_fallback", False):
+        stats.interproc_fallbacks = 1
     use_flow = (
         options.flow_elim and dataflow is not None and not dataflow.fallback
+    )
+    use_range = (
+        options.interproc_elim
+        and dataflow is not None
+        and not dataflow.fallback
+        and getattr(dataflow, "range_facts", None) is not None
     )
     for instruction in control_flow.instructions:
         access = instruction.memory_access()
@@ -169,6 +200,9 @@ def find_candidate_sites(
             continue
         if use_flow and _provenance_eliminable(dataflow, instruction, mem):
             stats.eliminated_provenance += 1
+            continue
+        if use_range and _range_eliminable(dataflow, instruction, mem, width):
+            stats.eliminated_range += 1
             continue
         sites.append(CheckSite(instruction, mem, is_read, is_write, width))
     if options.dominated_elim and dataflow is not None:

@@ -24,6 +24,7 @@ PRESETS: Dict[str, Dict[str, object]] = {
     "unoptimized": dict(
         elim=False, batch=False, merge=False, specialize_registers=False,
         flow_elim=False, dominated_elim=False, global_liveness=False,
+        interproc_elim=False,
     ),
     "+elim": dict(batch=False, merge=False, specialize_registers=False,
                   global_liveness=False),
@@ -70,6 +71,13 @@ class RedFatOptions:
     #: Dominated-redundancy removal: drop a check dominated by an
     #: identical kept check with no intervening operand clobber or call.
     dominated_elim: bool = True
+
+    #: Interprocedural value-range elimination: drop checks on constant-
+    #: offset accesses provably inside a known-size, provably-unfreed
+    #: allocation (call-graph summaries + range analysis; counted as
+    #: ``checks.eliminated_range``).  Degrades to the intra-procedural
+    #: facts when the summaries or the range solve diverge.
+    interproc_elim: bool = True
 
     #: Check batching: one trampoline per reorderable group (paper §6).
     batch: bool = True

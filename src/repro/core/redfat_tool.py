@@ -178,8 +178,11 @@ class RedFat:
             control_flow = recover_control_flow(binary, telemetry=tele)
             dataflow = None
             if (options.flow_elim or options.dominated_elim
-                    or options.global_liveness):
-                dataflow = analyze_control_flow(control_flow, telemetry=tele)
+                    or options.global_liveness or options.interproc_elim):
+                dataflow = analyze_control_flow(
+                    control_flow, telemetry=tele,
+                    interproc=options.interproc_elim,
+                )
             with tele.span("analysis"):
                 sites, stats = find_candidate_sites(
                     control_flow, options, dataflow=dataflow
@@ -195,6 +198,7 @@ class RedFat:
                        stats.eliminated_provenance)
             tele.count("checks.eliminated_dominated",
                        stats.eliminated_dominated)
+            tele.count("checks.eliminated_range", stats.eliminated_range)
             tele.count("liveness.spills_avoided", 0)
             tele.count("checks.batched",
                        sum(len(group) - 1 for group in groups))

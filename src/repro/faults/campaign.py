@@ -109,6 +109,11 @@ class FaultRunRecord:
     #: The dataflow analyses failed (``analysis.*`` fault points) and the
     #: pipeline reverted to syntactic elimination + block-local liveness.
     analysis_fallback: bool = False
+    #: Only the interprocedural layer (call graph / summaries / range
+    #: facts) failed and the run kept its intra-procedural facts — the
+    #: accounted survival of ``analysis.callgraph`` / ``analysis.ranges``
+    #: (and of ``analysis.fixpoint`` firing inside a summary solve).
+    interproc_fallback: bool = False
     #: The run's telemetry hub absorbed a sink/export fault and kept
     #: going with partial data (the accounted survival of the
     #: ``telemetry.*`` fault points).
@@ -290,6 +295,15 @@ def run_one(
                 # syntactic coverage but lost the flow-sensitive passes.
                 record.outcome = DEGRADED
                 record.detail = "dataflow analysis fell back to syntactic rules"
+            elif harden.stats.interproc_fallbacks:
+                # Corrupted/diverged summaries or range facts: the run
+                # kept the intra-procedural facts but lost the
+                # interprocedural elimination layer.
+                record.outcome = DEGRADED
+                record.detail = (
+                    "interprocedural analysis fell back to "
+                    "intra-procedural facts"
+                )
             elif farm.degradation_events():
                 record.outcome = DEGRADED
                 record.detail = (
@@ -335,6 +349,7 @@ def run_one(
         record.degraded_sites = harden.stats.degraded_sites
         record.quarantined_sites = harden.stats.quarantined_sites
         record.analysis_fallback = bool(harden.stats.analysis_fallbacks)
+        record.interproc_fallback = bool(harden.stats.interproc_fallbacks)
     manager.close()
     state_dir.cleanup()
     return record

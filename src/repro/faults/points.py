@@ -112,6 +112,20 @@ register(
     "and degrade rather than let a bogus lattice value eliminate a check",
 )
 register(
+    "analysis.callgraph",
+    "corrupt the bottom-up function summaries after the call-graph "
+    "build (analysis/engine.py) — summary validation must reject the "
+    "table and degrade to intra-procedural facts (interproc fallback, "
+    "counted DEGRADED), never mis-apply a bogus clobber/free summary",
+)
+register(
+    "analysis.ranges",
+    "corrupt one block's value-range solution after the interprocedural "
+    "pass (analysis/engine.py) — range validation must reject the facts "
+    "and drop to intra-procedural elimination instead of letting a "
+    "corrupt interval eliminate a live check",
+)
+register(
     "farm.cache",
     "flip one byte of a stored artifact frame (farm/cache.py) — the "
     "checksum must reject the frame and the job recomputes; a corrupted "

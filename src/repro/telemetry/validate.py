@@ -58,10 +58,15 @@ def load_schema() -> Dict[str, Any]:
 def _check(value: Any, schema: Dict[str, Any], where: str, errors: List[str]) -> None:
     expected = schema.get("type")
     if expected is not None:
-        python_type = _TYPES[expected]
-        matches = isinstance(value, python_type)
-        if matches and expected in ("integer", "number") and isinstance(value, bool):
-            matches = False  # bool is an int subclass; schemas mean numbers
+        # A list of type names is a union (e.g. ["integer", "null"] for
+        # nullable bounds in the audit schema).
+        candidates = expected if isinstance(expected, list) else [expected]
+        matches = False
+        for candidate in candidates:
+            ok = isinstance(value, _TYPES[candidate])
+            if ok and candidate in ("integer", "number") and isinstance(value, bool):
+                ok = False  # bool is an int subclass; schemas mean numbers
+            matches = matches or ok
         if not matches:
             errors.append(f"{where}: expected {expected}, got {type(value).__name__}")
             return

@@ -1,0 +1,312 @@
+"""Ground-truth corpus and scoring for ``redfat audit``.
+
+Run: ``python -m repro.workloads.auditcorpus [--juliet N]``
+
+The corpus bakes the repo's workloads into *static* audit targets:
+
+- every CVE case (:mod:`repro.workloads.cves`) with its malicious
+  argument baked in (the seeded must-error) and with its benign
+  argument baked in (a clean binary),
+- a slice of the CWE-122 Juliet suite (:mod:`repro.workloads.juliet`),
+  one malicious + one benign bake per flow shape × victim size,
+- synthetic double-free / invalid-free programs (the free-audit kinds
+  the CVE corpus does not cover),
+- the SPEC stand-ins (:mod:`repro.workloads.spec`) as clean binaries —
+  the paper's "no false positives on SPEC" criterion.
+
+``evaluate()`` audits every target and scores it against the expected
+finding kinds, printing per-corpus precision/recall the way the paper
+prints a Table row.  The module's ``main`` exits nonzero when any seeded
+must-error is missed or any clean binary gets a finding — the CI
+``audit`` job's contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cc import compile_source
+from repro.workloads.cves import CVE_CASES
+from repro.workloads.juliet import generate_cases
+from repro.workloads.spec import SPEC_BENCHMARKS
+
+#: Synthetic programs for the free-audit kinds.  Each entry is
+#: (name, source, expected kind or None-for-clean).
+SYNTHETIC_CASES: Tuple[Tuple[str, str, Optional[str]], ...] = (
+    (
+        "double-free",
+        """
+int main() {
+    int *p = malloc(32);
+    p[0] = 1;
+    free(p);
+    free(p);
+    return 0;
+}
+""",
+        "double-free",
+    ),
+    (
+        "double-free-helper",
+        """
+int release(int *p) { free(p); return 0; }
+
+int main() {
+    int *p = malloc(48);
+    release(p);
+    release(p);
+    return 0;
+}
+""",
+        "double-free",
+    ),
+    (
+        "invalid-free-integer",
+        """
+int main() {
+    free(1234);
+    return 0;
+}
+""",
+        "invalid-free",
+    ),
+    (
+        "invalid-free-interior",
+        """
+int main() {
+    char *p = malloc(32);
+    free(p + 8);
+    return 0;
+}
+""",
+        "invalid-free",
+    ),
+    (
+        "clean-alloc-free",
+        """
+int main() {
+    int *a = malloc(16);
+    int *b = malloc(16);
+    a[0] = 1;
+    b[1] = 2;
+    free(a);
+    free(b);
+    return 0;
+}
+""",
+        None,
+    ),
+    (
+        "clean-free-null",
+        """
+int main() {
+    free(0);
+    return 0;
+}
+""",
+        None,
+    ),
+)
+
+
+@dataclass
+class CorpusTarget:
+    """One binary with its expected audit outcome."""
+
+    name: str
+    corpus: str          # "cve" | "juliet" | "synthetic" | "clean-spec"
+    source: str
+    expected_kind: Optional[str]  # None = clean: zero findings expected
+
+
+@dataclass
+class TargetResult:
+    target: CorpusTarget
+    found_kinds: List[str]
+    must_kinds: List[str]
+    degraded: bool
+
+    @property
+    def detected(self) -> bool:
+        return (self.target.expected_kind is not None
+                and self.target.expected_kind in self.must_kinds)
+
+    @property
+    def clean_ok(self) -> bool:
+        return self.target.expected_kind is None and not self.found_kinds
+
+    @property
+    def false_positive(self) -> bool:
+        return self.target.expected_kind is None and bool(self.found_kinds)
+
+
+@dataclass
+class CorpusScore:
+    """Aggregated precision/recall over one corpus slice."""
+
+    seeded: int = 0
+    detected: int = 0
+    clean: int = 0
+    false_positives: int = 0
+    results: List[TargetResult] = field(default_factory=list)
+
+    @property
+    def recall(self) -> float:
+        return self.detected / self.seeded if self.seeded else 1.0
+
+    @property
+    def precision(self) -> float:
+        reported = self.detected + self.false_positives
+        return self.detected / reported if reported else 1.0
+
+
+def build_corpus(juliet_slice: int = 24) -> List[CorpusTarget]:
+    """All targets: seeded errors plus their clean counterparts."""
+    targets: List[CorpusTarget] = []
+    # CVE kinds mirror each case's seeded bug (reads vs. writes).
+    cve_kinds = {
+        "CVE-2012-4295": "oob-write",
+        "CVE-2007-3476": "oob-write",
+        "CVE-2016-1903": "oob-read",
+        "CVE-2016-2335": "oob-write",
+    }
+    for case in CVE_CASES:
+        kind = cve_kinds.get(case.cve, "oob-write")
+        targets.append(CorpusTarget(
+            name=f"{case.cve}[malicious]", corpus="cve",
+            source=case.source.replace("arg(0)", str(case.malicious_args[0])),
+            expected_kind=kind,
+        ))
+        targets.append(CorpusTarget(
+            name=f"{case.cve}[benign]", corpus="cve",
+            source=case.source.replace("arg(0)", str(case.benign_args[0])),
+            expected_kind=None,
+        ))
+    seen: set = set()
+    for case in generate_cases(480):
+        key = (case.shape, case.victim_size)
+        if key in seen:
+            continue
+        seen.add(key)
+        targets.append(CorpusTarget(
+            name=f"{case.case_id}[malicious]", corpus="juliet",
+            source=case.source.replace("arg(0)", str(case.malicious_args[0])),
+            expected_kind="oob-write",
+        ))
+        targets.append(CorpusTarget(
+            name=f"{case.case_id}[benign]", corpus="juliet",
+            source=case.source.replace("arg(0)", str(case.benign_args[0])),
+            expected_kind=None,
+        ))
+        if len(seen) >= juliet_slice:
+            break
+    for name, source, kind in SYNTHETIC_CASES:
+        targets.append(CorpusTarget(
+            name=name, corpus="synthetic", source=source, expected_kind=kind,
+        ))
+    for benchmark in SPEC_BENCHMARKS:
+        if benchmark.language != "C" or benchmark.paper_real_bugs:
+            continue
+        targets.append(CorpusTarget(
+            name=f"spec-{benchmark.name}", corpus="clean-spec",
+            source=benchmark.source, expected_kind=None,
+        ))
+    return targets
+
+
+def evaluate(juliet_slice: int = 24,
+             verbose: bool = False) -> Dict[str, CorpusScore]:
+    """Audit every corpus target; return per-corpus scores."""
+    from repro.analysis.audit import audit_dataflow
+    from repro.analysis.engine import analyze_control_flow
+    from repro.rewriter.cfg import recover_control_flow
+
+    scores: Dict[str, CorpusScore] = {}
+    for target in build_corpus(juliet_slice):
+        program = compile_source(target.source)
+        info = analyze_control_flow(recover_control_flow(program.binary))
+        report = audit_dataflow(info, target=target.name)
+        result = TargetResult(
+            target=target,
+            found_kinds=sorted({f.kind for f in report.findings}),
+            must_kinds=sorted({f.kind for f in report.must_findings}),
+            degraded=report.degraded,
+        )
+        score = scores.setdefault(target.corpus, CorpusScore())
+        score.results.append(result)
+        if target.expected_kind is None:
+            score.clean += 1
+            if result.false_positive:
+                score.false_positives += 1
+        else:
+            score.seeded += 1
+            if result.detected:
+                score.detected += 1
+        if verbose:
+            status = ("DETECTED" if result.detected
+                      else "clean" if result.clean_ok
+                      else "FP" if result.false_positive
+                      else "MISSED")
+            print(f"  {target.name:<40} {status:<9} {result.found_kinds}")
+    return scores
+
+
+def print_table(scores: Dict[str, CorpusScore]) -> None:
+    """The Table-style summary row per corpus."""
+    header = (f"{'corpus':<12} {'seeded':>6} {'found':>6} {'clean':>6} "
+              f"{'FPs':>4} {'recall':>7} {'precision':>9}")
+    print(header)
+    print("-" * len(header))
+    for name in ("cve", "juliet", "synthetic", "clean-spec"):
+        score = scores.get(name)
+        if score is None:
+            continue
+        print(f"{name:<12} {score.seeded:>6} {score.detected:>6} "
+              f"{score.clean:>6} {score.false_positives:>4} "
+              f"{score.recall:>7.2f} {score.precision:>9.2f}")
+    total_seeded = sum(s.seeded for s in scores.values())
+    total_found = sum(s.detected for s in scores.values())
+    total_clean = sum(s.clean for s in scores.values())
+    total_fp = sum(s.false_positives for s in scores.values())
+    recall = total_found / total_seeded if total_seeded else 1.0
+    reported = total_found + total_fp
+    precision = total_found / reported if reported else 1.0
+    print("-" * len(header))
+    print(f"{'total':<12} {total_seeded:>6} {total_found:>6} "
+          f"{total_clean:>6} {total_fp:>4} {recall:>7.2f} {precision:>9.2f}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads.auditcorpus",
+        description="Score redfat audit against the seeded corpus.",
+    )
+    parser.add_argument("--juliet", type=int, default=24, metavar="N",
+                        help="Juliet shape×size slice to bake (default 24)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print every target's outcome")
+    arguments = parser.parse_args(argv)
+    scores = evaluate(arguments.juliet, verbose=arguments.verbose)
+    print_table(scores)
+    failures: List[str] = []
+    for corpus, score in scores.items():
+        for result in score.results:
+            if result.target.expected_kind is not None and not result.detected:
+                failures.append(
+                    f"missed {result.target.name}: expected "
+                    f"{result.target.expected_kind}, found {result.found_kinds}"
+                )
+            elif result.false_positive:
+                failures.append(
+                    f"false positive on {result.target.name}: "
+                    f"{result.found_kinds}"
+                )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -244,15 +244,41 @@ class TestProvenance:
         assert RAX not in facts
 
     def test_call_clobbers_everything_but_rsp(self):
+        # Without summaries (interproc off) every call is an unknown
+        # callee: only RSP survives the fall-through edge.
+        binary = build(
+            "lea %rbx, (%rsp)\ncall fn\nmov %rcx, 8(%rbx)\nret\nfn:\nret"
+        )
+        cf = recover_control_flow(binary)
+        info = analyze_control_flow(cf, interproc=False)
+        site = [i for i in cf.instructions if i.memory_operand() is not None][0]
+        facts = info.facts_before(site.address)
+        assert RBX not in facts  # unknown callee may have changed it
+        assert facts[RSP] == prov.STACK0
+
+    def test_summarized_call_preserves_unclobbered_registers(self):
+        # With the interprocedural summaries, a callee that provably
+        # never writes RBX cannot disturb its provenance...
         binary = build(
             "lea %rbx, (%rsp)\ncall fn\nmov %rcx, 8(%rbx)\nret\nfn:\nret"
         )
         cf = recover_control_flow(binary)
         info = analyze_control_flow(cf)
+        assert not info.fallback and not info.interproc_fallback
         site = [i for i in cf.instructions if i.memory_operand() is not None][0]
         facts = info.facts_before(site.address)
-        assert RBX not in facts  # unknown callee may have changed it
+        assert facts[RBX] == prov.STACK0
         assert facts[RSP] == prov.STACK0
+        # ...while a callee that does write it still clobbers the fact.
+        binary = build(
+            "lea %rbx, (%rsp)\ncall fn\nmov %rcx, 8(%rbx)\nret\n"
+            "fn:\nmov %rbx, $1\nret"
+        )
+        cf = recover_control_flow(binary)
+        info = analyze_control_flow(cf)
+        site = [i for i in cf.instructions if i.memory_operand() is not None][0]
+        facts = info.facts_before(site.address)
+        assert RBX not in facts
 
     def test_validate_rejects_corrupt_solutions(self):
         good = {0x400000: {RSP: prov.STACK0}}
@@ -436,10 +462,24 @@ class TestFaultDegradation:
         cf = recover_control_flow(build("mov %rax, (%rbx)\nret"))
         injector = FaultInjector(0, point="analysis.fixpoint", trigger_hit=0)
         with injection(injector):
-            info = analyze_control_flow(cf)
+            info = analyze_control_flow(cf, interproc=False)
         assert injector.fired
         assert info.fallback
         assert "divergence" in info.fallback_reason
+
+    def test_fixpoint_fault_in_summary_solve_degrades_interproc_only(self):
+        # With the interprocedural layer on, the first solver run is a
+        # summary solve: the injected divergence costs the summaries and
+        # range facts but the intra-procedural facts survive.
+        cf = recover_control_flow(build("mov %rax, (%rbx)\nret"))
+        injector = FaultInjector(0, point="analysis.fixpoint", trigger_hit=0)
+        with injection(injector):
+            info = analyze_control_flow(cf)
+        assert injector.fired
+        assert not info.fallback
+        assert info.interproc_fallback
+        assert info.summaries is None and info.range_facts is None
+        assert info.entry_facts  # the intra-procedural layer survived
 
     def test_facts_fault_caught_by_validation(self):
         cf = recover_control_flow(build("lea %rax, (%rsp)\nmov %rbx, 8(%rax)\nret"))
@@ -458,7 +498,7 @@ class TestFaultDegradation:
         )
         injector = FaultInjector(0, point="analysis.fixpoint", trigger_hit=0)
         with injection(injector):
-            corrupted_info = analyze_control_flow(cf)
+            corrupted_info = analyze_control_flow(cf, interproc=False)
         degraded = find_candidate_sites(
             cf, RedFatOptions(), dataflow=corrupted_info
         )
@@ -483,7 +523,10 @@ class TestFaultDegradation:
         assert fired, "no seed fired the fault point"
         for record in fired:
             assert record.outcome == DEGRADED
-            assert record.analysis_fallback
+            # analysis.fixpoint may fire inside a summary solve (only the
+            # interprocedural layer degrades) or inside the provenance /
+            # liveness / dominator solves (full fallback).
+            assert record.analysis_fallback or record.interproc_fallback
 
 
 class TestMiniCIntegration:
@@ -574,9 +617,12 @@ class TestMiniCIntegration:
         program = compile_source(self.STRUCT_SOURCE)
         result = RedFat(RedFatOptions()).instrument(program.binary.strip())
         reasons = result.stats.elimination_reasons()
-        assert set(reasons) == {"syntactic", "provenance", "dominated"}
+        assert set(reasons) == {"syntactic", "provenance", "dominated",
+                                "range"}
         assert reasons["provenance"] == result.stats.eliminated_provenance
+        assert reasons["range"] == result.stats.eliminated_range
         exported = result.stats.as_dict()
         for key in ("eliminated_provenance", "eliminated_dominated",
-                    "liveness_spills_avoided", "analysis_fallbacks"):
+                    "eliminated_range", "liveness_spills_avoided",
+                    "analysis_fallbacks", "interproc_fallbacks"):
             assert key in exported

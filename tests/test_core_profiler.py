@@ -19,18 +19,21 @@ def build(asm: str):
 #: Snippet (c) from the paper: the (array - K) anti-idiom.  The access
 #: (%rbx,%rcx,1) with rbx = array-32 and rcx >= 32 is always *legitimate*
 #: but always fails the (LowFat) check, because the base pointer itself is
-#: out of bounds.
+#: out of bounds.  The index is laundered through heap memory so the
+#: interprocedural range pass cannot prove either access in bounds and
+#: eliminate the very checks this workflow profiles.
 ANTI_IDIOM = """
     mov %rdi, $64
     rtcall $1
     mov %rbx, %rax
     mov %r15, %rax
+    mov (%r15), $40
+    mov %rcx, (%r15)
     sub %rbx, $32
-    mov %rcx, $40
     movb (%rbx,%rcx,1), $7
     jmp second
     second:
-    mov (%r15), $1
+    mov (%r15,%rcx,1), $1
     mov %rax, $0
     ret
 """
@@ -71,7 +74,7 @@ class TestProfiler:
             mov %rbx, %rax
             cmp %rcx, $0
             je skip
-            mov (%rbx), $1
+            mov (%rbx,%rcx,8), $1
             skip:
             mov %rax, $0
             ret
