@@ -1,21 +1,20 @@
 #!/usr/bin/env python3
-"""Bug-finding mode: log-and-continue over an input sweep.
+"""Bug-finding mode: a tiny coverage-guided hunt in log mode.
 
 RedFat's ``error()`` has two personalities (paper §4.2): *abort* for
 hardening production binaries and *log* for testing/bug-finding.  This
-example uses log mode as a miniature fuzzing harness: it sweeps inputs
-over an instrumented binary, keeps running past every detected error,
-and aggregates the de-duplicated reports per site — the workflow of
-tools like RetroWrite's binary ASAN, but with the stronger
-(Redzone)+(LowFat) oracle.
+example points the hunt pipeline (``repro.hunt``, also ``redfat hunt``)
+at a record parser with two planted input-dependent bugs: starting from
+one benign seed, the seeded mutators — guided by VM edge coverage —
+must rediscover both, and triage dedups the log-mode reports to one
+finding per ``(kind, site)`` and cross-references the static auditor.
 
 Run:  python examples/bug_finding.py
 """
 
-from collections import Counter
-
 import repro.api as redfat
 from repro.cc import compile_source
+from repro.hunt import HuntEntry
 
 #: A record parser with several input-dependent bugs.
 SOURCE = """
@@ -45,34 +44,29 @@ int main() {
 
 def main() -> None:
     program = compile_source(SOURCE)
-    hardened = redfat.harden(program.binary.strip(), options="fully")
+    entry = HuntEntry(
+        name="record-parser",
+        program=program,
+        seeds=((1, 4),),          # one benign input; no PoC given
+        crash_class="heap-overflow",
+    )
 
-    print("sweeping 64 inputs over the instrumented binary (log mode)...")
-    site_hits = Counter()
-    kinds = Counter()
-    crashes = 0
-    for kind in range(0, 40, 5):
-        for count in (0, 8, 24, 25, 64, 200, 500, 100000):
-            runtime = hardened.create_runtime(mode="log")
-            try:
-                program.run(args=[kind, count], binary=hardened.binary,
-                            runtime=runtime)
-            except Exception:
-                crashes += 1
-                continue
-            for report in runtime.errors:
-                site_hits[report.site] += 1
-                kinds[report.kind.value] += 1
+    print("hunting the record parser from one benign seed (log mode)...")
+    report = redfat.hunt(
+        entries=[entry], budget=48, seed=3,
+        presets=("fully",), runtimes=("redfat",),
+        stop_on_match=False,      # keep mutating: we want *both* bugs
+    )
+    print(report.render())
 
-    print(f"\ndistinct buggy sites found: {len(site_hits)}")
-    for site, hits in sorted(site_hits.items()):
-        print(f"  site {site:#x}: flagged on {hits} inputs")
-    print("\nerror kinds observed:")
-    for kind, hits in kinds.most_common():
-        print(f"  {kind}: {hits}")
-    if crashes:
-        print(f"\n({crashes} inputs faulted outside instrumented code)")
-    assert len(site_hits) >= 2, "expected both planted bugs"
+    result = report.entries[0]
+    sites = sorted({finding.site for finding in result.triage.findings})
+    print(f"\ndistinct buggy sites found: {len(sites)}")
+    for finding in result.triage.findings:
+        print(f"  site {finding.site:#x}: {finding.kind} "
+              f"on input {list(finding.input)} [{finding.confidence}]")
+    assert len(sites) >= 2, "expected both planted bugs"
+    assert result.expected_detected, "expected the heap-overflow class"
     print("\nboth planted bugs were localised to their exact instructions.")
 
 

@@ -174,6 +174,38 @@ def audit(
     return _audit(target, telemetry=telemetry, output=output)
 
 
+def hunt(
+    entries=None,
+    corpus: str = "cve",
+    telemetry: Optional[Telemetry] = None,
+    output: Optional[Union[str, Path]] = None,
+    **config_overrides,
+):
+    """Run a coverage-guided vulnerability hunt (``redfat hunt``).
+
+    *entries* is a sequence of :class:`~repro.hunt.corpus.HuntEntry`
+    targets; when omitted, *corpus* selects them from the named
+    workload registry (``"cve"``, ``"juliet"``, ``"synthetic"``,
+    ``"all"``, or a comma list of case names).  Extra keyword arguments
+    become :class:`~repro.hunt.loop.HuntConfig` fields (``budget``,
+    ``fuel``, ``seed``, ``presets``, ``runtimes``, ``jsonl_path``,
+    ``regressions_path``, ...).  Returns the
+    :class:`~repro.hunt.report.HuntReport`; *output* additionally
+    writes the schema-validated JSON document.
+    """
+    from repro.hunt.loop import HuntConfig, run_hunt
+
+    config = HuntConfig(corpus=corpus, **config_overrides)
+    report = run_hunt(entries=entries, config=config, telemetry=telemetry)
+    if output is not None:
+        errors = report.write_json(output)
+        if errors:
+            raise ValueError(
+                f"hunt report failed schema validation: {errors[0]}"
+            )
+    return report
+
+
 def profile(
     target: Target,
     args: Sequence[int] = (),
@@ -265,6 +297,7 @@ __all__ = [
     "harden",
     "harden_many",
     "audit",
+    "hunt",
     "profile",
     "run",
     "serve",

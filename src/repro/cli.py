@@ -21,6 +21,11 @@ Subcommands::
                     [--facts callgraph|summaries|ranges]
     redfat audit    prog.melf [-o report.json] [--json]
                     [--fail-on-findings] [--metrics out.json]
+    redfat hunt     [--corpus cve|juliet|synthetic|all|names] [--budget N]
+                    [--seed N] [--presets a,b] [--runtimes a,b,...]
+                    [-o report.json] [--jsonl runs.jsonl]
+                    [--regressions reg.json] [--fail-on-miss] [--list]
+    redfat bench    [CASE] [--list] [--malicious] [--runtime SPEC]
     redfat disasm   prog.melf
     redfat perf     [--quick] [--check] [--repeats N] [--snapshot FILE]
                     [--min-speedup X] [--no-write]
@@ -317,6 +322,83 @@ def _cmd_audit(arguments) -> int:
     return 0
 
 
+def _cmd_hunt(arguments) -> int:
+    from repro.hunt.corpus import corpus_names
+    from repro.hunt.report import validate_file
+
+    if arguments.validate:
+        errors = validate_file(arguments.validate)
+        for error in errors:
+            print(f"hunt: schema: {error}", file=sys.stderr)
+        if errors:
+            return 1
+        print(f"{arguments.validate}: valid hunt report")
+        return 0
+    if arguments.list:
+        for name in corpus_names(arguments.corpus):
+            print(name)
+        return 0
+    telemetry = None
+    if arguments.metrics:
+        telemetry = Telemetry(meta={
+            "kind": "hunt",
+            "corpus": arguments.corpus,
+            "command": arguments.command,
+        })
+    report = api.hunt(
+        corpus=arguments.corpus,
+        budget=arguments.budget,
+        fuel=arguments.fuel,
+        seed=arguments.seed,
+        presets=tuple(arguments.presets.split(",")),
+        runtimes=tuple(arguments.runtimes.split(",")),
+        jobs=arguments.jobs,
+        jsonl_path=arguments.jsonl,
+        regressions_path=arguments.regressions,
+        telemetry=telemetry,
+        output=arguments.output,
+    )
+    print(report.render())
+    if arguments.output:
+        print(f"wrote {arguments.output} (schema-valid hunt report)",
+              file=sys.stderr)
+    if arguments.jsonl:
+        print(f"wrote {arguments.jsonl} (per-run JSONL log)", file=sys.stderr)
+    _flush_metrics(telemetry, arguments)
+    if arguments.fail_on_miss and report.missed:
+        names = ", ".join(entry.name for entry in report.missed)
+        print(f"hunt: missed expected crash classes: {names}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench(arguments) -> int:
+    from repro.workloads import registry as workloads
+
+    if arguments.list or not arguments.case:
+        for suite in workloads.case_suites():
+            for name in workloads.case_names(suite=suite):
+                case = workloads.get_case(name)
+                print(f"{name:<28} [{suite}] "
+                      f"{case.crash_class or 'clean'}: {case.description}")
+        return 0
+    case = workloads.get_case(arguments.case)
+    args = list(case.malicious_args if arguments.malicious
+                else case.benign_args)
+    program = case.compile()
+    hardened = api.harden(program, options="fully")
+    runtime = hardened.create_runtime(mode="log",
+                                      runtime=arguments.runtime)
+    result = program.run(args=args, binary=hardened.binary, runtime=runtime)
+    variant = "malicious" if arguments.malicious else "benign"
+    print(f"{case.name} [{case.suite}] {variant} args={args}: "
+          f"exit {result.status}, {result.instructions} instructions")
+    for report in getattr(runtime, "errors", ()):
+        print(f"detected: {report}")
+    return 0
+
+
 def _cmd_disasm(arguments) -> int:
     binary = Binary.load(arguments.binary)
     for segment in binary.text_segments():
@@ -502,6 +584,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", metavar="OUT.json",
         help="export the audit telemetry (spans, finding counters)")
     audit_cmd.set_defaults(handler=_cmd_audit)
+
+    hunt_cmd = commands.add_parser(
+        "hunt", help="coverage-guided vulnerability hunt over the corpus "
+                     "(mutate benign seeds, triage detections, emit the "
+                     "detection-rate matrix)")
+    hunt_cmd.add_argument(
+        "--corpus", default="cve",
+        help="comma list of suites (cve, juliet, synthetic, all) and/or "
+             "case names from the workload registry (default: cve)")
+    hunt_cmd.add_argument(
+        "--budget", type=int, default=80,
+        help="executed inputs per entry, seed replays included (default 80)")
+    hunt_cmd.add_argument(
+        "--fuel", type=int, default=300_000,
+        help="watchdog instruction budget per executed input")
+    hunt_cmd.add_argument(
+        "--seed", type=int, default=1,
+        help="campaign seed; same-seed runs write byte-identical JSONL")
+    hunt_cmd.add_argument(
+        "--presets", default="fully,unoptimized",
+        help="comma list of hardening presets (first drives the mutation "
+             "loop; all appear in the matrix)")
+    hunt_cmd.add_argument(
+        "--runtimes", default="redfat,s2malloc,mesh,camp,frp",
+        help="comma list of runtime backends for the detection matrix")
+    hunt_cmd.add_argument(
+        "--jobs", type=int, default=0,
+        help="farm worker processes for the hardening phase (0 = serial)")
+    hunt_cmd.add_argument(
+        "-o", "--output", metavar="OUT.json", default=None,
+        help="write the schema-validated JSON report here")
+    hunt_cmd.add_argument(
+        "--jsonl", metavar="RUNS.jsonl", default=None,
+        help="write the per-run JSONL log here (deterministic per seed)")
+    hunt_cmd.add_argument(
+        "--regressions", metavar="REG.json", default=None,
+        help="pin each new deduped detection into this regression table")
+    hunt_cmd.add_argument(
+        "--validate", metavar="REPORT.json", default=None,
+        help="validate an existing hunt report against the schema and exit")
+    hunt_cmd.add_argument(
+        "--list", action="store_true",
+        help="list the entry names the corpus spec resolves to and exit")
+    hunt_cmd.add_argument(
+        "--fail-on-miss", action="store_true",
+        help="exit 1 when any entry's expected crash class goes undetected")
+    hunt_cmd.add_argument(
+        "--metrics", metavar="OUT.json",
+        help="export the hunt telemetry (spans, execution/detection "
+             "counters)")
+    hunt_cmd.set_defaults(handler=_cmd_hunt)
+
+    bench_cmd = commands.add_parser(
+        "bench", help="enumerate and run the named workload cases "
+                      "(CVE reproductions, Juliet slice, synthetic frees)")
+    bench_cmd.add_argument(
+        "case", nargs="?", default=None,
+        help="case name to harden and run (omit to list all cases)")
+    bench_cmd.add_argument("--list", action="store_true",
+                           help="list every registered case and exit")
+    bench_cmd.add_argument(
+        "--malicious", action="store_true",
+        help="run the known PoC input instead of the benign one")
+    bench_cmd.add_argument(
+        "--runtime", default="redfat", metavar="SPEC",
+        help="runtime registry spec for the run (default: redfat)")
+    bench_cmd.set_defaults(handler=_cmd_bench)
 
     disasm_cmd = commands.add_parser("disasm", help="disassemble text segments")
     disasm_cmd.add_argument("binary")

@@ -138,6 +138,10 @@ class FaultRunRecord:
     #: veto, bounds repair, placement retry) and kept serving — the
     #: accounted survival of the ``runtime.*`` fault points.
     backend_degraded: bool = False
+    #: The mini vulnerability hunt (run when a ``hunt.*`` point is
+    #: armed) degraded to a plain seed-replay sweep — the accounted
+    #: survival of the ``hunt.*`` fault points.
+    hunt_degraded: bool = False
 
 
 @dataclass
@@ -210,6 +214,28 @@ def _runtime_for_points(point: Union[str, Sequence[str], None]) -> str:
     return "redfat"
 
 
+def _mini_hunt(program: CompiledProgram, harden, seed: int):
+    """A tiny budgeted hunt over the campaign guest.
+
+    Runs only when a ``hunt.*`` point is armed: it puts the mutation
+    loop, the coverage attach and the triage walk on the campaign's
+    attack surface.  The loop absorbs its own guest failures, so the
+    only observable fault effect is a degraded (seed-replay) sweep.
+    """
+    from repro.hunt.corpus import HuntEntry
+    from repro.hunt.loop import HuntConfig, hunt_entry
+
+    entry = HuntEntry(
+        name="campaign", program=program, seeds=((DEFAULT_ARG,),),
+        crash_class=None,
+    )
+    config = HuntConfig(
+        budget=6, fuel=200_000, seed=seed, audit_xref=False,
+        stop_on_match=False,
+    )
+    return hunt_entry(entry, harden, config)
+
+
 def run_one(
     seed: int,
     program: CompiledProgram,
@@ -262,6 +288,9 @@ def run_one(
                 max_instructions=fuel, telemetry=tele,
             )
             tele.to_json(indent=None)  # the export sink, under injection
+            if any(name.startswith("hunt.") for name in injector.points):
+                hunt_result = _mini_hunt(program, harden, seed)
+                record.hunt_degraded = hunt_result.degraded
         except VMTimeoutError as error:
             record.outcome = DETECTED
             record.detail = f"watchdog: {error}"
@@ -328,6 +357,11 @@ def run_one(
                 record.detail = (
                     f"superblock engine: "
                     f"{result.cpu.superblock.degraded_reason}"
+                )
+            elif record.hunt_degraded:
+                record.outcome = DEGRADED
+                record.detail = (
+                    "vulnerability hunt degraded to a seed-replay sweep"
                 )
             elif getattr(runtime, "degraded", False):
                 # A runtime.* point corrupted backend state; the

@@ -202,6 +202,27 @@ register(
     "run; exhaustion surfaces as OOM, never a crash",
 )
 register(
+    "hunt.mutator",
+    "corrupt one mutant generation (hunt/mutators.py mutate) — the "
+    "engine latches mutation off and hands parents through unchanged, "
+    "degrading the campaign to a plain seed-replay sweep, counted as a "
+    "DEGRADED run",
+)
+register(
+    "hunt.coverage",
+    "fail the coverage-map attach for one run (hunt/loop.py) — the "
+    "entry latches guidance off and keeps executing unguided (queue "
+    "admission falls back to new detections only), counted as a "
+    "DEGRADED run",
+    sticky=True,
+)
+register(
+    "hunt.triage",
+    "corrupt the triage dedup walk (hunt/triage.py triage_entry) — "
+    "triage falls back to the raw undeduped detection stream, flagged "
+    "degraded, counted as a DEGRADED run; never an exception",
+)
+register(
     "telemetry.sink",
     "corrupt the telemetry event/span sink (telemetry/hub.py) — the hub "
     "must degrade (stop recording, count drops, flag itself) instead of "

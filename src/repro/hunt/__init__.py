@@ -1,0 +1,31 @@
+"""``repro.hunt`` — coverage-guided vulnerability hunting (``redfat hunt``).
+
+The paper's ``error()`` log personality (§4.2) turns a hardened binary
+into a memory-error oracle; this package turns that oracle into a
+bug-finding pipeline: a corpus of programs with benign seed inputs and
+expected crash classes (:mod:`repro.hunt.corpus`), deterministic seeded
+mutators (:mod:`repro.hunt.mutators`) driven by VM edge coverage
+(:mod:`repro.hunt.coverage`), triage that dedups, classifies and
+cross-references the static auditor (:mod:`repro.hunt.triage`), and a
+schema-validated report layer (:mod:`repro.hunt.report`).  The campaign
+driver lives in :mod:`repro.hunt.loop`; ``repro.api.hunt`` and
+``redfat hunt`` are thin wrappers over it.
+"""
+
+from repro.hunt.corpus import HuntEntry, build_corpus
+from repro.hunt.coverage import CoverageMap
+from repro.hunt.loop import HuntConfig, run_hunt
+from repro.hunt.mutators import MutationEngine
+from repro.hunt.report import HuntReport
+from repro.hunt.triage import dedup_reports
+
+__all__ = [
+    "CoverageMap",
+    "HuntConfig",
+    "HuntEntry",
+    "HuntReport",
+    "MutationEngine",
+    "build_corpus",
+    "dedup_reports",
+    "run_hunt",
+]

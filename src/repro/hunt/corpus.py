@@ -1,0 +1,80 @@
+"""The hunt corpus: programs + benign seeds + expected crash classes.
+
+Entries are built from the named workload-case registry
+(:mod:`repro.workloads.registry`): the Table-2 CVE reproductions, the
+Juliet CWE-122 shape×size slice, and the synthetic free-error programs.
+Crucially the seeds are the *benign* inputs only — the mutation loop
+must rediscover each malicious input on its own; known PoCs are kept
+aside as ground truth for scoring, never fed to the mutator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cc import CompiledProgram
+from repro.workloads import registry as workloads
+
+Input = Tuple[int, ...]
+
+#: ``--corpus`` words that select a whole suite.
+SUITES = ("cve", "juliet", "synthetic")
+
+
+@dataclass
+class HuntEntry:
+    """One hunt target."""
+
+    name: str
+    program: CompiledProgram
+    #: Benign starting inputs for the mutation queue.
+    seeds: Tuple[Input, ...]
+    #: Expected memory-error family ("heap-overflow", "double-free",
+    #: "invalid-free", "use-after-free") or None when the program is
+    #: believed clean (a detection is then a genuine surprise).
+    crash_class: Optional[str]
+    suite: str = "custom"
+    description: str = ""
+    #: Ground truth for scoring only — never given to the mutator.
+    known_malicious: Tuple[Input, ...] = field(default=())
+
+
+def entry_from_case(case: "workloads.WorkloadCase") -> HuntEntry:
+    """A registry case as a hunt target (benign seeds only)."""
+    return HuntEntry(
+        name=case.name,
+        program=case.compile(),
+        seeds=(tuple(case.benign_args),),
+        crash_class=case.crash_class,
+        suite=case.suite,
+        description=case.description,
+        known_malicious=(tuple(case.malicious_args),)
+        if case.malicious_args else (),
+    )
+
+
+def build_corpus(spec: str = "cve") -> List[HuntEntry]:
+    """Resolve a ``--corpus`` spec to entries, sorted by name.
+
+    *spec* is a comma-separated list of suite names (``cve``,
+    ``juliet``, ``synthetic``, or ``all``) and/or individual case names
+    from the workload registry.
+    """
+    names: List[str] = []
+    for word in (w.strip() for w in spec.split(",")):
+        if not word:
+            continue
+        if word == "all":
+            names.extend(workloads.case_names())
+        elif word in SUITES:
+            names.extend(workloads.case_names(suite=word))
+        else:
+            names.append(workloads.get_case(word).name)
+    deduped = sorted(set(names))
+    return [entry_from_case(workloads.get_case(name)) for name in deduped]
+
+
+def corpus_names(spec: str = "all") -> List[str]:
+    """The entry names *spec* resolves to (``redfat hunt --list``)."""
+    return [entry.name for entry in build_corpus(spec)]

@@ -1,0 +1,111 @@
+"""Deterministic seeded mutators over guest input words.
+
+A guest input is a tuple of 64-bit words poked into the ``__args``
+block (``arg(i)`` in MiniC).  The engine draws every choice from one
+:class:`random.Random`, so a campaign's mutant stream is a pure
+function of ``(corpus seed, entry name)`` — two same-seed hunts replay
+byte-identically (the ``--seed`` contract).
+
+Mutated values are deliberately *clamped*: the VM materializes guest
+pages eagerly and the low-fat allocator maps a multiple of the size
+class around every allocation, so an unbounded 64-bit mutant used as an
+allocation size could cost real gigabytes of host memory.  Bit flips
+stay in the low 16 bits, arithmetic nudges are small, and the only
+huge magic values are sentinels past every low-fat size class — those
+make ``malloc`` fail fast instead of mapping memory.
+
+The ``hunt.mutator`` fault point guards each mutant generation: when it
+fires the engine latches mutation off and hands parents through
+unchanged, degrading the campaign to a plain seed-replay sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.faults.injector import fault_point
+
+Input = Tuple[int, ...]
+
+#: Boundary values that historically sit on memory-error edges: size
+#: classes, redzone widths, the corpus' own victim sizes, off-by-one
+#: neighbours, and small negatives (huge unsigned indexes).  The two
+#: sentinels past 2**26 exceed every low-fat size class, so using one as
+#: an allocation size fails the allocation instead of mapping memory.
+MAGIC_VALUES: Tuple[int, ...] = (
+    0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 18, 23, 24, 25, 31, 32, 33,
+    47, 48, 59, 60, 63, 64, 65, 96, 100, 127, 128, 129, 255, 256, 511,
+    512, 1023, 4096, 65535, (1 << 31) - 1, (1 << 63) - 1, -1, -2, -8,
+)
+
+#: Off-by-N deltas (the paper's non-incremental overflows are reached by
+#: jumping an index, not walking it).
+ARITH_DELTAS: Tuple[int, ...] = (1, -1, 2, -2, 4, -4, 8, -8, 16, 32, 64)
+
+#: Bit flips stay under this bit index so a flipped word cannot demand
+#: a huge allocation or a gigabyte-distant access.
+MAX_FLIP_BIT = 16
+
+
+class MutationEngine:
+    """Seeded input mutator with an AFL-style strategy mix."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.generated = 0
+        #: Latched by the ``hunt.mutator`` fault point: the engine stops
+        #: mutating and replays parents unchanged (seed-replay sweep).
+        self.degraded = False
+        self.degraded_reason = ""
+        self._strategies = (
+            self._bit_flip,
+            self._byte_flip,
+            self._arithmetic,
+            self._magic,
+            self._splice,
+        )
+
+    def mutate(self, parent: Input, corpus: Sequence[Input]) -> Input:
+        """One mutant of *parent*; *corpus* feeds the splice strategy."""
+        if fault_point("hunt.mutator"):
+            self.degraded = True
+            self.degraded_reason = (
+                "mutant generation faulted; replaying seeds unchanged"
+            )
+        if self.degraded:
+            return parent
+        self.generated += 1
+        words = list(parent) if parent else [0]
+        strategy = self.rng.choice(self._strategies)
+        strategy(words, corpus)
+        return tuple(words)
+
+    # -- strategies --------------------------------------------------------
+
+    def _pick(self, words: List[int]) -> int:
+        return self.rng.randrange(len(words))
+
+    def _bit_flip(self, words: List[int], corpus: Sequence[Input]) -> None:
+        index = self._pick(words)
+        words[index] ^= 1 << self.rng.randrange(MAX_FLIP_BIT)
+
+    def _byte_flip(self, words: List[int], corpus: Sequence[Input]) -> None:
+        index = self._pick(words)
+        words[index] ^= self.rng.randrange(256)
+
+    def _arithmetic(self, words: List[int], corpus: Sequence[Input]) -> None:
+        index = self._pick(words)
+        words[index] += self.rng.choice(ARITH_DELTAS)
+
+    def _magic(self, words: List[int], corpus: Sequence[Input]) -> None:
+        index = self._pick(words)
+        words[index] = self.rng.choice(MAGIC_VALUES)
+
+    def _splice(self, words: List[int], corpus: Sequence[Input]) -> None:
+        """Replace a word with the corresponding word of another input."""
+        donor = self.rng.choice(corpus) if corpus else ()
+        if not donor:
+            return self._magic(words, corpus)
+        index = self._pick(words)
+        words[index] = donor[index % len(donor)]

@@ -1,0 +1,226 @@
+"""Triage for hunt detections: dedup, classify, cross-reference, pin.
+
+This module is the single home of report site-dedup (one finding per
+``(ErrorKind, faulting site)``, the convention sanitizers use) — the
+input sweep in ``examples/bug_finding.py`` and the hunt loop both go
+through :func:`dedup_reports`.
+
+Classification maps each deduped detection onto the entry's expected
+crash class; cross-referencing runs the static auditor over the same
+(unhardened) binary and splits findings into ``static+dynamic`` — the
+auditor names the same site — and ``dynamic-only``, the paper's case
+for runtime checking.  Each new deduped detection can be promoted to a
+pinned regression entry (a JSON file keyed ``entry:kind:site``), so a
+rediscovered bug that later disappears is a visible regression.
+
+The ``hunt.triage`` fault point guards the dedup walk: when it fires,
+triage degrades to the raw undeduped report stream (flagged, never an
+exception) so a corrupted triage pass cannot crash a campaign.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.faults.injector import fault_point
+from repro.runtime.reporting import ErrorKind, MemoryErrorReport
+
+Input = Tuple[int, ...]
+
+#: Expected crash class -> the ErrorKinds that count as a match.  The
+#: redzone side reports a skipped-over write as REDZONE/UNADDRESSABLE
+#: and the low-fat side as OOB_UPPER/OOB_LOWER; METADATA is the
+#: overflow's footprint on the allocator's own words.  libredfat
+#: reports a double free as USE_AFTER_FREE of the header (the freed
+#: object *is* the accessed object), so both kinds match that class.
+CRASH_CLASS_KINDS: Dict[str, frozenset] = {
+    "heap-overflow": frozenset({
+        ErrorKind.OOB_UPPER, ErrorKind.OOB_LOWER, ErrorKind.REDZONE,
+        ErrorKind.UNADDRESSABLE, ErrorKind.METADATA,
+    }),
+    "use-after-free": frozenset({ErrorKind.USE_AFTER_FREE}),
+    "double-free": frozenset({ErrorKind.USE_AFTER_FREE,
+                              ErrorKind.INVALID_FREE}),
+    "invalid-free": frozenset({ErrorKind.INVALID_FREE}),
+}
+
+
+def matches_class(kind: ErrorKind, crash_class: Optional[str]) -> bool:
+    """Does a detection of *kind* satisfy the expected *crash_class*?"""
+    if crash_class is None:
+        return False
+    return kind in CRASH_CLASS_KINDS.get(crash_class, frozenset())
+
+
+def dedup_reports(
+    reports: Iterable[MemoryErrorReport],
+) -> List[MemoryErrorReport]:
+    """One report per ``(kind, site)``, in deterministic site order."""
+    unique: Dict[Tuple[str, int], MemoryErrorReport] = {}
+    for report in reports:
+        unique.setdefault((report.kind.name, report.site), report)
+    return [unique[key] for key in sorted(unique)]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One deduped, classified detection."""
+
+    entry: str
+    kind: str            # ErrorKind enum name
+    site: int
+    detail: str
+    input: Input         # the discovered triggering input
+    matches_expected: bool
+    confidence: str      # "static+dynamic" | "dynamic-only"
+
+    @property
+    def key(self) -> str:
+        return f"{self.entry}:{self.kind}:{self.site:#x}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "entry": self.entry,
+            "kind": self.kind,
+            "site": self.site,
+            "detail": self.detail,
+            "input": list(self.input),
+            "matches_expected": self.matches_expected,
+            "confidence": self.confidence,
+        }
+
+
+@dataclass
+class TriageResult:
+    """Triage output for one entry."""
+
+    findings: List[Finding] = field(default_factory=list)
+    degraded: bool = False
+    degraded_reason: str = ""
+
+    @property
+    def expected_detected(self) -> bool:
+        return any(f.matches_expected for f in self.findings)
+
+
+#: Dynamic ErrorKind name -> the audit finding kinds that corroborate
+#: it when the runtime could not attribute a site (free errors report
+#: site 0: the faulting "site" is the allocator call, not an access).
+_AUDIT_KINDS: Dict[str, frozenset] = {
+    "USE_AFTER_FREE": frozenset({"double-free"}),
+    "INVALID_FREE": frozenset({"invalid-free", "double-free"}),
+}
+
+
+def _static_evidence(program) -> Tuple[frozenset, frozenset]:
+    """(sites, kinds) the static auditor flags on the same binary.
+
+    Audit and runtime both attribute to original pre-rewrite instruction
+    addresses, so a site intersection is an exact static+dynamic
+    agreement; unattributed dynamic reports fall back to kind-level
+    corroboration.  Analysis failures degrade to "no static hits" —
+    triage never raises.
+    """
+    try:
+        from repro.analysis.audit import audit_dataflow
+        from repro.analysis.engine import analyze_control_flow
+        from repro.rewriter.cfg import recover_control_flow
+
+        info = analyze_control_flow(recover_control_flow(program.binary))
+        report = audit_dataflow(info)
+    except Exception:
+        return frozenset(), frozenset()
+    return (frozenset(finding.site for finding in report.findings),
+            frozenset(finding.kind for finding in report.findings))
+
+
+def triage_entry(
+    entry_name: str,
+    crash_class: Optional[str],
+    detections: Sequence[Tuple[MemoryErrorReport, Input]],
+    program=None,
+    audit_xref: bool = True,
+) -> TriageResult:
+    """Dedup, classify and cross-reference one entry's detections.
+
+    *detections* pairs every logged report with the input that produced
+    it; after dedup each finding keeps the *first* input that reached
+    its site.
+    """
+    result = TriageResult()
+    if fault_point("hunt.triage"):
+        result.degraded = True
+        result.degraded_reason = (
+            "triage dedup faulted; reporting the raw detection stream"
+        )
+    if not detections:
+        return result
+    first_input: Dict[Tuple[str, int], Input] = {}
+    for report, mutant in detections:
+        first_input.setdefault((report.kind.name, report.site), mutant)
+    if result.degraded:
+        deduped = [report for report, _ in detections]
+    else:
+        deduped = dedup_reports(report for report, _ in detections)
+    static_sites, static_kinds = (
+        _static_evidence(program) if audit_xref and program is not None
+        else (frozenset(), frozenset())
+    )
+    for report in deduped:
+        corroborated = report.site in static_sites or bool(
+            report.site == 0
+            and _AUDIT_KINDS.get(report.kind.name, frozenset()) & static_kinds
+        )
+        result.findings.append(Finding(
+            entry=entry_name,
+            kind=report.kind.name,
+            site=report.site,
+            detail=report.detail,
+            input=first_input[(report.kind.name, report.site)],
+            matches_expected=matches_class(report.kind, crash_class),
+            confidence="static+dynamic" if corroborated else "dynamic-only",
+        ))
+    return result
+
+
+# -- pinned regressions -----------------------------------------------------
+
+
+def load_regressions(path) -> Dict[str, Dict[str, object]]:
+    """The pinned-regression table (empty when the file does not exist)."""
+    file = Path(path)
+    if not file.exists():
+        return {}
+    try:
+        data = json.loads(file.read_text())
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def promote_regressions(findings: Sequence[Finding], path) -> List[str]:
+    """Pin every new deduped detection; returns the newly added keys.
+
+    The table is rewritten sorted and timestamp-free, so re-running the
+    same hunt leaves the file byte-identical.
+    """
+    table = load_regressions(path)
+    added: List[str] = []
+    for finding in findings:
+        if finding.key in table:
+            continue
+        table[finding.key] = {
+            "entry": finding.entry,
+            "kind": finding.kind,
+            "site": finding.site,
+            "input": list(finding.input),
+            "matches_expected": finding.matches_expected,
+        }
+        added.append(finding.key)
+    Path(path).write_text(
+        json.dumps(table, indent=2, sort_keys=True) + "\n"
+    )
+    return added

@@ -40,7 +40,7 @@ from repro.isa.operands import Imm, Mem, Reg
 from repro.isa.registers import RSP, Register
 from repro.vm.memory import Memory
 from repro.vm.runtime_iface import RuntimeEnvironment
-from repro.vm.superblock import SuperblockEngine
+from repro.vm.superblock import TRANSFER_OPCODES, SuperblockEngine
 
 _M64 = (1 << 64) - 1
 _SIGN = 1 << 63
@@ -96,6 +96,12 @@ class CPU:
         self.icache: Dict[int, Instruction] = {}
         #: Optional observer: fn(address, size, is_read, is_write, instruction).
         self.access_hook = None
+        #: Optional coverage collector (an object with ``edge(src, dst)``,
+        #: see :mod:`repro.hunt.coverage`).  When set, :meth:`run` uses
+        #: the coverage loop, which records one edge per retired control
+        #: transfer — identically under both execution engines.  The
+        #: default loops carry zero extra cost.
+        self.coverage = None
         #: Optional telemetry hub; when set, :meth:`run` uses the traced
         #: loop (retired-instruction and check-execution counters).  The
         #: default loop carries zero extra cost.
@@ -449,6 +455,8 @@ class CPU:
         ``access_hook`` is installed (specialized closures would bypass
         it) or the engine is disabled/degraded.
         """
+        if self.coverage is not None:
+            return self._run_coverage(max_instructions)
         if self.telemetry is not None:
             return self._run_traced(max_instructions)
         if self.superblock.enabled and self.access_hook is None:
@@ -522,6 +530,66 @@ class CPU:
                     executed += block.retired_before(self.rip)
                     raise
                 executed += block.length
+        except GuestExit as exit_signal:
+            executed += 1  # the exiting rtcall did retire
+            self.exit_status = exit_signal.status
+            return exit_signal.status
+        finally:
+            self.instructions_executed += executed
+        raise VMTimeoutError(max_instructions)
+
+    def _run_coverage(self, max_instructions: int) -> int:
+        """The coverage variant of :meth:`run` (``redfat hunt``).
+
+        Identical semantics to the default loops, plus one
+        ``coverage.edge(src, dst)`` call per retired control transfer
+        (:data:`~repro.vm.superblock.TRANSFER_OPCODES`).  The edge
+        definition is engine-independent: under superblocks only a
+        block's final instruction can be a transfer
+        (``Superblock.last_transfer``), and a block truncated at
+        ``MAX_BLOCK``/the trampoline boundary ends in a non-transfer, so
+        both engines record exactly the same edges — including under
+        mid-block faults, where the raising transfer never retires and
+        therefore contributes no edge in either loop.
+        """
+        coverage = self.coverage
+        edge = coverage.edge
+        engine = self.superblock
+        cache = engine.cache
+        use_blocks = engine.enabled and self.access_hook is None
+        icache = self.icache
+        dispatch = self._dispatch
+        executed = 0
+        try:
+            while executed < max_instructions:
+                rip = self.rip
+                block = None
+                if use_blocks:
+                    block = cache.get(rip)
+                    if block is None:
+                        block = engine.translate(rip)
+                        if block is None:
+                            use_blocks = False  # engine degraded mid-run
+                if block is None or executed + block.length > max_instructions:
+                    instruction = icache.get(rip)
+                    if instruction is None:
+                        instruction = self._decode_at(rip)
+                    self.rip = rip + instruction.length
+                    dispatch[instruction.opcode](instruction)
+                    executed += 1
+                    if instruction.opcode in TRANSFER_OPCODES:
+                        edge(rip, self.rip)
+                    continue
+                try:
+                    for next_rip, fn, arg in block.steps:
+                        self.rip = next_rip
+                        fn(arg)
+                except BaseException:
+                    executed += block.retired_before(self.rip)
+                    raise
+                executed += block.length
+                if block.last_transfer is not None:
+                    edge(block.last_transfer, self.rip)
         except GuestExit as exit_signal:
             executed += 1  # the exiting rtcall did retire
             self.exit_status = exit_signal.status

@@ -62,6 +62,16 @@ TERMINATORS = frozenset({
     Opcode.JB, Opcode.JBE, Opcode.JA, Opcode.JAE, Opcode.JS, Opcode.JNS,
 })
 
+#: Opcodes the coverage hook records edges for: real control transfers
+#: that redirect ``rip``.  TRAP/RTCALL end a block (runtime boundary)
+#: but fall through, so they are not coverage edges — keeping the edge
+#: definition identical between the single-step and superblock loops.
+TRANSFER_OPCODES = frozenset({
+    Opcode.JMP, Opcode.CALL, Opcode.JMPR, Opcode.CALLR, Opcode.RET,
+    Opcode.JE, Opcode.JNE, Opcode.JL, Opcode.JLE, Opcode.JG, Opcode.JGE,
+    Opcode.JB, Opcode.JBE, Opcode.JA, Opcode.JAE, Opcode.JS, Opcode.JNS,
+})
+
 #: Default engine state for newly built CPUs; flipped by
 #: :func:`engine_override` (the ``redfat run --engine`` switch).
 _DEFAULT_ENABLED = True
@@ -112,9 +122,10 @@ class Superblock:
     instruction)`` pairs — the exact call the dispatch loop would make.
     """
 
-    __slots__ = ("start", "steps", "length", "in_trampoline")
+    __slots__ = ("start", "steps", "length", "in_trampoline", "last_transfer")
 
-    def __init__(self, start: int, steps: List[tuple], in_trampoline: bool) -> None:
+    def __init__(self, start: int, steps: List[tuple], in_trampoline: bool,
+                 last_transfer: Optional[int] = None) -> None:
         self.start = start
         self.steps = steps
         self.length = len(steps)
@@ -122,6 +133,12 @@ class Superblock:
         #: never straddle the boundary), so traced runs attribute
         #: ``length`` check-instructions per execution.
         self.in_trampoline = in_trampoline
+        #: Address of the block's final instruction when that instruction
+        #: is a control transfer (:data:`TRANSFER_OPCODES`), else None.
+        #: The coverage loop records ``(last_transfer, rip-after-block)``
+        #: edges from it — the exact edge the single-step loop records
+        #: when the same transfer retires.
+        self.last_transfer = last_transfer
 
     def retired_before(self, rip: int) -> int:
         """How many steps retired before the one that left ``cpu.rip``
@@ -212,8 +229,10 @@ class SuperblockEngine:
             if instruction.opcode in TERMINATORS:
                 break
             rip += instruction.length
+        last = instructions[-1]
         block = Superblock(
-            address, _compile_steps(cpu, instructions), start_in_tramp
+            address, _compile_steps(cpu, instructions), start_in_tramp,
+            last.address if last.opcode in TRANSFER_OPCODES else None,
         )
         self.cache[address] = block
         self.translations += 1

@@ -185,6 +185,95 @@ class TestWatchdogEquivalence:
         assert executed[0] == executed[1]
 
 
+def _run_with_coverage(program, engine, binary=None, make_runtime=None,
+                       args=(), fuel=10_000_000):
+    """One coverage-hooked run; returns (status, executed, output, edges)."""
+    from repro.hunt.coverage import CoverageMap
+    from repro.vm.loader import load_binary
+
+    if make_runtime:
+        runtime = make_runtime()
+    else:
+        from repro.runtime.glibc import GlibcRuntime
+
+        runtime = GlibcRuntime()
+    coverage = CoverageMap()
+    with engine_override(engine):
+        cpu = load_binary(binary if binary is not None else program.binary,
+                          runtime)
+        program.poke_args(cpu, list(args))
+        cpu.coverage = coverage
+        try:
+            status = cpu.run(fuel)
+        except (GuestMemoryError, VMTimeoutError) as error:
+            status = f"{type(error).__name__}: {error}"
+    return (status, cpu.instructions_executed, tuple(runtime.output),
+            frozenset(coverage.edges))
+
+
+class TestCoverageHookEquivalence:
+    """The hunt coverage hook (cpu.coverage) is engine-invariant: both
+    loops must retire the same transfers, so the maps are identical —
+    the contract repro.hunt's mutation guidance is built on."""
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_plain_guest_identical_maps(self, name):
+        program = compile_source(PROGRAMS[name])
+        fast = _run_with_coverage(program, "superblock")
+        reference = _run_with_coverage(program, "single-step")
+        assert fast == reference
+        assert fast[3], "expected a non-empty edge map"
+
+    def test_coverage_loop_matches_default_loop(self):
+        """Attaching a map must not perturb execution itself."""
+        program = compile_source(PROGRAMS["branchy"])
+        covered = _run_with_coverage(program, "superblock")
+        plain = program.run()
+        assert covered[0] == plain.status
+        assert covered[1] == plain.instructions
+        assert covered[2] == tuple(plain.output)
+
+    @pytest.mark.parametrize("preset", ["unoptimized", "fully"])
+    def test_hardened_log_mode_identical_maps(self, preset):
+        case = generate_cases(8)[5]
+        program = case.compile()
+        harden = RedFat(RedFatOptions.preset(preset)).instrument(
+            program.binary.strip()
+        )
+        results = [
+            _run_with_coverage(
+                program, engine, binary=harden.binary,
+                make_runtime=lambda: harden.create_runtime(mode="log"),
+                args=case.malicious_args,
+            )
+            for engine in ("superblock", "single-step")
+        ]
+        assert results[0] == results[1]
+
+    def test_mid_run_fault_identical_maps(self):
+        """A faulting transfer never retires: no edge in either engine."""
+        case = generate_cases(1)[0]
+        program = case.compile()
+        harden = RedFat(RedFatOptions()).instrument(program.binary.strip())
+        results = [
+            _run_with_coverage(
+                program, engine, binary=harden.binary,
+                make_runtime=lambda: harden.create_runtime(mode="abort"),
+                args=case.malicious_args,
+            )
+            for engine in ("superblock", "single-step")
+        ]
+        assert results[0] == results[1]
+        assert "GuestMemoryError" in str(results[0][0])
+
+    @pytest.mark.parametrize("fuel", [7, MAX_BLOCK, 500])
+    def test_fuel_truncated_identical_maps(self, fuel):
+        program = compile_source(PROGRAMS["alu-loop"])
+        fast = _run_with_coverage(program, "superblock", fuel=fuel)
+        reference = _run_with_coverage(program, "single-step", fuel=fuel)
+        assert fast == reference
+
+
 class TestTracedLoop:
     def test_telemetry_counters_identical(self):
         program = compile_source(PROGRAMS["branchy"])
