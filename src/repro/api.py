@@ -252,10 +252,12 @@ def run(
     or ``"name:key=val,..."`` with per-backend options (see
     :mod:`repro.runtime.registry`).  *mode* selects abort-on-error vs.
     log-and-continue and *seed* feeds the randomized backends.
-    *engine* forces the VM's execution engine — ``"superblock"``
-    (default) or ``"single-step"`` (the reference loop; see
+    *engine* forces the VM's execution tier — ``"trace"`` (default,
+    the full three-tier JIT; see :mod:`repro.vm.trace`),
+    ``"superblock"`` (the superblock engine with tracing disabled) or
+    ``"single-step"`` (the reference loop; see
     :mod:`repro.vm.superblock`) — for this run only; results are
-    identical either way.
+    identical in every tier.
 
     ``preload=`` is the deprecated pre-registry spelling of
     ``runtime=`` and emits a :class:`DeprecationWarning`.

@@ -1,7 +1,8 @@
 """The perf-trajectory recorder behind ``redfat perf``.
 
-Measures the VM's two execution engines — the superblock hot path and
-the single-step reference loop (see :mod:`repro.vm.superblock`) — on
+Measures the VM's three execution tiers — the trace JIT
+(:mod:`repro.vm.trace`), the superblock hot path
+(:mod:`repro.vm.superblock`) and the single-step reference loop — on
 small versions of the Figure-8 (Chrome/Kraken) and Table-1 (SPEC)
 harness loops, and appends a versioned snapshot to ``BENCH_vm.json`` at
 the repository root.  The snapshot file is the repo's *perf trajectory*:
@@ -14,19 +15,24 @@ Methodology:
   clock every other harness phase reports through;
 - each (workload, engine) pair runs ``repeats`` times and keeps the
   *minimum* wall time (minimum, not mean: noise on a quiet machine is
-  strictly additive);
+  strictly additive); for the trace tier the first repeat also warms
+  the per-binary cross-run trace cache (:mod:`repro.vm.trace`), so the
+  minimum reports the steady state a long-running guest sees, with
+  record/compile costs amortised away;
 - the engines must retire *identical* instruction counts per workload —
   that equivalence invariant is machine-independent and is checked on
   every run;
-- the headline number is the geometric mean of per-workload speedups
-  (single-step time / superblock time).  Ratios of two runs on the same
-  machine are far more stable across hosts than absolute times, which
-  is what makes ``--check`` usable in CI.
+- the headline numbers are geometric means of per-workload speedups
+  against the single-step loop — one for the superblock tier, one for
+  the trace tier.  Ratios of two runs on the same machine are far more
+  stable across hosts than absolute times, which is what makes
+  ``--check`` usable in CI.
 
-``--check`` fails when the engines' instruction counts diverge, when
-the speedup drops below the floor (``--min-speedup``, default
-:data:`CHECK_MIN_SPEEDUP`), or when the geometric mean regresses to
-less than :data:`REGRESSION_TOLERANCE` of the previous snapshot's;
+``--check`` fails when the engines' instruction counts diverge, when a
+speedup drops below its floor (``--min-speedup`` /
+``--min-trace-speedup``, defaults :data:`CHECK_MIN_SPEEDUP` and
+:data:`CHECK_MIN_TRACE_SPEEDUP`), or when a geometric mean regresses
+to less than :data:`REGRESSION_TOLERANCE` of the previous snapshot's;
 milder per-workload regressions are flagged but do not fail.
 
 Run: ``redfat perf [--quick] [--check]`` or
@@ -64,6 +70,13 @@ TARGET_SPEEDUP = 1.3
 #: noisy shared runners.
 CHECK_MIN_SPEEDUP = 1.15
 
+#: The trace-tier speedup the committed baseline must demonstrate
+#: (acceptance criterion of the trace JIT) ...
+TRACE_TARGET_SPEEDUP = 1.6
+
+#: ... and its CI floor.
+CHECK_MIN_TRACE_SPEEDUP = 1.4
+
 #: ``--check`` fails when the geomean speedup falls below this fraction
 #: of the previous snapshot's.
 REGRESSION_TOLERANCE = 0.8
@@ -80,12 +93,18 @@ def load_schema() -> dict:
 
 @dataclass
 class WorkloadResult:
-    """Both engines measured on one workload."""
+    """Every engine measured on one workload.
+
+    ``trace_s`` defaults to 0.0 (older snapshots predate the trace
+    tier); a zero means "not measured" and is excluded from the trace
+    geomean and its checks.
+    """
 
     name: str
     instructions: int
     single_step_s: float
     superblock_s: float
+    trace_s: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -93,14 +112,24 @@ class WorkloadResult:
             return 0.0
         return self.single_step_s / self.superblock_s
 
+    @property
+    def trace_speedup(self) -> float:
+        if self.trace_s <= 0:
+            return 0.0
+        return self.single_step_s / self.trace_s
+
     def as_dict(self) -> dict:
-        return {
+        document = {
             "name": self.name,
             "instructions": self.instructions,
             "single_step_s": round(self.single_step_s, 6),
             "superblock_s": round(self.superblock_s, 6),
             "speedup": round(self.speedup, 4),
         }
+        if self.trace_s > 0:
+            document["trace_s"] = round(self.trace_s, 6)
+            document["trace_speedup"] = round(self.trace_speedup, 4)
+        return document
 
 
 @dataclass
@@ -112,6 +141,7 @@ class PerfSnapshot:
     repeats: int = 3
     created_unix: float = 0.0
     superblocks_translated: int = 0
+    traces_compiled: int = 0
     #: Engine-equivalence violations (instruction-count mismatches);
     #: empty on a healthy run.
     mismatches: List[str] = field(default_factory=list)
@@ -120,8 +150,15 @@ class PerfSnapshot:
     def geomean_speedup(self) -> float:
         return geometric_mean([w.speedup for w in self.workloads])
 
+    @property
+    def geomean_trace_speedup(self) -> float:
+        measured = [w.trace_speedup for w in self.workloads if w.trace_s > 0]
+        if not measured:
+            return 0.0
+        return geometric_mean(measured)
+
     def as_dict(self) -> dict:
-        return {
+        document = {
             "quick": self.quick,
             "repeats": self.repeats,
             "created_unix": round(self.created_unix, 3),
@@ -129,21 +166,29 @@ class PerfSnapshot:
             "workloads": [w.as_dict() for w in self.workloads],
             "geomean_speedup": round(self.geomean_speedup, 4),
         }
+        if any(w.trace_s > 0 for w in self.workloads):
+            document["traces_compiled"] = self.traces_compiled
+            document["geomean_trace_speedup"] = round(
+                self.geomean_trace_speedup, 4
+            )
+        return document
 
     def render(self) -> str:
         lines = [
             f"{'workload':34s} {'instructions':>12s} "
-            f"{'single':>9s} {'superblk':>9s} {'speedup':>8s}"
+            f"{'single':>9s} {'superblk':>9s} {'trace':>9s} "
+            f"{'sb-up':>7s} {'tr-up':>7s}"
         ]
         for w in self.workloads:
             lines.append(
                 f"{w.name:34s} {w.instructions:12d} "
                 f"{w.single_step_s:8.3f}s {w.superblock_s:8.3f}s "
-                f"{w.speedup:7.2f}x"
+                f"{w.trace_s:8.3f}s "
+                f"{w.speedup:6.2f}x {w.trace_speedup:6.2f}x"
             )
         lines.append(
-            f"{'geometric mean':34s} {'':12s} {'':9s} {'':9s} "
-            f"{self.geomean_speedup:7.2f}x"
+            f"{'geometric mean':34s} {'':12s} {'':9s} {'':9s} {'':9s} "
+            f"{self.geomean_speedup:6.2f}x {self.geomean_trace_speedup:6.2f}x"
         )
         return "\n".join(lines)
 
@@ -161,6 +206,7 @@ def _timed(workload: Workload, engine: str, repeats: int):
     best = math.inf
     instructions = None
     translated = 0
+    compiled = 0
     for _ in range(repeats):
         tele = Telemetry(max_events=8, meta={"kind": "perfscope"})
         with engine_override(engine):
@@ -171,10 +217,10 @@ def _timed(workload: Workload, engine: str, repeats: int):
         )
         best = min(best, duration)
         instructions = result.instructions
-        translated = max(
-            translated, result.cpu.superblock.translations if result.cpu else 0
-        )
-    return best, instructions, translated
+        if result.cpu:
+            translated = max(translated, result.cpu.superblock.translations)
+            compiled = max(compiled, result.cpu.trace.compiled)
+    return best, instructions, translated, compiled
 
 
 def _figure8_workloads(quick: bool) -> List[Workload]:
@@ -229,23 +275,32 @@ def _table1_workloads(quick: bool) -> List[Workload]:
 
 
 def measure(quick: bool = True, repeats: int = 3) -> PerfSnapshot:
-    """Measure every workload under both engines; see the module
+    """Measure every workload under all three engines; see the module
     docstring for the methodology."""
     snapshot = PerfSnapshot(quick=quick, repeats=repeats,
                             created_unix=time.time())
     for workload in _figure8_workloads(quick) + _table1_workloads(quick):
-        super_s, super_n, translated = _timed(workload, "superblock", repeats)
-        single_s, single_n, _ = _timed(workload, "single-step", repeats)
+        trace_s, trace_n, _, compiled = _timed(workload, "trace", repeats)
+        super_s, super_n, translated, _ = _timed(
+            workload, "superblock", repeats
+        )
+        single_s, single_n, _, _ = _timed(workload, "single-step", repeats)
         if single_n != super_n:
             snapshot.mismatches.append(
                 f"{workload.name}: single-step retired {single_n} "
                 f"instructions, superblock {super_n}"
             )
+        if single_n != trace_n:
+            snapshot.mismatches.append(
+                f"{workload.name}: single-step retired {single_n} "
+                f"instructions, trace {trace_n}"
+            )
         snapshot.workloads.append(WorkloadResult(
             name=workload.name, instructions=super_n,
-            single_step_s=single_s, superblock_s=super_s,
+            single_step_s=single_s, superblock_s=super_s, trace_s=trace_s,
         ))
         snapshot.superblocks_translated += translated
+        snapshot.traces_compiled += compiled
     return snapshot
 
 
@@ -288,14 +343,26 @@ def check(
     snapshot: PerfSnapshot,
     previous: Optional[dict],
     min_speedup: float = CHECK_MIN_SPEEDUP,
+    min_trace_speedup: float = CHECK_MIN_TRACE_SPEEDUP,
 ) -> List[str]:
     """Return the list of *failures*; regressions that merely warrant a
-    look are printed by the caller from :func:`flags`."""
+    look are printed by the caller from :func:`flags`.
+
+    The trace-tier floor only applies when the snapshot measured the
+    trace engine (``trace_s > 0`` somewhere) — a degraded-at-measure
+    run fails the instruction-count equivalence first anyway.
+    """
     failures = list(snapshot.mismatches)
     geomean = snapshot.geomean_speedup
     if geomean < min_speedup:
         failures.append(
             f"geomean speedup {geomean:.2f}x below the {min_speedup:.2f}x floor"
+        )
+    trace_geomean = snapshot.geomean_trace_speedup
+    if trace_geomean and trace_geomean < min_trace_speedup:
+        failures.append(
+            f"geomean trace speedup {trace_geomean:.2f}x below the "
+            f"{min_trace_speedup:.2f}x floor"
         )
     if previous:
         previous_geomean = previous.get("geomean_speedup", 0.0)
@@ -303,6 +370,14 @@ def check(
             failures.append(
                 f"geomean speedup regressed: {geomean:.2f}x vs "
                 f"{previous_geomean:.2f}x in the last snapshot "
+                f"(tolerance {REGRESSION_TOLERANCE:.0%})"
+            )
+        previous_trace = previous.get("geomean_trace_speedup", 0.0)
+        if (trace_geomean and previous_trace
+                and trace_geomean < previous_trace * REGRESSION_TOLERANCE):
+            failures.append(
+                f"geomean trace speedup regressed: {trace_geomean:.2f}x vs "
+                f"{previous_trace:.2f}x in the last snapshot "
                 f"(tolerance {REGRESSION_TOLERANCE:.0%})"
             )
     return failures
@@ -325,6 +400,13 @@ def flags(snapshot: PerfSnapshot, previous: Optional[dict]) -> List[str]:
                 f"{workload.name}: speedup {workload.speedup:.2f}x, was "
                 f"{before['speedup']:.2f}x"
             )
+        before_trace = before.get("trace_speedup", 0.0)
+        if (workload.trace_s > 0 and before_trace
+                and workload.trace_speedup < before_trace * 0.9):
+            notes.append(
+                f"{workload.name}: trace speedup "
+                f"{workload.trace_speedup:.2f}x, was {before_trace:.2f}x"
+            )
         if workload.instructions != before["instructions"]:
             notes.append(
                 f"{workload.name}: retires {workload.instructions} "
@@ -340,6 +422,7 @@ def run_perfscope(
     repeats: int = 3,
     do_check: bool = False,
     min_speedup: Optional[float] = None,
+    min_trace_speedup: Optional[float] = None,
     write: bool = True,
 ) -> int:
     """The ``redfat perf`` entry point; returns a process exit code."""
@@ -352,6 +435,9 @@ def run_perfscope(
     failures = check(
         snapshot, previous,
         min_speedup=CHECK_MIN_SPEEDUP if min_speedup is None else min_speedup,
+        min_trace_speedup=(CHECK_MIN_TRACE_SPEEDUP
+                           if min_trace_speedup is None
+                           else min_trace_speedup),
     )
     if write:
         append_snapshot(snapshot_path, snapshot)
@@ -363,7 +449,8 @@ def run_perfscope(
         if failures:
             return 1
         print(f"perf check passed "
-              f"(geomean {snapshot.geomean_speedup:.2f}x)")
+              f"(geomean {snapshot.geomean_speedup:.2f}x superblock, "
+              f"{snapshot.geomean_trace_speedup:.2f}x trace)")
     elif snapshot.mismatches:
         for failure in snapshot.mismatches:
             print(f"FAIL: {failure}")
@@ -384,6 +471,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "regression vs the last snapshot")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help=f"--check floor (default {CHECK_MIN_SPEEDUP})")
+    parser.add_argument("--min-trace-speedup", type=float, default=None,
+                        help=f"--check floor for the trace tier "
+                             f"(default {CHECK_MIN_TRACE_SPEEDUP})")
     parser.add_argument("--no-write", action="store_true",
                         help="measure and compare without updating the file")
     parser.add_argument("--validate", metavar="FILE", default=None,
@@ -400,7 +490,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return run_perfscope(
         snapshot_path=arguments.snapshot, quick=arguments.quick,
         repeats=arguments.repeats, do_check=arguments.check,
-        min_speedup=arguments.min_speedup, write=not arguments.no_write,
+        min_speedup=arguments.min_speedup,
+        min_trace_speedup=arguments.min_trace_speedup,
+        write=not arguments.no_write,
     )
 
 

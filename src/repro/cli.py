@@ -13,7 +13,8 @@ Subcommands::
     redfat profile  prog.melf -o allow.lst [--args N ...]
     redfat run      prog.melf [--args N ...] [--runtime SPEC]
                     [--mode abort|log] [--fuel N]
-                    [--engine superblock|single-step] [--metrics out.json]
+                    [--engine trace|superblock|single-step]
+                    [--metrics out.json]
     redfat runtimes                                  list the allocator zoo
     redfat shootout [--backends a,b,...] [--juliet N] [-o report.json]
                     [--validate report.json]
@@ -28,7 +29,7 @@ Subcommands::
     redfat bench    [CASE] [--list] [--malicious] [--runtime SPEC]
     redfat disasm   prog.melf
     redfat perf     [--quick] [--check] [--repeats N] [--snapshot FILE]
-                    [--min-speedup X] [--no-write]
+                    [--min-speedup X] [--min-trace-speedup X] [--no-write]
 
 ``--runtime`` takes a registry spec: a backend name (``glibc``,
 ``redfat``, ``s2malloc``, ``mesh``, ``camp``, ``frp``, ``shadow``) or
@@ -284,7 +285,9 @@ def _cmd_perf(arguments) -> int:
     return run_perfscope(
         snapshot_path=arguments.snapshot, quick=arguments.quick,
         repeats=arguments.repeats, do_check=arguments.check,
-        min_speedup=arguments.min_speedup, write=not arguments.no_write,
+        min_speedup=arguments.min_speedup,
+        min_trace_speedup=arguments.min_trace_speedup,
+        write=not arguments.no_write,
     )
 
 
@@ -499,9 +502,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fuel", type=int, default=2_000_000_000,
         help="watchdog instruction budget before a hung guest is killed")
     run_cmd.add_argument(
-        "--engine", choices=("superblock", "single-step"), default=None,
-        help="force the VM execution engine (default: superblock; "
-             "single-step is the reference loop — results are identical)")
+        "--engine", choices=("trace", "superblock", "single-step"),
+        default=None,
+        help="force the VM execution tier (default: trace, the full "
+             "three-tier JIT; superblock disables tracing; single-step "
+             "is the reference loop — results are identical)")
     run_cmd.add_argument(
         "--metrics", metavar="OUT.json",
         help="export the VM telemetry report (instructions, checks, fuel)")
@@ -532,8 +537,9 @@ def build_parser() -> argparse.ArgumentParser:
     shootout_cmd.set_defaults(handler=_cmd_shootout)
 
     perf_cmd = commands.add_parser(
-        "perf", help="measure both VM engines on the benchmark micro-"
-                     "harnesses and record the perf trajectory")
+        "perf", help="measure all three VM execution tiers on the "
+                     "benchmark micro-harnesses and record the perf "
+                     "trajectory")
     perf_cmd.add_argument(
         "--snapshot", default="BENCH_vm.json",
         help="trajectory file to compare against and append to")
@@ -544,10 +550,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="runs per (workload, engine); the best time is kept")
     perf_cmd.add_argument(
         "--check", action="store_true",
-        help="exit non-zero on engine divergence, a slow superblock "
-             "engine, or a regression vs the last snapshot")
+        help="exit non-zero on engine divergence, a slow superblock or "
+             "trace tier, or a regression vs the last snapshot")
     perf_cmd.add_argument("--min-speedup", type=float, default=None,
-                          help="speedup floor for --check")
+                          help="superblock speedup floor for --check")
+    perf_cmd.add_argument("--min-trace-speedup", type=float, default=None,
+                          help="trace-tier speedup floor for --check")
     perf_cmd.add_argument("--no-write", action="store_true",
                           help="do not update the snapshot file")
     perf_cmd.set_defaults(handler=_cmd_perf)

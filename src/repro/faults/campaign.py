@@ -125,6 +125,9 @@ class FaultRunRecord:
     #: The VM's superblock engine latched itself off (``vm.superblock``
     #: fault point) and the run finished on the single-step loop.
     superblock_degraded: bool = False
+    #: The VM's trace tier latched itself off (``vm.trace`` fault point)
+    #: and the run finished on the superblock tier (or below).
+    trace_degraded: bool = False
     #: The service layer absorbed a fault (journal repair/skip, handler
     #: key repair, quota fail-open, breaker latch) and still delivered —
     #: the accounted survival of the ``service.*`` fault points.
@@ -357,6 +360,14 @@ def run_one(
                 record.detail = (
                     f"superblock engine: "
                     f"{result.cpu.superblock.degraded_reason}"
+                )
+            elif result.cpu is not None and result.cpu.trace.degraded:
+                # The vm.trace point fired on a back-edge profiling
+                # tick; the VM finished the run on the superblock tier.
+                record.outcome = DEGRADED
+                record.trace_degraded = True
+                record.detail = (
+                    f"trace engine: {result.cpu.trace.degraded_reason}"
                 )
             elif record.hunt_degraded:
                 record.outcome = DEGRADED

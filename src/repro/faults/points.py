@@ -100,6 +100,14 @@ register(
     "a DEGRADED run, never a crash",
 )
 register(
+    "vm.trace",
+    "fail the trace tier's back-edge profiling tick (vm/trace.py hot) — "
+    "the tier latches itself off, dropping compiled traces, and the CPU "
+    "keeps running on the superblock tier (itself degradable to "
+    "single-step) with identical results; accounted as a DEGRADED run, "
+    "never a crash",
+)
+register(
     "analysis.fixpoint",
     "force the dataflow worklist solver to report divergence "
     "(analysis/solver.py) — the pipeline must fall back to syntactic "

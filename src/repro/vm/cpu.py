@@ -7,13 +7,17 @@ Design notes:
   so the decode cache only invalidates on an explicit
   :meth:`CPU.flush_icache` (which also drops the superblock cache built
   on top of it).
-- The hot path executes *superblocks*: straight-line runs of decoded
-  instructions pre-translated into fused step closures (see
-  :mod:`repro.vm.superblock`).  Superblock execution is bit-identical to
-  the single-step loop; the CPU falls back to single-stepping when a DBI
-  ``access_hook`` is installed, when the remaining watchdog fuel cannot
-  cover a whole block, or when the ``vm.superblock`` fault point degrades
-  the engine.
+- Execution is tiered (DESIGN.md §9).  The *superblock* tier runs
+  straight-line runs of decoded instructions pre-translated into fused
+  step closures (:mod:`repro.vm.superblock`); the *trace* tier above it
+  profiles taken back-edges and compiles hot loops into exec-generated
+  Python functions with guarded side exits (:mod:`repro.vm.trace`).
+  Both tiers are bit-identical to the single-step loop — the semantics
+  oracle at the bottom of the ladder; the CPU falls down the ladder when
+  a DBI ``access_hook`` is installed, when the remaining watchdog fuel
+  cannot cover a whole block/iteration, or when the ``vm.trace`` /
+  ``vm.superblock`` fault points degrade a tier (trace degradation lands
+  on superblocks; superblock degradation lands on single-step).
 - ``instructions_executed`` counts every retired instruction, including
   trampoline code.  Overhead factors in the experiments are ratios of this
   counter, making results deterministic across machines.
@@ -41,6 +45,7 @@ from repro.isa.registers import RSP, Register
 from repro.vm.memory import Memory
 from repro.vm.runtime_iface import RuntimeEnvironment
 from repro.vm.superblock import TRANSFER_OPCODES, SuperblockEngine
+from repro.vm.trace import TraceEngine
 
 _M64 = (1 << 64) - 1
 _SIGN = 1 << 63
@@ -113,6 +118,16 @@ class CPU:
         #: The superblock translation cache (see :mod:`repro.vm.superblock`).
         #: Starts enabled unless an ``engine_override`` says otherwise.
         self.superblock = SuperblockEngine(self)
+        #: The trace tier above it (see :mod:`repro.vm.trace`): back-edge
+        #: profiling + hot-loop traces compiled to Python functions.
+        self.trace = TraceEngine(self)
+        #: Exception side-channel from compiled traces and the trace
+        #: recorder: the exact (retired, check-instruction) counts of the
+        #: partially executed trace, published just before the exception
+        #: propagates so the run loops account a mid-trace fault
+        #: identically to the single-step oracle.
+        self._trace_pending = 0
+        self._trace_pending_checks = 0
         runtime.attach(self)
 
     # -- fetch/decode -------------------------------------------------------
@@ -133,11 +148,14 @@ class CPU:
         return instruction
 
     def flush_icache(self) -> None:
-        """Drop all decoded instructions *and* the superblocks built from
-        them — the two caches are coupled (step closures capture decoded
-        instructions, so a stale block would outlive a flushed decode)."""
+        """Drop all decoded instructions *and* everything built from them
+        — the caches are coupled: superblock step closures capture decoded
+        instructions and compiled traces bake them (plus their immediates
+        and branch targets) into generated code, so a stale block or trace
+        would outlive a flushed decode."""
         self.icache.clear()
         self.superblock.invalidate()
+        self.trace.invalidate()
 
     # -- operand helpers ----------------------------------------------------------
 
@@ -449,17 +467,20 @@ class CPU:
         stand-in for a wall-clock timeout).  Faults and memory errors
         propagate as their own :class:`VMError` subclasses.
 
-        Execution normally goes through the superblock engine (see
-        :mod:`repro.vm.superblock`) with bit-identical results to the
-        single-step loop, which remains the fallback whenever a DBI
-        ``access_hook`` is installed (specialized closures would bypass
-        it) or the engine is disabled/degraded.
+        Execution normally goes through the tiered engines — trace above
+        superblocks (see :mod:`repro.vm.trace` / superblock) — with
+        bit-identical results to the single-step loop, which remains the
+        fallback whenever a DBI ``access_hook`` is installed (specialized
+        closures and compiled traces would bypass it) or the engines are
+        disabled/degraded.
         """
         if self.coverage is not None:
             return self._run_coverage(max_instructions)
         if self.telemetry is not None:
             return self._run_traced(max_instructions)
         if self.superblock.enabled and self.access_hook is None:
+            if self.trace.enabled:
+                return self._run_trace(max_instructions)
             return self._run_superblocks(max_instructions)
         return self._run_single(max_instructions)
 
@@ -538,6 +559,90 @@ class CPU:
             self.instructions_executed += executed
         raise VMTimeoutError(max_instructions)
 
+    def _run_trace(self, max_instructions: int) -> int:
+        """The trace-tier loop: compiled hot-loop traces above superblocks.
+
+        Equivalence with :meth:`_run_single` (DESIGN.md §9): a compiled
+        trace only runs when a whole iteration fits the remaining fuel
+        and returns its exact retired count; a mid-trace exception is
+        accounted through ``cpu._trace_pending`` (published by the
+        generated handler with the packed intra-iteration position).
+        Everything the trace tier does not cover — cold code, side-exit
+        targets, the tail of the fuel budget — executes on the
+        superblock tier exactly as :meth:`_run_superblocks` would, with
+        the same single-step fallbacks, so the watchdog and every fault
+        land on identical instructions under all three engines.  The
+        back-edge profile tick after a completed transfer block is where
+        new traces are recorded — and where the ``vm.trace`` fault point
+        can latch the tier off (the loop then degenerates to the
+        superblock loop with one dead dict probe per block).
+        """
+        tengine = self.trace
+        traces = tengine.traces
+        engine = self.superblock
+        cache = engine.cache
+        icache = self.icache
+        dispatch = self._dispatch
+        regs = self.regs
+        read_int = self.memory.read_int
+        write_int = self.memory.write_int
+        executed = 0
+        try:
+            while executed < max_instructions:
+                rip = self.rip
+                trace = traces.get(rip)
+                if (trace is not None
+                        and executed + trace.length <= max_instructions):
+                    try:
+                        retired, _checks = trace.fn(
+                            self, regs, read_int, write_int,
+                            max_instructions - executed,
+                        )
+                    except BaseException:
+                        executed += self._trace_pending
+                        raise
+                    executed += retired
+                    continue
+                block = cache.get(rip)
+                if block is None:
+                    block = engine.translate(rip)
+                if block is None or executed + block.length > max_instructions:
+                    # Engine degraded, or not enough fuel for the whole
+                    # block: retire one instruction the single-step way.
+                    instruction = icache.get(rip)
+                    if instruction is None:
+                        instruction = self._decode_at(rip)
+                    self.rip = rip + instruction.length
+                    dispatch[instruction.opcode](instruction)
+                    executed += 1
+                    continue
+                try:
+                    for next_rip, fn, arg in block.steps:
+                        self.rip = next_rip
+                        fn(arg)
+                except BaseException:
+                    executed += block.retired_before(self.rip)
+                    raise
+                executed += block.length
+                last = block.last_transfer
+                if (last is not None and self.rip <= last
+                        and tengine.hot(self.rip)):
+                    try:
+                        retired, _checks = tengine.record(
+                            self.rip, max_instructions - executed
+                        )
+                    except BaseException:
+                        executed += self._trace_pending
+                        raise
+                    executed += retired
+        except GuestExit as exit_signal:
+            executed += 1  # the exiting rtcall did retire
+            self.exit_status = exit_signal.status
+            return exit_signal.status
+        finally:
+            self.instructions_executed += executed
+        raise VMTimeoutError(max_instructions)
+
     def _run_coverage(self, max_instructions: int) -> int:
         """The coverage variant of :meth:`run` (``redfat hunt``).
 
@@ -601,29 +706,54 @@ class CPU:
     def _run_traced(self, max_instructions: int) -> int:
         """The telemetry variant of :meth:`run`.
 
-        Identical semantics — superblock execution with the same
-        single-step fallbacks — plus per-run accounting: instructions
-        retired, instructions retired inside the ``.tramp`` segment
-        ("checks executed"), and fuel consumption.  Kept as a separate
-        loop so un-instrumented runs pay nothing.  Blocks never straddle
-        the trampoline boundary, so a block executed to completion
-        contributes either ``0`` or ``length`` check instructions; a
-        mid-block fault attributes the instructions that were actually
-        dispatched, exactly like the single-step accounting.
+        Identical semantics — tiered execution with the same single-step
+        fallbacks — plus per-run accounting: instructions retired,
+        instructions retired inside the ``.tramp`` segment ("checks
+        executed"), and fuel consumption.  Kept as a separate loop so
+        un-instrumented runs pay nothing.  Blocks never straddle the
+        trampoline boundary, so a block executed to completion
+        contributes either ``0`` or ``length`` check instructions, and
+        compiled traces return their exact per-call check-instruction
+        count (fused check spans still count — fusion elides work, not
+        accounting); a mid-block or mid-trace fault attributes the
+        instructions that were actually dispatched, exactly like the
+        single-step accounting.
         """
         tele = self.telemetry
         span = self.trampoline_span
         tramp_start, tramp_end = span if span is not None else (0, 0)
         engine = self.superblock
         cache = engine.cache
+        tengine = self.trace
+        traces = tengine.traces
         use_blocks = engine.enabled and self.access_hook is None
+        use_traces = tengine.enabled and self.access_hook is None
         icache = self.icache
         dispatch = self._dispatch
+        regs = self.regs
+        read_int = self.memory.read_int
+        write_int = self.memory.write_int
         executed = 0
         in_trampoline = 0
         try:
             while executed < max_instructions:
                 rip = self.rip
+                if use_traces:
+                    trace = traces.get(rip)
+                    if (trace is not None
+                            and executed + trace.length <= max_instructions):
+                        try:
+                            retired, checks = trace.fn(
+                                self, regs, read_int, write_int,
+                                max_instructions - executed,
+                            )
+                        except BaseException:
+                            executed += self._trace_pending
+                            in_trampoline += self._trace_pending_checks
+                            raise
+                        executed += retired
+                        in_trampoline += checks
+                        continue
                 block = None
                 if use_blocks:
                     block = cache.get(rip)
@@ -656,6 +786,19 @@ class CPU:
                 executed += block.length
                 if block.in_trampoline:
                     in_trampoline += block.length
+                last = block.last_transfer
+                if (use_traces and last is not None and self.rip <= last
+                        and tengine.hot(self.rip)):
+                    try:
+                        retired, checks = tengine.record(
+                            self.rip, max_instructions - executed
+                        )
+                    except BaseException:
+                        executed += self._trace_pending
+                        in_trampoline += self._trace_pending_checks
+                        raise
+                    executed += retired
+                    in_trampoline += checks
         except GuestExit as exit_signal:
             executed += 1
             self.exit_status = exit_signal.status

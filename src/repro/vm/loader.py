@@ -76,11 +76,21 @@ def load_binary(
     cpu = CPU(memory, runtime)
     if telemetry is not None:
         cpu.telemetry = telemetry
-        if binary.has_segment(".tramp"):
-            tramp = binary.segment(".tramp")
-            cpu.trampoline_span = (
-                tramp.vaddr + rebase, tramp.vaddr + rebase + len(tramp.data)
-            )
+    # The cross-run trace cache rides on the Binary object: every run of
+    # the same image revives its compiled traces (after byte-verifying
+    # the code they cover) instead of re-recording them (vm/trace.py).
+    cache = getattr(binary, "_trace_cache", None)
+    if cache is None:
+        cache = binary._trace_cache = {}
+    cpu.trace.shared_cache = cache
+    if binary.has_segment(".tramp"):
+        # Always published: the traced loop attributes "checks executed"
+        # with it, and the trace tier's check fusion needs to know which
+        # recorded instructions are trampoline code (vm/trace.py).
+        tramp = binary.segment(".tramp")
+        cpu.trampoline_span = (
+            tramp.vaddr + rebase, tramp.vaddr + rebase + len(tramp.data)
+        )
     cpu.rip = binary.entry + rebase
     stack_pointer = (STACK_TOP - 64) & ~0xF
     cpu.regs[RSP] = stack_pointer - 8

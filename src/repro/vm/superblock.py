@@ -31,7 +31,16 @@ Degradation: the ``vm.superblock`` fault point fires at translation
 time (low frequency, off the per-instruction hot path).  When it fires
 the engine latches itself off for the rest of the run — the CPU falls
 back to the single-step loop, never crashes — and the run is accounted
-as DEGRADED by the fault campaign.
+as DEGRADED by the fault campaign.  Because the trace tier
+(:mod:`repro.vm.trace`) compiles stitched superblocks, degrading this
+engine also latches the trace tier off: the full degradation ladder is
+trace → superblock → single-step, with the single-step oracle at the
+bottom (DESIGN.md §9).
+
+This module also owns the process-wide engine selection
+(:func:`default_engine` / :func:`engine_override`): ``"trace"`` runs
+the whole ladder, ``"superblock"`` caps execution at this tier, and
+``"single-step"`` pins the reference interpreter.
 """
 
 from __future__ import annotations
@@ -72,24 +81,35 @@ TRANSFER_OPCODES = frozenset({
     Opcode.JB, Opcode.JBE, Opcode.JA, Opcode.JAE, Opcode.JS, Opcode.JNS,
 })
 
-#: Default engine state for newly built CPUs; flipped by
+#: Default engine for newly built CPUs; flipped by
 #: :func:`engine_override` (the ``redfat run --engine`` switch).
-_DEFAULT_ENABLED = True
+#: ``"trace"`` selects the full tier ladder (trace above superblocks),
+#: ``"superblock"`` caps execution at the superblock tier, and
+#: ``"single-step"`` pins the reference interpreter.
+_DEFAULT_ENGINE = "trace"
 
-#: Engine-name spellings accepted by the facade/CLI.
-ENGINE_NAMES = ("superblock", "single-step")
+#: Engine-name spellings accepted by the facade/CLI, fastest first.
+ENGINE_NAMES = ("trace", "superblock", "single-step")
+
+
+def default_engine() -> str:
+    """The engine newly built CPUs start on (one of :data:`ENGINE_NAMES`)."""
+    return _DEFAULT_ENGINE
 
 
 def default_enabled() -> bool:
-    """Whether new CPUs start with superblock execution on."""
-    return _DEFAULT_ENABLED
+    """Whether new CPUs start with superblock translation on — i.e. the
+    default engine is anything above the single-step reference loop."""
+    return _DEFAULT_ENGINE != "single-step"
 
 
-def _coerce_engine(engine) -> bool:
+def _coerce_engine(engine) -> str:
+    if engine == "trace":
+        return "trace"
     if engine in ("superblock", True):
-        return True
+        return "superblock"
     if engine in ("single-step", "singlestep", False):
-        return False
+        return "single-step"
     raise ValueError(
         f"unknown VM engine {engine!r}; expected one of {ENGINE_NAMES}"
     )
@@ -99,18 +119,19 @@ def _coerce_engine(engine) -> bool:
 def engine_override(engine):
     """Temporarily pick the execution engine for CPUs built inside.
 
-    *engine* is ``"superblock"`` or ``"single-step"`` (booleans work
-    too).  Used by ``redfat run --engine``, :func:`repro.api.run` and
-    the perfscope recorder to measure both loops on identical inputs.
+    *engine* is ``"trace"``, ``"superblock"`` or ``"single-step"``
+    (booleans still work for the latter two).  Used by ``redfat run
+    --engine``, :func:`repro.api.run` and the perfscope recorder to
+    measure all three loops on identical inputs.
     """
-    global _DEFAULT_ENABLED
-    enabled = _coerce_engine(engine)
-    previous = _DEFAULT_ENABLED
-    _DEFAULT_ENABLED = enabled
+    global _DEFAULT_ENGINE
+    name = _coerce_engine(engine)
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = name
     try:
         yield
     finally:
-        _DEFAULT_ENABLED = previous
+        _DEFAULT_ENGINE = previous
 
 
 class Superblock:
@@ -179,12 +200,17 @@ class SuperblockEngine:
 
         The run loop falls back to single-step execution — identical
         semantics, just slower — and telemetry/the fault campaign see
-        the run as degraded, never crashed.
+        the run as degraded, never crashed.  The trace tier sits on top
+        of this one (its traces stitch superblocks), so degrading here
+        cascades: trace → superblock → single-step is the full ladder.
         """
         self.enabled = False
         self.degraded = True
         self.degraded_reason = reason
         self.cache.clear()
+        trace = getattr(self.cpu, "trace", None)
+        if trace is not None and trace.enabled:
+            trace.degrade(f"superblock engine degraded: {reason}")
         tele = self.cpu.telemetry
         if tele is not None:
             tele.count("vm.superblock_degraded")

@@ -1,0 +1,285 @@
+"""The trace tier's equivalence contract (repro.vm.trace).
+
+Same rule as the superblock engine, one tier up: the trace JIT is only
+allowed to exist because it is *unobservable*.  Every test here pits a
+trace-tier run against the superblock engine and the single-step
+reference loop and demands bit-identical architectural state — plus the
+trace-specific machinery: check fusion, side-exit retirement, the
+cross-run code cache, invalidation, and the degradation ladder
+(trace -> superblock -> single-step).
+"""
+
+import pytest
+
+from repro.cc import compile_source
+from repro.core import RedFat, RedFatOptions
+from repro.errors import GuestMemoryError, VMTimeoutError
+from repro.faults.campaign import DEGRADED, run_campaign
+from repro.vm.superblock import default_engine, engine_override
+from repro.vm.trace import HOT_THRESHOLD, MAX_TRACE
+from repro.workloads.registry import iter_cases
+
+ENGINES = ("trace", "superblock", "single-step")
+
+#: A loop whose checked pointer is invariant — the shape check fusion
+#: exists for.  Under the "unoptimized" preset no static elimination
+#: runs, so every iteration re-executes the same trampoline and the
+#: fused guard hits.
+INVARIANT_LOOP = """
+int main() {
+    int *a = malloc(8 * 4);
+    a[0] = 0;
+    for (int i = 0; i < 400; i = i + 1) {
+        a[0] = a[0] + i;
+    }
+    print(a[0]);
+    free(a);
+    return 0;
+}
+"""
+
+HOT_LOOP = """
+int main() {
+    int s = 0;
+    for (int i = 0; i < 300; i = i + 1) s = s + i * 3;
+    print(s);
+    return 0;
+}
+"""
+
+
+def _state(result):
+    """Everything architecturally observable after a run."""
+    cpu = result.cpu
+    memory = cpu.memory
+    pages = {
+        index: bytes(memory._pages[index])
+        for index in memory.mapped_page_indices()
+    }
+    return {
+        "status": result.status,
+        "output": tuple(result.output),
+        "instructions": result.instructions,
+        "executed": cpu.instructions_executed,
+        "regs": list(cpu.regs),
+        "rip": cpu.rip,
+        "flags": (cpu.zf, cpu.sf, cpu.cf, cpu.of),
+        "pages": pages,
+    }
+
+
+def _run_engines(program, args=(), binary=None, make_runtime=None, **kwargs):
+    """Run under every tier; returns (states, trace_stats)."""
+    states = []
+    stats = None
+    for engine in ENGINES:
+        runtime = make_runtime() if make_runtime else None
+        with engine_override(engine):
+            result = program.run(args=args, binary=binary, runtime=runtime,
+                                 **kwargs)
+        states.append(_state(result))
+        if engine == "trace":
+            stats = result.cpu.trace.stats()
+    return states, stats
+
+
+class TestCorpusEquivalence:
+    """Three-way bit-equivalence on the CVE hunt corpus — the workloads
+    the vulnerability-hunting pipeline replays all day."""
+
+    @pytest.mark.parametrize("case", iter_cases("cve"),
+                             ids=lambda case: case.name)
+    def test_log_mode_bit_identical(self, case):
+        program = case.compile()
+        harden = RedFat(RedFatOptions()).instrument(program.binary.strip())
+        states, stats = _run_engines(
+            program, args=case.malicious_args, binary=harden.binary,
+            make_runtime=lambda: harden.create_runtime(mode="log"),
+        )
+        assert states[0] == states[1] == states[2], case.name
+        assert not stats["degraded"]
+
+    @pytest.mark.parametrize("case", iter_cases("cve")[:3],
+                             ids=lambda case: case.name)
+    def test_abort_mode_fault_identical(self, case):
+        """A hardened trap must surface at the same instruction in all
+        three tiers (or not at all in every tier)."""
+        program = case.compile()
+        harden = RedFat(RedFatOptions()).instrument(program.binary.strip())
+        outcomes = []
+        for engine in ENGINES:
+            runtime = harden.create_runtime(mode="abort")
+            with engine_override(engine):
+                try:
+                    result = program.run(args=case.malicious_args,
+                                         binary=harden.binary,
+                                         runtime=runtime)
+                    outcomes.append(("clean", result.status,
+                                     result.instructions))
+                except GuestMemoryError as error:
+                    outcomes.append(("fault", str(error)))
+        assert outcomes[0] == outcomes[1] == outcomes[2], case.name
+
+
+class TestCheckFusion:
+    def test_fusion_engages_and_stays_bit_identical(self):
+        """On an invariant checked pointer under the unoptimized preset
+        the fused guard must actually hit — and change nothing."""
+        program = compile_source(INVARIANT_LOOP)
+        harden = RedFat(RedFatOptions.preset("unoptimized")).instrument(
+            program.binary.strip()
+        )
+        states, stats = _run_engines(
+            program, binary=harden.binary,
+            make_runtime=lambda: harden.create_runtime(mode="log"),
+        )
+        assert states[0] == states[1] == states[2]
+        assert stats["fusion_spans"] > 0
+        assert stats["fusion_hits"] > 0
+
+    def test_fusion_counts_checks_exactly(self):
+        """Fused iterations still account every elided trampoline
+        instruction: the traced-loop checks_executed counter must match
+        the single-step loop's."""
+        from repro.telemetry.hub import Telemetry
+
+        program = compile_source(INVARIANT_LOOP)
+        harden = RedFat(RedFatOptions.preset("unoptimized")).instrument(
+            program.binary.strip()
+        )
+        counters = []
+        for engine in ("trace", "single-step"):
+            telemetry = Telemetry()
+            runtime = harden.create_runtime(mode="log")
+            with engine_override(engine):
+                program.run(binary=harden.binary, runtime=runtime,
+                            telemetry=telemetry)
+            counters.append((
+                telemetry.counters.get("vm.instructions_retired"),
+                telemetry.counters.get("vm.checks_executed"),
+            ))
+        assert counters[0] == counters[1]
+        assert counters[0][1] > 0
+
+
+class TestWatchdogEquivalence:
+    @pytest.mark.parametrize("fuel", [1, HOT_THRESHOLD * 3, 700, 999])
+    def test_timeout_fires_at_exact_budget(self, fuel):
+        """The watchdog must fire at the same instruction whether the
+        budget runs out mid-trace, mid-recording or mid-block."""
+        program = compile_source(HOT_LOOP)
+        for engine in ENGINES:
+            with engine_override(engine):
+                with pytest.raises(VMTimeoutError) as excinfo:
+                    program.run(max_instructions=fuel)
+            assert excinfo.value.fuel == fuel, engine
+
+
+class TestSideExits:
+    def test_alternating_branch_retires_off_trace(self):
+        """A loop whose hot branch flips direction forces side exits;
+        the retired-instruction count must stay exact."""
+        source = """
+int main() {
+    int s = 0;
+    for (int i = 0; i < 200; i = i + 1) {
+        if (i % 2 == 0) s = s + i;
+        else s = s - 1;
+    }
+    print(s);
+    return 0;
+}
+"""
+        program = compile_source(source)
+        states, _ = _run_engines(program)
+        assert states[0] == states[1] == states[2]
+
+
+class TestCrossRunCache:
+    def test_second_run_revives_and_matches(self):
+        program = compile_source(HOT_LOOP)
+        with engine_override("trace"):
+            first = program.run()
+            second = program.run()
+        assert first.cpu.trace.stats()["compiled"] > 0
+        stats = second.cpu.trace.stats()
+        assert stats["revived"] > 0
+        assert stats["recordings"] == 0
+        assert _state(first) == _state(second)
+
+    def test_revival_verifies_code_bytes(self):
+        """A cached trace is dropped — not trusted — when the code it
+        covers changed under it."""
+        program = compile_source(HOT_LOOP)
+        with engine_override("trace"):
+            first = program.run()
+        cache = program.binary._trace_cache
+        assert cache
+        anchor = next(a for a, c in cache.items() if c is not None)
+        entry = cache[anchor]
+        address, data = entry.code_spans[0]
+        entry.code_spans[0] = (address, bytes(len(data)))  # poison
+        with engine_override("trace"):
+            second = program.run()
+        assert anchor not in cache or cache[anchor] is not entry
+        assert _state(first) == _state(second)
+
+
+class TestInvalidation:
+    def test_flush_icache_drops_traces(self):
+        program = compile_source(HOT_LOOP)
+        with engine_override("trace"):
+            result = program.run()
+        cpu = result.cpu
+        assert cpu.trace.traces
+        cpu.flush_icache()
+        assert not cpu.trace.traces
+        assert not cpu.trace.counters
+
+
+class TestDegradationLadder:
+    def test_default_engine_is_trace(self):
+        assert default_engine() == "trace"
+
+    def test_trace_degrade_falls_back_to_superblock(self):
+        program = compile_source(HOT_LOOP)
+        with engine_override("trace"):
+            reference = program.run()
+        with engine_override("trace"):
+            from repro.vm.loader import load_binary
+            from repro.runtime.glibc import GlibcRuntime
+
+            cpu = load_binary(program.binary, GlibcRuntime())
+            program.poke_args(cpu, [])
+            cpu.trace.degrade("test latch")
+            status = cpu.run(10_000_000)
+        assert status == reference.status
+        assert cpu.instructions_executed == reference.cpu.instructions_executed
+        assert cpu.trace.degraded
+        assert not cpu.trace.traces
+
+    def test_superblock_degrade_cascades_to_trace(self):
+        program = compile_source(HOT_LOOP)
+        with engine_override("trace"):
+            result = program.run()
+        cpu = result.cpu
+        cpu.superblock.degrade("test latch")
+        assert cpu.trace.degraded
+        assert "superblock" in cpu.trace.degraded_reason
+
+    def test_pinned_campaign_all_degraded(self):
+        """Every vm.trace injection must end as a DEGRADED run with
+        reference-identical output — never a crash, never UNCAUGHT."""
+        result = run_campaign(seeds=8, point="vm.trace", fuel=400_000)
+        assert len(result.records) == 8
+        for record in result.records:
+            assert record.outcome == DEGRADED, record
+            assert record.trace_degraded
+            assert "trace" in record.detail
+
+
+class TestRecordingBounds:
+    def test_max_trace_fits_packed_accounting(self):
+        """The generated exception accounting packs the intra-iteration
+        index into 16 bits — the recording bound must respect that."""
+        assert MAX_TRACE < (1 << 16)
